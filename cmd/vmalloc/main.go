@@ -1,0 +1,187 @@
+// Command vmalloc places the VMs of a JSON instance (see cmd/vmworkload)
+// onto its servers and reports the placement plan and exact energy
+// breakdown. Placements are independently re-verified against the paper's
+// ILP constraints before being printed.
+//
+// Usage:
+//
+//	vmalloc -in instance.json                 # MinCost (the paper's heuristic)
+//	vmalloc -in instance.json -algo ffps      # the FFPS baseline
+//	vmalloc -in instance.json -algo bestfit
+//	vmalloc -in instance.json -json           # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"vmalloc/internal/baseline"
+	"vmalloc/internal/core"
+	"vmalloc/internal/energy"
+	"vmalloc/internal/ilp"
+	"vmalloc/internal/metrics"
+	"vmalloc/internal/model"
+	"vmalloc/internal/online"
+	"vmalloc/internal/search"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmalloc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmalloc", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "instance JSON file (default stdin)")
+		algo    = fs.String("algo", "mincost", "allocator: mincost, ffps, firstfit, bestfit, randomfit")
+		seed    = fs.Int64("seed", 1, "seed for randomised allocators")
+		asJSON  = fs.Bool("json", false, "emit the result as JSON")
+		details = fs.Bool("plan", true, "print the per-VM placement plan")
+		improve = fs.Bool("improve", false, "refine the placement with local search")
+		onlineF = fs.Bool("online", false, "run the event-driven simulator instead of offline allocation")
+		timeout = fs.Int("idle-timeout", 2, "online mode: minutes an empty server stays active before sleeping (-1 = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if *in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+	var inst model.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return fmt.Errorf("parse instance: %w", err)
+	}
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	if *onlineF {
+		return runOnline(w, inst, *algo, *seed, *timeout)
+	}
+	alloc, err := pickAllocator(*algo, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := alloc.Allocate(inst)
+	if err != nil {
+		return err
+	}
+	if *improve {
+		place, _, stats, err := (&search.Improver{Seed: *seed}).Improve(inst, res.Placement)
+		if err != nil {
+			return err
+		}
+		breakdown, err := energy.EvaluateObjective(inst, place)
+		if err != nil {
+			return err
+		}
+		res.Placement = place
+		res.Energy = breakdown
+		res.Allocator += fmt.Sprintf("+search (%d moves)", stats.Relocations+stats.Swaps)
+	}
+	if err := ilp.CheckPlacement(inst, res.Placement); err != nil {
+		return fmt.Errorf("placement failed verification: %w", err)
+	}
+	util, err := metrics.AverageUtilization(inst, res.Placement)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out := struct {
+			*core.Result
+			Utilization metrics.Utilization `json:"utilization"`
+		}{res, util}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(w, "allocator:    %s\n", res.Allocator)
+	fmt.Fprintf(w, "VMs placed:   %d on %d of %d servers\n",
+		len(res.Placement), res.ServersUsed, len(inst.Servers))
+	fmt.Fprintf(w, "energy:       %.1f watt-minutes (run %.1f + idle %.1f + transition %.1f)\n",
+		res.Energy.Total(), res.Energy.Run, res.Energy.Idle, res.Energy.Transition)
+	fmt.Fprintf(w, "utilization:  CPU %.1f%%, memory %.1f%% (busy servers)\n",
+		100*util.CPU, 100*util.Mem)
+	if !*details {
+		return nil
+	}
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "VM\ttype\tinterval\tserver")
+	ids := make([]int, 0, len(res.Placement))
+	for id := range res.Placement {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		v, _ := inst.VMByID(id)
+		s, _ := inst.ServerByID(res.Placement[id])
+		fmt.Fprintf(tw, "%d\t%s\t[%d,%d]\t%d (%s)\n", id, v.Type, v.Start, v.End, s.ID, s.Type)
+	}
+	return tw.Flush()
+}
+
+// runOnline drives the event-driven engine and prints its report.
+func runOnline(w io.Writer, inst model.Instance, algo string, seed int64, timeout int) error {
+	var policy online.Policy
+	switch algo {
+	case "mincost":
+		policy = &online.MinCostPolicy{}
+	case "ffps":
+		policy = online.NewFirstFitPolicy(seed)
+	case "prefer-active":
+		policy = &online.PreferActivePolicy{}
+	default:
+		return fmt.Errorf("online mode supports mincost, ffps, prefer-active; got %q", algo)
+	}
+	rep, err := (&online.Engine{Policy: policy, IdleTimeout: timeout}).Run(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "policy:        %s (idle timeout %d min)\n", rep.Policy, timeout)
+	fmt.Fprintf(w, "VMs placed:    %d on %d of %d servers\n",
+		len(rep.Placement), rep.ServersUsed, len(inst.Servers))
+	fmt.Fprintf(w, "energy:        %.1f watt-minutes (run %.1f + idle %.1f + transition %.1f)\n",
+		rep.Energy.Total(), rep.Energy.Run, rep.Energy.Idle, rep.Energy.Transition)
+	fmt.Fprintf(w, "wake-ups:      %d\n", rep.Transitions)
+	fmt.Fprintf(w, "start delays:  mean %.2f min, max %d min\n", rep.MeanStartDelay, rep.MaxStartDelay)
+	offline, err := core.NewMinCost().Allocate(inst)
+	if err == nil {
+		fmt.Fprintf(w, "vs offline:    clairvoyant MinCost would bill %.1f watt-minutes (%+.1f%%)\n",
+			offline.Energy.Total(), 100*(rep.Energy.Total()/offline.Energy.Total()-1))
+	}
+	return nil
+}
+
+func pickAllocator(name string, seed int64) (core.Allocator, error) {
+	switch name {
+	case "mincost":
+		return core.NewMinCost(), nil
+	case "ffps":
+		return baseline.NewFFPS(seed), nil
+	case "firstfit":
+		return baseline.NewFirstFitSorted(baseline.ByEfficiency), nil
+	case "bestfit":
+		return baseline.NewBestFitCPU(), nil
+	case "randomfit":
+		return baseline.NewRandomFit(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown allocator %q", name)
+	}
+}

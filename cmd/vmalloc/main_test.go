@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	inst, err := workload.Generate(
+		workload.Spec{NumVMs: 20, MeanInterArrival: 2, MeanLength: 30},
+		workload.FleetSpec{NumServers: 10, TransitionTime: 1},
+		1,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeInstance(t)
+	for _, algo := range []string{"mincost", "ffps", "firstfit", "bestfit", "randomfit"} {
+		t.Run(algo, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-in", path, "-algo", algo}, &sb); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "energy:") || !strings.Contains(out, "VMs placed:") {
+				t.Errorf("unexpected output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeInstance(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Allocator string      `json:"allocator"`
+		Placement map[int]int `json:"placement"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON output: %v", err)
+	}
+	if decoded.Allocator != "MinCost" || len(decoded.Placement) != 20 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeInstance(t)
+	t.Run("unknown algo", func(t *testing.T) {
+		var sb strings.Builder
+		if err := run([]string{"-in", path, "-algo", "nope"}, &sb); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		var sb strings.Builder
+		if err := run([]string{"-in", "/nonexistent.json"}, &sb); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("invalid json", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-in", bad}, &sb); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("invalid instance", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "empty.json")
+		data, _ := json.Marshal(model.Instance{})
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-in", bad}, &sb); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestRunWithImprove(t *testing.T) {
+	path := writeInstance(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-algo", "ffps", "-improve"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "+search") {
+		t.Errorf("output missing search marker:\n%s", sb.String())
+	}
+}
+
+func TestRunOnlineMode(t *testing.T) {
+	path := writeInstance(t)
+	for _, algo := range []string{"mincost", "ffps", "prefer-active"} {
+		var sb strings.Builder
+		if err := run([]string{"-in", path, "-online", "-algo", algo}, &sb); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "wake-ups:") || !strings.Contains(out, "start delays:") {
+			t.Errorf("%s output:\n%s", algo, out)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-online", "-algo", "bestfit"}, &sb); err == nil {
+		t.Error("unsupported online algo accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Note: run() writes to os.Stdout; these tests only assert behaviour and
+// side effects (exit status, files written), not captured output.
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentWithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-exp", "table1,fig5", "-quick",
+		"-csv", filepath.Join(dir, "csv"),
+		"-svg", filepath.Join(dir, "svg"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, "csv", "*.csv"))
+	if err != nil || len(csvs) != 2 {
+		t.Errorf("csv files = %v (%v)", csvs, err)
+	}
+	svgs, err := filepath.Glob(filepath.Join(dir, "svg", "*.svg"))
+	if err != nil || len(svgs) != 1 {
+		t.Errorf("svg files = %v (%v); table1 has no chart, fig5 has one", svgs, err)
+	}
+	if len(svgs) == 1 {
+		data, err := os.ReadFile(svgs[0])
+		if err != nil || !strings.Contains(string(data), "<svg") {
+			t.Errorf("svg content bad: %v", err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nonexistent"}); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunConfigCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	cfg := `{
+		"name": "t",
+		"workload": {"numVMs": 20, "meanInterArrivalMinutes": 2, "meanLengthMinutes": 20},
+		"fleet": {"numServers": 10, "transitionTimeMinutes": 1},
+		"seeds": 1,
+		"allocators": ["mincost", "ffps"]
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+		t.Error("want error for missing config")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Error("want error for invalid config")
+	}
+}

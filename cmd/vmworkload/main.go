@@ -1,0 +1,103 @@
+// Command vmworkload generates a synthetic problem instance — paper-style
+// Poisson arrivals, exponential lengths, Table I/II catalogs — as JSON on
+// stdout (or to -o).
+//
+// Usage:
+//
+//	vmworkload -vms 100 -servers 50 -interarrival 2 -length 50 -seed 1 > instance.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vmworkload", flag.ContinueOnError)
+	var (
+		vms          = fs.Int("vms", 100, "number of VM requests")
+		servers      = fs.Int("servers", 50, "number of servers")
+		interArrival = fs.Float64("interarrival", 2, "mean inter-arrival time (minutes)")
+		length       = fs.Float64("length", 50, "mean VM length (minutes)")
+		transition   = fs.Float64("transition", 1, "server transition time (minutes)")
+		classes      = fs.String("classes", "", "comma-separated VM classes (standard, memory-intensive, cpu-intensive); empty = all")
+		types        = fs.String("servertypes", "", "comma-separated server types (type-1..type-5); empty = all")
+		peak         = fs.Float64("peaktotrough", 1, "peak/trough arrival-rate ratio (>1 enables a diurnal cycle)")
+		period       = fs.Float64("period", 1440, "diurnal cycle length in minutes")
+		seed         = fs.Int64("seed", 1, "random seed")
+		out          = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var vmClasses []model.VMClass
+	for _, c := range splitList(*classes) {
+		vmClasses = append(vmClasses, model.VMClass(c))
+	}
+	fleet := workload.FleetSpec{
+		NumServers:     *servers,
+		TransitionTime: *transition,
+		Types:          splitList(*types),
+	}
+	var (
+		inst model.Instance
+		err  error
+	)
+	if *peak > 1 {
+		inst, err = workload.GenerateDiurnal(workload.DiurnalSpec{
+			NumVMs:           *vms,
+			MeanInterArrival: *interArrival,
+			MeanLength:       *length,
+			PeakToTrough:     *peak,
+			Period:           *period,
+			Classes:          vmClasses,
+		}, fleet, *seed)
+	} else {
+		inst, err = workload.Generate(workload.Spec{
+			NumVMs:           *vms,
+			MeanInterArrival: *interArrival,
+			MeanLength:       *length,
+			Classes:          vmClasses,
+		}, fleet, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+func TestRunWritesValidInstance(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "inst.json")
+	err := run([]string{
+		"-vms", "30", "-servers", "12", "-interarrival", "1.5",
+		"-length", "25", "-seed", "7", "-o", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst model.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		t.Fatalf("output is not valid instance JSON: %v", err)
+	}
+	if len(inst.VMs) != 30 || len(inst.Servers) != 12 {
+		t.Errorf("instance has %d VMs, %d servers", len(inst.VMs), len(inst.Servers))
+	}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("generated instance invalid: %v", err)
+	}
+}
+
+func TestRunClassAndTypeFilters(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "inst.json")
+	err := run([]string{
+		"-vms", "25", "-servers", "9", "-seed", "3", "-o", out,
+		"-classes", "standard", "-servertypes", "type-1, type-2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst model.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range inst.Servers {
+		if s.Type != "type-1" && s.Type != "type-2" {
+			t.Errorf("server type %q escaped filter", s.Type)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-vms", "0"}); err == nil {
+		t.Error("want error for zero VMs")
+	}
+	if err := run([]string{"-servertypes", "bogus"}); err == nil {
+		t.Error("want error for unknown server type")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a, b ,c", []string{"a", "b", "c"}},
+		{" , ,", nil},
+	}
+	for _, tt := range tests {
+		got := splitList(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Optimality gap: on instances small enough to solve exactly, compare the
+// MinCost heuristic against the true optimum of the paper's ILP
+// (found by branch and bound).
+//
+//	go run ./examples/optimality-gap
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vmalloc"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	types := vmalloc.VMTypeCatalog()[:4] // standard types only
+	srvTypes := vmalloc.ServerTypeCatalog()[:3]
+
+	var sumHeur, sumOpt float64
+	worst := 0.0
+	const trials = 10
+	fmt.Println("trial  optimum(Wmin)  MinCost(Wmin)  gap")
+	for trial := 1; trial <= trials; trial++ {
+		// 6 VMs on 3 servers — 3^6 = 729 assignments.
+		var vms []vmalloc.VM
+		for j := 0; j < 6; j++ {
+			vt := types[rng.Intn(len(types))]
+			start := 1 + rng.Intn(20)
+			vms = append(vms, vmalloc.VM{
+				ID: j + 1, Type: vt.Name, Demand: vt.Resources(),
+				Start: start, End: start + 2 + rng.Intn(12),
+			})
+		}
+		var servers []vmalloc.Server
+		for i, st := range srvTypes {
+			servers = append(servers, st.NewServer(i+1, 1))
+		}
+		inst := vmalloc.NewInstance(vms, servers)
+
+		heur, err := vmalloc.NewMinCost().Allocate(inst)
+		if err != nil {
+			// A dense draw may not fit three small servers; redraw.
+			trial--
+			continue
+		}
+		_, opt, err := vmalloc.SolveOptimal(context.Background(), inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap := heur.Energy.Total()/opt - 1
+		if gap > worst {
+			worst = gap
+		}
+		sumHeur += heur.Energy.Total()
+		sumOpt += opt
+		fmt.Printf("%5d  %13.1f  %13.1f  %4.1f%%\n", trial, opt, heur.Energy.Total(), 100*gap)
+	}
+	fmt.Printf("\naggregate gap over %d trials: %.1f%% (worst single trial %.1f%%)\n",
+		trials, 100*(sumHeur/sumOpt-1), 100*worst)
+	fmt.Println("\nThe ILP is NP-hard (the paper solves it heuristically for this reason);")
+	fmt.Println("branch and bound stays tractable only at toy sizes, but it certifies how")
+	fmt.Println("close the greedy least-incremental-cost rule gets.")
+}

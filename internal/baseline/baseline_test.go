@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+)
+
+func srv(id int, cpu, mem, pIdle, pPeak, trans float64) model.Server {
+	return model.Server{
+		ID:             id,
+		Capacity:       model.Resources{CPU: cpu, Mem: mem},
+		PIdle:          pIdle,
+		PPeak:          pPeak,
+		TransitionTime: trans,
+	}
+}
+
+func vm(id, start, end int, cpu, mem float64) model.VM {
+	return model.VM{ID: id, Demand: model.Resources{CPU: cpu, Mem: mem}, Start: start, End: end}
+}
+
+func smallInstance() model.Instance {
+	return model.NewInstance(
+		[]model.VM{
+			vm(1, 1, 10, 2, 2),
+			vm(2, 3, 12, 4, 4),
+			vm(3, 5, 20, 2, 2),
+			vm(4, 15, 25, 6, 6),
+		},
+		[]model.Server{
+			srv(1, 10, 16, 100, 200, 1),
+			srv(2, 10, 16, 80, 160, 1),
+			srv(3, 16, 32, 140, 300, 1),
+		},
+	)
+}
+
+func catalogInstance(rng *rand.Rand, n, k int) model.Instance {
+	vmTypes := model.VMTypeCatalog()
+	srvTypes := model.ServerTypeCatalog()
+	vms := make([]model.VM, n)
+	for i := range vms {
+		vt := vmTypes[rng.Intn(len(vmTypes))]
+		start := 1 + rng.Intn(100)
+		vms[i] = model.VM{ID: i + 1, Type: vt.Name, Demand: vt.Resources(), Start: start, End: start + rng.Intn(12)}
+	}
+	// Round-robin over the larger server types so the big catalog VMs
+	// always have somewhere to go.
+	big := srvTypes[2:]
+	servers := make([]model.Server, k)
+	for i := range servers {
+		servers[i] = big[i%len(big)].NewServer(i+1, 1)
+	}
+	return model.NewInstance(vms, servers)
+}
+
+func TestAllBaselinesProduceValidPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := catalogInstance(rng, 80, 20)
+	allocators := []core.Allocator{
+		NewFFPS(1),
+		NewFirstFitSorted(ByEfficiency),
+		NewFirstFitSorted(ByCapacity),
+		NewBestFitCPU(),
+		NewRandomFit(1),
+		MinPowerIncrease(),
+	}
+	for _, a := range allocators {
+		t.Run(a.Name(), func(t *testing.T) {
+			res, err := a.Allocate(inst)
+			if err != nil {
+				t.Fatalf("Allocate: %v", err)
+			}
+			if len(res.Placement) != len(inst.VMs) {
+				t.Fatalf("placed %d of %d VMs", len(res.Placement), len(inst.VMs))
+			}
+			want, err := energy.EvaluateObjective(inst, res.Placement)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Energy.Total()-want.Total()) > 1e-9 {
+				t.Errorf("energy %g != evaluator %g", res.Energy.Total(), want.Total())
+			}
+			if res.ServersUsed < 1 || res.ServersUsed > len(inst.Servers) {
+				t.Errorf("ServersUsed = %d", res.ServersUsed)
+			}
+		})
+	}
+}
+
+func TestFFPSSeedDeterminismAndVariation(t *testing.T) {
+	inst := smallInstance()
+	a1, err := NewFFPS(7).Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewFFPS(7).Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a1.Placement {
+		if a1.Placement[id] != a2.Placement[id] {
+			t.Fatalf("same seed, different placements for vm %d", id)
+		}
+	}
+	// Across many seeds at least two distinct placements must appear
+	// (servers are shuffled per run).
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := NewFFPS(seed).Allocate(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Placement[1]] = true
+	}
+	if len(seen) < 2 {
+		t.Error("FFPS shuffle appears inert: vm 1 always on the same server across 20 seeds")
+	}
+}
+
+func TestFirstFitSortedOrderings(t *testing.T) {
+	// Efficiency ordering must put the single VM on the most
+	// energy-proportional server (lowest idle power per CPU): server 2.
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 10, 1, 1)},
+		[]model.Server{
+			srv(1, 10, 16, 150, 300, 1), // 15 W/CU idle
+			srv(2, 10, 16, 80, 160, 1),  // 8 W/CU idle
+			srv(3, 16, 32, 200, 400, 1), // 12.5 W/CU idle
+		},
+	)
+	res, err := NewFirstFitSorted(ByEfficiency).Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[1] != 2 {
+		t.Errorf("efficiency ordering placed vm on %d, want 2", res.Placement[1])
+	}
+	// Capacity ordering must put it on the biggest server: server 3.
+	res, err = NewFirstFitSorted(ByCapacity).Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[1] != 3 {
+		t.Errorf("capacity ordering placed vm on %d, want 3", res.Placement[1])
+	}
+}
+
+func TestBestFitPicksTightestServer(t *testing.T) {
+	// VM of 6 CPU: server 2 (8 CU) is tighter than server 3 (16 CU).
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 10, 6, 6)},
+		[]model.Server{
+			srv(2, 8, 16, 100, 200, 1),
+			srv(3, 16, 32, 140, 300, 1),
+		},
+	)
+	res, err := NewBestFitCPU().Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[1] != 2 {
+		t.Errorf("best fit placed vm on %d, want tight server 2", res.Placement[1])
+	}
+}
+
+func TestMinCostBeatsFFPSOnAverage(t *testing.T) {
+	// The paper's headline claim, in miniature: averaged over seeds, the
+	// heuristic consumes no more energy than FFPS.
+	rng := rand.New(rand.NewSource(21))
+	var oursSum, ffpsSum float64
+	for seed := int64(1); seed <= 8; seed++ {
+		inst := catalogInstance(rng, 60, 30)
+		ours, err := core.NewMinCost().Allocate(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffps, err := NewFFPS(seed).Allocate(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oursSum += ours.Energy.Total()
+		ffpsSum += ffps.Energy.Total()
+	}
+	if oursSum > ffpsSum {
+		t.Errorf("MinCost total %g exceeds FFPS total %g over 8 runs", oursSum, ffpsSum)
+	}
+	ratio := (ffpsSum - oursSum) / ffpsSum
+	t.Logf("aggregate reduction ratio over 8 runs: %.1f%%", 100*ratio)
+}
+
+func TestUnplaceablePropagation(t *testing.T) {
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 5, 100, 100)},
+		[]model.Server{srv(1, 10, 16, 80, 160, 1)},
+	)
+	for _, a := range []core.Allocator{
+		NewFFPS(1), NewFirstFitSorted(ByEfficiency), NewBestFitCPU(), NewRandomFit(1),
+	} {
+		if _, err := a.Allocate(inst); err == nil {
+			t.Errorf("%s: want UnplaceableError", a.Name())
+		}
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	ours := energy.Breakdown{Run: 80}
+	base := energy.Breakdown{Run: 100}
+	if got := ReductionRatio(ours, base); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ReductionRatio = %g, want 0.2", got)
+	}
+	if got := ReductionRatio(ours, energy.Breakdown{}); got != 0 {
+		t.Errorf("zero-base ReductionRatio = %g, want 0", got)
+	}
+}

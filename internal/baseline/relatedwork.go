@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/model"
+	"vmalloc/internal/timeline"
+)
+
+// MinBusyTime implements the objective of the fixed-interval scheduling
+// line of related work (paper §V [9], [10]): place each VM on the feasible
+// server whose total busy time grows the least, ignoring power parameters
+// entirely. It isolates how much of the paper's savings comes from
+// modelling energy rather than just consolidating time.
+type MinBusyTime struct{}
+
+var _ core.Allocator = (*MinBusyTime)(nil)
+
+// NewMinBusyTime returns the busy-time-minimising comparator.
+func NewMinBusyTime() *MinBusyTime { return &MinBusyTime{} }
+
+// Name implements core.Allocator.
+func (*MinBusyTime) Name() string { return "MinBusyTime" }
+
+// Allocate implements core.Allocator.
+func (a *MinBusyTime) Allocate(inst model.Instance) (*core.Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	fleet := core.NewFleet(inst)
+	busy := make([]*timeline.SegmentSet, len(inst.Servers))
+	for i := range busy {
+		busy[i] = &timeline.SegmentSet{}
+	}
+	placement := make(map[int]int, len(inst.VMs))
+	for _, v := range core.SortVMsByStart(inst) {
+		best, bestGrowth := -1, 0
+		for i := range fleet.Servers {
+			if !fleet.Fits(i, v) {
+				continue
+			}
+			preview := busy[i].Clone()
+			preview.Insert(timeline.Interval{Start: v.Start, End: v.End})
+			growth := preview.Total() - busy[i].Total()
+			if best < 0 || growth < bestGrowth {
+				best, bestGrowth = i, growth
+			}
+		}
+		if best < 0 {
+			return nil, &core.UnplaceableError{VM: v}
+		}
+		busy[best].Insert(timeline.Interval{Start: v.Start, End: v.End})
+		fleet.Commit(best, v)
+		placement[v.ID] = fleet.Servers[best].ID
+	}
+	return core.FinishResult(a.Name(), inst, placement, fleet.ServersUsed())
+}
+
+// VectorFit is the dot-product heuristic from the vector bin-packing
+// literature the multi-resource placement work builds on (paper §V [7],
+// [8]): place each VM on the feasible server whose remaining (CPU, memory)
+// vector over the VM's interval aligns best with the demand vector,
+// balancing the two resources instead of minimising energy.
+type VectorFit struct{}
+
+var _ core.Allocator = (*VectorFit)(nil)
+
+// NewVectorFit returns the dot-product comparator.
+func NewVectorFit() *VectorFit { return &VectorFit{} }
+
+// Name implements core.Allocator.
+func (*VectorFit) Name() string { return "VectorFit" }
+
+// Allocate implements core.Allocator.
+func (a *VectorFit) Allocate(inst model.Instance) (*core.Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	fleet := core.NewFleet(inst)
+	placement := make(map[int]int, len(inst.VMs))
+	for _, v := range core.SortVMsByStart(inst) {
+		best := -1
+		bestScore := math.Inf(-1)
+		for i := range fleet.Servers {
+			if !fleet.Fits(i, v) {
+				continue
+			}
+			s := fleet.Servers[i]
+			// Normalised demand · normalised spare, higher = better
+			// aligned (fills the scarce dimension proportionally).
+			dCPU := v.Demand.CPU / s.Capacity.CPU
+			dMem := v.Demand.Mem / s.Capacity.Mem
+			spareCPU := fleet.SpareCPU(i, v.Start, v.End) / s.Capacity.CPU
+			spareMem := fleet.SpareMem(i, v.Start, v.End) / s.Capacity.Mem
+			score := dCPU*spareCPU + dMem*spareMem
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			return nil, &core.UnplaceableError{VM: v}
+		}
+		fleet.Commit(best, v)
+		placement[v.ID] = fleet.Servers[best].ID
+	}
+	return core.FinishResult(a.Name(), inst, placement, fleet.ServersUsed())
+}
+
+// WorstFit spreads load: each VM goes to the feasible server with the MOST
+// spare CPU over its interval. It is the anti-consolidation baseline —
+// roughly what a load balancer oblivious to energy would do — and bounds
+// the cost of spreading.
+type WorstFit struct{}
+
+var _ core.Allocator = (*WorstFit)(nil)
+
+// NewWorstFit returns the spreading comparator.
+func NewWorstFit() *WorstFit { return &WorstFit{} }
+
+// Name implements core.Allocator.
+func (*WorstFit) Name() string { return "WorstFit" }
+
+// Allocate implements core.Allocator.
+func (a *WorstFit) Allocate(inst model.Instance) (*core.Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	fleet := core.NewFleet(inst)
+	placement := make(map[int]int, len(inst.VMs))
+	for _, v := range core.SortVMsByStart(inst) {
+		best := -1
+		bestSpare := math.Inf(-1)
+		for i := range fleet.Servers {
+			if !fleet.Fits(i, v) {
+				continue
+			}
+			if spare := fleet.SpareCPU(i, v.Start, v.End); spare > bestSpare {
+				best, bestSpare = i, spare
+			}
+		}
+		if best < 0 {
+			return nil, &core.UnplaceableError{VM: v}
+		}
+		fleet.Commit(best, v)
+		placement[v.ID] = fleet.Servers[best].ID
+	}
+	return core.FinishResult(a.Name(), inst, placement, fleet.ServersUsed())
+}

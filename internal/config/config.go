@@ -1,0 +1,223 @@
+// Package config lets users describe their own simulation campaigns as
+// JSON — workload, fleet, seed count and a list of allocators by name —
+// and run them without writing Go. It backs `vmsim -config`.
+//
+// Example:
+//
+//	{
+//	  "name": "my-datacenter",
+//	  "workload": {"numVMs": 200, "meanInterArrivalMinutes": 1.5, "meanLengthMinutes": 45},
+//	  "fleet": {"numServers": 80, "transitionTimeMinutes": 2},
+//	  "seeds": 5,
+//	  "allocators": ["mincost", "ffps", "bestfit"]
+//	}
+package config
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vmalloc/internal/baseline"
+	"vmalloc/internal/core"
+	"vmalloc/internal/metrics"
+	"vmalloc/internal/workload"
+)
+
+// Campaign is a user-defined comparison run.
+type Campaign struct {
+	Name       string             `json:"name"`
+	Workload   workload.Spec      `json:"workload"`
+	Fleet      workload.FleetSpec `json:"fleet"`
+	Seeds      int                `json:"seeds"`
+	Allocators []string           `json:"allocators"`
+	// SkipInfeasible drops seeds no allocator can place instead of
+	// failing the campaign.
+	SkipInfeasible bool `json:"skipInfeasible,omitempty"`
+}
+
+// allocatorFactories maps config names to constructors. Seed-dependent
+// allocators receive the workload seed.
+var allocatorFactories = map[string]func(seed int64) core.Allocator{
+	"mincost":               func(int64) core.Allocator { return core.NewMinCost() },
+	"mincost-lookahead":     func(int64) core.Allocator { return core.NewLookahead() },
+	"mincost-no-transition": func(int64) core.Allocator { return core.NewMinCost(core.WithoutTransitionAwareness()) },
+	"ffps":                  func(s int64) core.Allocator { return baseline.NewFFPS(s) },
+	"firstfit-efficiency":   func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByEfficiency) },
+	"firstfit-capacity":     func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByCapacity) },
+	"bestfit":               func(int64) core.Allocator { return baseline.NewBestFitCPU() },
+	"randomfit":             func(s int64) core.Allocator { return baseline.NewRandomFit(s) },
+	"minbusytime":           func(int64) core.Allocator { return baseline.NewMinBusyTime() },
+	"vectorfit":             func(int64) core.Allocator { return baseline.NewVectorFit() },
+	"worstfit":              func(int64) core.Allocator { return baseline.NewWorstFit() },
+}
+
+// AllocatorNames returns the recognised allocator names, sorted.
+func AllocatorNames() []string {
+	names := make([]string, 0, len(allocatorFactories))
+	for n := range allocatorFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load parses and validates a campaign.
+func Load(r io.Reader) (*Campaign, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Campaign
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the campaign.
+func (c *Campaign) Validate() error {
+	if c.Name == "" {
+		c.Name = "custom"
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := c.Fleet.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if c.Seeds < 1 {
+		c.Seeds = 5
+	}
+	if len(c.Allocators) == 0 {
+		c.Allocators = []string{"mincost", "ffps"}
+	}
+	for _, name := range c.Allocators {
+		if _, ok := allocatorFactories[name]; !ok {
+			return fmt.Errorf("config: unknown allocator %q (have %s)",
+				name, strings.Join(AllocatorNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// AllocatorRow is one allocator's averaged outcome.
+type AllocatorRow struct {
+	Name        string              `json:"name"`
+	Energy      float64             `json:"energyWattMinutes"`
+	ServersUsed float64             `json:"serversUsed"`
+	Utilization metrics.Utilization `json:"utilization"`
+	// VsFirst is this row's energy relative to the first allocator's
+	// (1.0 = equal).
+	VsFirst float64 `json:"vsFirst"`
+}
+
+// Outcome is a completed campaign.
+type Outcome struct {
+	Campaign *Campaign      `json:"campaign"`
+	Rows     []AllocatorRow `json:"rows"`
+	Skipped  int            `json:"skipped,omitempty"`
+}
+
+// Run executes the campaign: every allocator sees the identical seeded
+// instances; results are averaged over the seeds each allocator could
+// place (with SkipInfeasible, a seed is dropped for all allocators if any
+// fails on it, keeping the comparison paired).
+func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	type acc struct {
+		energy, used, cpu, mem float64
+	}
+	accs := make([]acc, len(c.Allocators))
+	used := 0
+	skipped := 0
+	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inst, err := workload.Generate(c.Workload, c.Fleet, seed)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]*core.Result, len(c.Allocators))
+		utils := make([]metrics.Utilization, len(c.Allocators))
+		failed := false
+		for k, name := range c.Allocators {
+			res, err := allocatorFactories[name](seed).Allocate(inst)
+			if err != nil {
+				var ue *core.UnplaceableError
+				if c.SkipInfeasible && errors.As(err, &ue) {
+					failed = true
+					break
+				}
+				return nil, fmt.Errorf("config: %s on seed %d: %w", name, seed, err)
+			}
+			u, err := metrics.AverageUtilization(inst, res.Placement)
+			if err != nil {
+				return nil, err
+			}
+			results[k], utils[k] = res, u
+		}
+		if failed {
+			skipped++
+			continue
+		}
+		used++
+		for k := range c.Allocators {
+			accs[k].energy += results[k].Energy.Total()
+			accs[k].used += float64(results[k].ServersUsed)
+			accs[k].cpu += utils[k].CPU
+			accs[k].mem += utils[k].Mem
+		}
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("config: all %d seeds were infeasible", skipped)
+	}
+	out := &Outcome{Campaign: c, Skipped: skipped}
+	n := float64(used)
+	for k, name := range c.Allocators {
+		row := AllocatorRow{
+			Name:        name,
+			Energy:      accs[k].energy / n,
+			ServersUsed: accs[k].used / n,
+			Utilization: metrics.Utilization{CPU: accs[k].cpu / n, Mem: accs[k].mem / n},
+		}
+		if accs[0].energy > 0 {
+			row.VsFirst = accs[k].energy / accs[0].energy
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteText renders the outcome as an aligned comparison table.
+func (o *Outcome) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "campaign %q: %d VMs on %d servers, %d seed(s)",
+		o.Campaign.Name, o.Campaign.Workload.NumVMs, o.Campaign.Fleet.NumServers,
+		o.Campaign.Seeds-o.Skipped); err != nil {
+		return err
+	}
+	if o.Skipped > 0 {
+		if _, err := fmt.Fprintf(w, " (%d infeasible seed(s) skipped)", o.Skipped); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, row := range o.Rows {
+		if _, err := fmt.Fprintf(w, "  %-22s %12.1f Wmin  x%.3f  servers %5.1f  util %4.1f%%/%4.1f%%\n",
+			row.Name, row.Energy, row.VsFirst, row.ServersUsed,
+			100*row.Utilization.CPU, 100*row.Utilization.Mem); err != nil {
+			return err
+		}
+	}
+	return nil
+}

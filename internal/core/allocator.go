@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the
+// minimum-incremental-energy-cost VM allocation heuristic (§III).
+//
+// VMs are allocated in increasing order of start time. For each VM the
+// allocator computes the subset of servers with sufficient spare CPU and
+// memory throughout the VM's time interval, evaluates the incremental
+// energy cost (Eq. 17) of placing the VM on each, and commits it to the
+// server with the minimum increment.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/timeline"
+)
+
+// Allocator places every VM of an instance on a server.
+type Allocator interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Allocate places every VM of the instance. The instance is not
+	// modified. Implementations must be deterministic given their
+	// construction parameters.
+	Allocate(inst model.Instance) (*Result, error)
+}
+
+// Result is a complete placement with its exact energy accounting.
+type Result struct {
+	// Allocator is the name of the algorithm that produced the placement.
+	Allocator string `json:"allocator"`
+	// Placement maps VM ID to server ID.
+	Placement map[int]int `json:"placement"`
+	// Energy is the exact Eq. 7 objective breakdown of the placement.
+	Energy energy.Breakdown `json:"energy"`
+	// ServersUsed is the number of servers hosting at least one VM.
+	ServersUsed int `json:"serversUsed"`
+}
+
+// UnplaceableError reports a VM for which no server had sufficient spare
+// resources throughout its interval.
+type UnplaceableError struct {
+	VM model.VM
+}
+
+func (e *UnplaceableError) Error() string {
+	return fmt.Sprintf("core: vm %d (demand %v, interval [%d,%d]) fits no server",
+		e.VM.ID, e.VM.Demand, e.VM.Start, e.VM.End)
+}
+
+// Fleet is the shared per-server allocation state used by the allocators in
+// this module: resource profiles for feasibility and energy states for cost
+// evaluation.
+type Fleet struct {
+	Servers []model.Server
+	horizon int
+	cpu     []timeline.Profile
+	mem     []timeline.Profile
+	state   []*energy.ServerState
+}
+
+// NewFleet builds the empty allocation state for the instance's servers
+// over its horizon. Per-server resource profiles are allocated lazily on
+// the first commit: at paper scales most servers never host a VM, and the
+// segment trees are the dominant memory cost (O(T) per server).
+func NewFleet(inst model.Instance) *Fleet {
+	f := &Fleet{
+		Servers: inst.Servers,
+		horizon: inst.Horizon,
+		cpu:     make([]timeline.Profile, len(inst.Servers)),
+		mem:     make([]timeline.Profile, len(inst.Servers)),
+		state:   make([]*energy.ServerState, len(inst.Servers)),
+	}
+	for i, s := range inst.Servers {
+		f.state[i] = energy.NewServerState(s)
+	}
+	return f
+}
+
+// ensureProfiles allocates server i's profiles on first use.
+func (f *Fleet) ensureProfiles(i int) {
+	if f.cpu[i] == nil {
+		f.cpu[i] = timeline.NewTreeProfile(f.horizon)
+		f.mem[i] = timeline.NewTreeProfile(f.horizon)
+	}
+}
+
+// Fits reports whether server index i has sufficient spare CPU and memory
+// for v throughout [v.Start, v.End].
+func (f *Fleet) Fits(i int, v model.VM) bool {
+	s := f.Servers[i]
+	if !v.Demand.Fits(s.Capacity) {
+		return false
+	}
+	if f.cpu[i] == nil {
+		return true // empty server: the static capacity check suffices
+	}
+	if f.cpu[i].Max(v.Start, v.End)+v.Demand.CPU > s.Capacity.CPU {
+		return false
+	}
+	return f.mem[i].Max(v.Start, v.End)+v.Demand.Mem <= s.Capacity.Mem
+}
+
+// FitsCPUOnly is Fits with the memory constraint ignored (used by the
+// ablation variant).
+func (f *Fleet) FitsCPUOnly(i int, v model.VM) bool {
+	s := f.Servers[i]
+	if v.Demand.CPU > s.Capacity.CPU {
+		return false
+	}
+	if f.cpu[i] == nil {
+		return true
+	}
+	return f.cpu[i].Max(v.Start, v.End)+v.Demand.CPU <= s.Capacity.CPU
+}
+
+// State returns server index i's energy state.
+func (f *Fleet) State(i int) *energy.ServerState { return f.state[i] }
+
+// SpareCPU returns server index i's minimum spare CPU over the closed
+// interval [start, end].
+func (f *Fleet) SpareCPU(i, start, end int) float64 {
+	if f.cpu[i] == nil {
+		return f.Servers[i].Capacity.CPU
+	}
+	return f.Servers[i].Capacity.CPU - f.cpu[i].Max(start, end)
+}
+
+// SpareMem returns server index i's minimum spare memory over the closed
+// interval [start, end].
+func (f *Fleet) SpareMem(i, start, end int) float64 {
+	if f.mem[i] == nil {
+		return f.Servers[i].Capacity.Mem
+	}
+	return f.Servers[i].Capacity.Mem - f.mem[i].Max(start, end)
+}
+
+// Commit places v on server index i.
+func (f *Fleet) Commit(i int, v model.VM) {
+	f.ensureProfiles(i)
+	f.cpu[i].Add(v.Start, v.End, v.Demand.CPU)
+	f.mem[i].Add(v.Start, v.End, v.Demand.Mem)
+	f.state[i].Add(v)
+}
+
+// ServersUsed returns the number of servers with at least one VM.
+func (f *Fleet) ServersUsed() int {
+	var used int
+	for _, st := range f.state {
+		if st.VMs() > 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// SortVMsByStart returns the instance's VMs ordered by (start time, ID) —
+// the arrival order every allocator in the paper processes.
+func SortVMsByStart(inst model.Instance) []model.VM {
+	vms := make([]model.VM, len(inst.VMs))
+	copy(vms, inst.VMs)
+	sort.Slice(vms, func(a, b int) bool {
+		if vms[a].Start != vms[b].Start {
+			return vms[a].Start < vms[b].Start
+		}
+		return vms[a].ID < vms[b].ID
+	})
+	return vms
+}
+
+// FinishResult assembles a Result: it re-derives the exact objective with
+// the independent evaluator so a bookkeeping bug in an allocator cannot go
+// unnoticed.
+func FinishResult(name string, inst model.Instance, placement map[int]int, used int) (*Result, error) {
+	breakdown, err := energy.EvaluateObjective(inst, placement)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Allocator:   name,
+		Placement:   placement,
+		Energy:      breakdown,
+		ServersUsed: used,
+	}, nil
+}
+
+// MinCost is the paper's heuristic allocator.
+type MinCost struct {
+	transitionAware bool
+	memoryCheck     bool
+}
+
+var _ Allocator = (*MinCost)(nil)
+
+// Option configures a MinCost allocator.
+type Option interface {
+	apply(*MinCost)
+}
+
+type optionFunc func(*MinCost)
+
+func (f optionFunc) apply(m *MinCost) { f(m) }
+
+// WithoutTransitionAwareness makes the allocator ignore transition and idle
+// costs and select servers by run cost W_ij alone. Ablation variant; not in
+// the paper.
+func WithoutTransitionAwareness() Option {
+	return optionFunc(func(m *MinCost) { m.transitionAware = false })
+}
+
+// WithoutMemoryCheck drops the memory feasibility constraint (Eq. 10).
+// Ablation variant; not in the paper — its placements can violate memory
+// capacity and are rejected by the ILP checker, which is the point of the
+// ablation.
+func WithoutMemoryCheck() Option {
+	return optionFunc(func(m *MinCost) { m.memoryCheck = false })
+}
+
+// NewMinCost returns the paper's heuristic allocator.
+func NewMinCost(opts ...Option) *MinCost {
+	m := &MinCost{transitionAware: true, memoryCheck: true}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m
+}
+
+// Name implements Allocator.
+func (m *MinCost) Name() string {
+	switch {
+	case !m.transitionAware:
+		return "MinCost/no-transition"
+	case !m.memoryCheck:
+		return "MinCost/no-memory"
+	default:
+		return "MinCost"
+	}
+}
+
+// Allocate implements Allocator. Ties on incremental cost break toward the
+// lower server index, making the algorithm fully deterministic.
+func (m *MinCost) Allocate(inst model.Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	fleet := NewFleet(inst)
+	placement := make(map[int]int, len(inst.VMs))
+	for _, v := range SortVMsByStart(inst) {
+		best := -1
+		var bestCost float64
+		for i := range fleet.Servers {
+			if m.memoryCheck {
+				if !fleet.Fits(i, v) {
+					continue
+				}
+			} else if !fleet.FitsCPUOnly(i, v) {
+				continue
+			}
+			var inc float64
+			if m.transitionAware {
+				inc = fleet.State(i).IncrementalCost(v)
+			} else {
+				inc = energy.RunCost(fleet.Servers[i], v)
+			}
+			if best < 0 || inc < bestCost {
+				best, bestCost = i, inc
+			}
+		}
+		if best < 0 {
+			return nil, &UnplaceableError{VM: v}
+		}
+		fleet.Commit(best, v)
+		placement[v.ID] = fleet.Servers[best].ID
+	}
+	return FinishResult(m.Name(), inst, placement, fleet.ServersUsed())
+}

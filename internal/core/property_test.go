@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+)
+
+// quickInstance draws a modest feasible-ish instance from a seed.
+func quickInstance(seed int64) model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	types := model.VMTypesByClass(model.ClassStandard)
+	srvTypes := model.ServerTypeCatalog()
+	n := 8 + rng.Intn(12)
+	vms := make([]model.VM, 2+rng.Intn(30))
+	for j := range vms {
+		vt := types[rng.Intn(len(types))]
+		start := 1 + rng.Intn(60)
+		vms[j] = model.VM{
+			ID: j + 1, Type: vt.Name, Demand: vt.Resources(),
+			Start: start, End: start + rng.Intn(40),
+		}
+	}
+	servers := make([]model.Server, n)
+	for i := range servers {
+		servers[i] = srvTypes[rng.Intn(len(srvTypes))].NewServer(i+1, float64(rng.Intn(3)))
+	}
+	return model.NewInstance(vms, servers)
+}
+
+// Property: every placement the heuristic emits is complete, references
+// real servers, and its reported energy equals the independent evaluator's.
+func TestMinCostPlacementProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := quickInstance(seed)
+		res, err := NewMinCost().Allocate(inst)
+		if err != nil {
+			return true // infeasible draw: nothing to check
+		}
+		if len(res.Placement) != len(inst.VMs) {
+			return false
+		}
+		for id, sid := range res.Placement {
+			if _, ok := inst.VMByID(id); !ok {
+				return false
+			}
+			if _, ok := inst.ServerByID(sid); !ok {
+				return false
+			}
+		}
+		want, err := energy.EvaluateObjective(inst, res.Placement)
+		if err != nil {
+			return false
+		}
+		diff := res.Energy.Total() - want.Total()
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the heuristic's energy never exceeds the per-VM-worst-case
+// upper bound Σ_j max_i(W_ij + α_i + PIdle_i·dur_j) — each VM can always
+// be charged at most one activation, its own idle window and its run cost.
+func TestMinCostUpperBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := quickInstance(seed)
+		res, err := NewMinCost().Allocate(inst)
+		if err != nil {
+			return true
+		}
+		var bound float64
+		for _, v := range inst.VMs {
+			worst := 0.0
+			for _, s := range inst.Servers {
+				if !v.Demand.Fits(s.Capacity) {
+					continue
+				}
+				c := energy.RunCost(s, v) + s.TransitionCost() + s.PIdle*float64(v.Duration())
+				if c > worst {
+					worst = c
+				}
+			}
+			bound += worst
+		}
+		return res.Energy.Total() <= bound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding servers to the fleet never makes the heuristic's
+// placement worse (more options can only help a greedy min).
+//
+// NOTE: this is NOT a theorem for greedy algorithms in general — an extra
+// server can lure an early VM away and degrade later choices — but it is
+// overwhelmingly true at this scale; tolerate rare small regressions.
+func TestMinCostMoreServersRarelyHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	worse := 0
+	trials := 0
+	for trials < 20 {
+		inst := quickInstance(rng.Int63())
+		small := inst
+		res1, err1 := NewMinCost().Allocate(small)
+		// Double the fleet.
+		bigServers := make([]model.Server, 0, 2*len(inst.Servers))
+		bigServers = append(bigServers, inst.Servers...)
+		for i, s := range inst.Servers {
+			s.ID = 1000 + i
+			bigServers = append(bigServers, s)
+		}
+		big := model.NewInstance(inst.VMs, bigServers)
+		res2, err2 := NewMinCost().Allocate(big)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		trials++
+		if res2.Energy.Total() > res1.Energy.Total()*1.02+1e-6 {
+			worse++
+		}
+	}
+	if worse > 2 {
+		t.Errorf("doubling the fleet hurt noticeably in %d/20 trials", worse)
+	}
+}
+
+// Property: scaling every power parameter by a constant scales the total
+// energy by the same constant (the objective is homogeneous of degree 1
+// in power).
+func TestEnergyHomogeneity(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := quickInstance(seed)
+		res, err := NewMinCost().Allocate(inst)
+		if err != nil {
+			return true
+		}
+		const k = 2.5
+		scaled := inst
+		scaled.Servers = make([]model.Server, len(inst.Servers))
+		copy(scaled.Servers, inst.Servers)
+		for i := range scaled.Servers {
+			scaled.Servers[i].PIdle *= k
+			scaled.Servers[i].PPeak *= k
+		}
+		want, err := energy.EvaluateObjective(scaled, res.Placement)
+		if err != nil {
+			return false
+		}
+		got := res.Energy.Total() * k
+		diff := want.Total() - got
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*(1+got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+func benchVMs(n int) []model.VM {
+	rng := rand.New(rand.NewSource(1))
+	vms := make([]model.VM, n)
+	for j := range vms {
+		start := 1 + rng.Intn(500)
+		vms[j] = model.VM{
+			ID:     j + 1,
+			Demand: model.Resources{CPU: 1 + float64(rng.Intn(4)), Mem: 1},
+			Start:  start,
+			End:    start + rng.Intn(50),
+		}
+	}
+	return vms
+}
+
+// BenchmarkIncrementalCost measures the heuristic's inner-loop operation.
+func BenchmarkIncrementalCost(b *testing.B) {
+	s := model.Server{
+		ID: 1, Capacity: model.Resources{CPU: 1000, Mem: 1000},
+		PIdle: 100, PPeak: 220, TransitionTime: 1,
+	}
+	st := NewServerState(s)
+	vms := benchVMs(64)
+	for _, v := range vms[:32] {
+		st.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.IncrementalCost(vms[32+i%32])
+	}
+}
+
+// BenchmarkEvaluateServer measures the ground-truth per-server evaluator.
+func BenchmarkEvaluateServer(b *testing.B) {
+	s := model.Server{
+		ID: 1, Capacity: model.Resources{CPU: 1000, Mem: 1000},
+		PIdle: 100, PPeak: 220, TransitionTime: 1,
+	}
+	vms := benchVMs(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EvaluateServer(s, vms)
+	}
+}
+
+// BenchmarkCurveEvaluate measures the nonlinear minute-integrator on a
+// 100-VM placement.
+func BenchmarkCurveEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	servers := make([]model.Server, 20)
+	for i := range servers {
+		servers[i] = model.Server{
+			ID: i + 1, Capacity: model.Resources{CPU: 40, Mem: 64},
+			PIdle: 100, PPeak: 250, TransitionTime: 1,
+		}
+	}
+	vms := benchVMs(100)
+	placement := make(map[int]int, len(vms))
+	for _, v := range vms {
+		placement[v.ID] = 1 + rng.Intn(20)
+	}
+	inst := model.NewInstance(vms, servers)
+	c := Curve{IdleScale: 0.5, Exponent: 1.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CurveEvaluate(inst, placement, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package energy implements the paper's energy cost model: the affine
+// server power function (Eq. 1–3), the per-server cost over busy and idle
+// segments (Eq. 15–17), the derivation of the optimal activity schedule
+// from a placement, and an independent evaluator of the ILP objective
+// (Eq. 7–8) used to cross-check every allocator.
+//
+// All energies are in watt-minutes.
+package energy
+
+import (
+	"fmt"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/timeline"
+)
+
+// RunCost returns W_ij (paper Eq. 3): the energy consumed by running VM v
+// on server s over v's whole duration, above the server's idle draw.
+func RunCost(s model.Server, v model.VM) float64 {
+	return s.UnitCPUPower() * v.Demand.CPU * float64(v.Duration())
+}
+
+// SegmentCost returns the activity cost of a server whose busy time is
+// exactly the given segment set (Eq. 15 idle-power term + Eq. 16 gap term +
+// the initial power-saving→active transition). It excludes the VM run
+// costs W_ij, which SegmentCost's callers account separately.
+//
+// For each interior idle gap of length g the server either stays active
+// (PIdle·g) or switches off and back on (α); the cheaper option is charged
+// (Eq. 16). A non-empty set is additionally charged one α for the first
+// switch-on mandated by y_{i,0}=0 (Eq. 6); switching off after the last
+// busy segment is free.
+func SegmentCost(s model.Server, busy *timeline.SegmentSet) float64 {
+	if busy.Len() == 0 {
+		return 0
+	}
+	alpha := s.TransitionCost()
+	cost := alpha + s.PIdle*float64(busy.Total())
+	for _, gap := range busy.Gaps() {
+		gapCost := s.PIdle * float64(gap.Len())
+		if alpha < gapCost {
+			gapCost = alpha
+		}
+		cost += gapCost
+	}
+	return cost
+}
+
+// ServerState tracks one server's allocation state incrementally: the set
+// of busy segments and the accumulated run cost. It supports O(#segments)
+// evaluation of the incremental cost of a candidate VM, which is the inner
+// loop of the paper's heuristic.
+type ServerState struct {
+	server  model.Server
+	busy    timeline.SegmentSet
+	runCost float64
+	vms     int
+}
+
+// NewServerState returns the state of an empty (power-saving) server.
+func NewServerState(s model.Server) *ServerState {
+	return &ServerState{server: s}
+}
+
+// Server returns the underlying server.
+func (st *ServerState) Server() model.Server { return st.server }
+
+// VMs returns the number of VMs placed on the server.
+func (st *ServerState) VMs() int { return st.vms }
+
+// Busy returns a copy of the server's busy segments.
+func (st *ServerState) Busy() []timeline.Interval { return st.busy.Segments() }
+
+// Cost returns the server's total energy cost (Eq. 17): run costs plus
+// SegmentCost of its busy set.
+func (st *ServerState) Cost() float64 {
+	return st.runCost + SegmentCost(st.server, &st.busy)
+}
+
+// CostWith returns the server's total cost if v were added (the server
+// state is not modified).
+func (st *ServerState) CostWith(v model.VM) float64 {
+	preview := st.busy.Clone()
+	preview.Insert(timeline.Interval{Start: v.Start, End: v.End})
+	return st.runCost + RunCost(st.server, v) + SegmentCost(st.server, preview)
+}
+
+// IncrementalCost returns CostWith(v) − Cost(): the heuristic's selection
+// key. It is always ≥ RunCost (adding a VM never cheapens a server).
+func (st *ServerState) IncrementalCost(v model.VM) float64 {
+	return st.CostWith(v) - st.Cost()
+}
+
+// Clone returns an independent copy of the state, useful for lookahead
+// previews.
+func (st *ServerState) Clone() *ServerState {
+	c := &ServerState{
+		server:  st.server,
+		busy:    *st.busy.Clone(),
+		runCost: st.runCost,
+		vms:     st.vms,
+	}
+	return c
+}
+
+// Add commits v to the server.
+func (st *ServerState) Add(v model.VM) {
+	st.busy.Insert(timeline.Interval{Start: v.Start, End: v.End})
+	st.runCost += RunCost(st.server, v)
+	st.vms++
+}
+
+// ActiveIntervals returns the optimal activity schedule implied by the
+// busy set: the maximal intervals during which the server should be in the
+// active state. Interior gaps where α ≥ PIdle·g are bridged (the server
+// stays active through them); other gaps switch the server off.
+func ActiveIntervals(s model.Server, busy *timeline.SegmentSet) []timeline.Interval {
+	segs := busy.Segments()
+	if len(segs) == 0 {
+		return nil
+	}
+	alpha := s.TransitionCost()
+	active := make([]timeline.Interval, 0, len(segs))
+	cur := segs[0]
+	for _, seg := range segs[1:] {
+		gapLen := float64(seg.Start - cur.End - 1)
+		if alpha >= s.PIdle*gapLen {
+			// Cheaper (or equal) to stay active through the gap.
+			cur.End = seg.End
+		} else {
+			active = append(active, cur)
+			cur = seg
+		}
+	}
+	return append(active, cur)
+}
+
+// Breakdown decomposes a total energy cost into the paper's three
+// components (§II): VM run cost, active idle cost, and transition cost.
+type Breakdown struct {
+	Run        float64 `json:"runWattMinutes"`
+	Idle       float64 `json:"idleWattMinutes"`
+	Transition float64 `json:"transitionWattMinutes"`
+}
+
+// Total returns the objective value (Eq. 8).
+func (b Breakdown) Total() float64 { return b.Run + b.Idle + b.Transition }
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Run:        b.Run + o.Run,
+		Idle:       b.Idle + o.Idle,
+		Transition: b.Transition + o.Transition,
+	}
+}
+
+// EvaluateServer computes the exact Eq. 7 cost of one server hosting the
+// given VMs, by deriving the optimal activity schedule and accounting each
+// component separately. It is independent of ServerState (no incremental
+// bookkeeping) and serves as the ground-truth evaluator.
+func EvaluateServer(s model.Server, vms []model.VM) Breakdown {
+	var b Breakdown
+	var busy timeline.SegmentSet
+	for _, v := range vms {
+		b.Run += RunCost(s, v)
+		busy.Insert(timeline.Interval{Start: v.Start, End: v.End})
+	}
+	active := ActiveIntervals(s, &busy)
+	for _, iv := range active {
+		b.Idle += s.PIdle * float64(iv.Len())
+	}
+	b.Transition = s.TransitionCost() * float64(len(active))
+	return b
+}
+
+// EvaluateObjective computes the exact Eq. 7/8 objective of a placement
+// (a map from VM ID to server ID). Every VM must be placed on an existing
+// server; otherwise an error is returned. It does not check capacity
+// constraints — that is the ILP checker's job (package ilp).
+func EvaluateObjective(inst model.Instance, placement map[int]int) (Breakdown, error) {
+	byServer := make(map[int][]model.VM, len(inst.Servers))
+	for _, v := range inst.VMs {
+		sid, ok := placement[v.ID]
+		if !ok {
+			return Breakdown{}, fmt.Errorf("energy: vm %d is unplaced", v.ID)
+		}
+		byServer[sid] = append(byServer[sid], v)
+	}
+	var total Breakdown
+	for sid, vms := range byServer {
+		srv, ok := inst.ServerByID(sid)
+		if !ok {
+			return Breakdown{}, fmt.Errorf("energy: placement references unknown server %d", sid)
+		}
+		total = total.Add(EvaluateServer(srv, vms))
+	}
+	return total, nil
+}

@@ -1,0 +1,189 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+func TestCurveValidate(t *testing.T) {
+	good := []Curve{AffineCurve(), ProportionalCurve(1), {IdleScale: 0.5, Exponent: 2}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", c, err)
+		}
+	}
+	bad := []Curve{
+		{IdleScale: -0.1, Exponent: 1},
+		{IdleScale: 1.1, Exponent: 1},
+		{IdleScale: 0, Exponent: 0},
+		{IdleScale: 0, Exponent: -1},
+		{IdleScale: math.NaN(), Exponent: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestCurvePowerEndpoints(t *testing.T) {
+	s := testServer() // PIdle 100, PPeak 200
+	for _, c := range []Curve{AffineCurve(), ProportionalCurve(0.5), {IdleScale: 1, Exponent: 1.4}} {
+		if got := c.Power(s, 1); math.Abs(got-200) > 1e-9 {
+			t.Errorf("%+v: P(1) = %g, want 200 (peak preserved)", c, got)
+		}
+		wantIdle := 100 * (1 - c.IdleScale)
+		if got := c.Power(s, 0); math.Abs(got-wantIdle) > 1e-9 {
+			t.Errorf("%+v: P(0) = %g, want %g", c, got, wantIdle)
+		}
+		if got := c.Power(s, 2); math.Abs(got-200) > 1e-9 {
+			t.Errorf("%+v: P(>1) = %g, want clamp to 200", c, got)
+		}
+	}
+	// Affine midpoint.
+	if got := AffineCurve().Power(s, 0.5); math.Abs(got-150) > 1e-9 {
+		t.Errorf("affine P(0.5) = %g, want 150", got)
+	}
+}
+
+// TestCurveEvaluateMatchesAffine: under the identity curve the integrator
+// must agree with the closed-form evaluator on random placements.
+func TestCurveEvaluateMatchesAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		nSrv := 2 + rng.Intn(4)
+		servers := make([]model.Server, nSrv)
+		for i := range servers {
+			servers[i] = model.Server{
+				ID:             i + 1,
+				Capacity:       model.Resources{CPU: 10 + float64(rng.Intn(20)), Mem: 100},
+				PIdle:          50 + float64(rng.Intn(100)),
+				TransitionTime: float64(rng.Intn(4)),
+			}
+			servers[i].PPeak = servers[i].PIdle * (1.9 + rng.Float64())
+		}
+		nVM := 1 + rng.Intn(15)
+		vms := make([]model.VM, nVM)
+		placement := make(map[int]int, nVM)
+		for j := range vms {
+			start := 1 + rng.Intn(100)
+			vms[j] = model.VM{
+				ID:     j + 1,
+				Demand: model.Resources{CPU: 1 + float64(rng.Intn(5)), Mem: 1},
+				Start:  start,
+				End:    start + rng.Intn(30),
+			}
+			placement[j+1] = servers[rng.Intn(nSrv)].ID
+		}
+		inst := model.NewInstance(vms, servers)
+		want, err := EvaluateObjective(inst, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CurveEvaluate(inst, placement, AffineCurve())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Total()-want.Total()) > 1e-6*(1+want.Total()) {
+			t.Fatalf("trial %d: curve %g != affine %g", trial, got.Total(), want.Total())
+		}
+		if math.Abs(got.Idle-want.Idle) > 1e-6*(1+want.Idle) {
+			t.Fatalf("trial %d: idle %g != %g", trial, got.Idle, want.Idle)
+		}
+	}
+}
+
+// TestProportionalityShrinksConsolidationGap: with a perfectly
+// proportional fleet (no idle power) the gap between a consolidated and a
+// spread placement shrinks to the transition-cost difference.
+func TestProportionalityShrinksConsolidationGap(t *testing.T) {
+	srvA := testServer()
+	srvB := testServer()
+	srvB.ID = 2
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 60, 2), vm(2, 1, 60, 2)},
+		[]model.Server{srvA, srvB},
+	)
+	together := map[int]int{1: 1, 2: 1}
+	spread := map[int]int{1: 1, 2: 2}
+
+	gap := func(c Curve) float64 {
+		a, err := CurveEvaluate(inst, together, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CurveEvaluate(inst, spread, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total() - a.Total()
+	}
+	affineGap := gap(AffineCurve())
+	propGap := gap(ProportionalCurve(1))
+	if affineGap <= 0 {
+		t.Fatalf("affine gap %g not positive", affineGap)
+	}
+	if propGap >= affineGap {
+		t.Errorf("proportional gap %g not below affine gap %g", propGap, affineGap)
+	}
+	// With β=1 the only remaining penalty for spreading is the second α
+	// (idle power is zero; the load term is linear and additive)...
+	wantProp := srvB.TransitionCost()
+	if math.Abs(propGap-wantProp) > 1e-6 {
+		t.Errorf("proportional gap = %g, want α = %g", propGap, wantProp)
+	}
+}
+
+// TestConvexExponentPenalisesPacking: with γ>1, running two VMs on one
+// server at double utilisation costs more load power than spreading them,
+// so the consolidation gap shrinks relative to affine.
+func TestConvexExponent(t *testing.T) {
+	srvA := testServer()
+	srvB := testServer()
+	srvB.ID = 2
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 60, 4), vm(2, 1, 60, 4)},
+		[]model.Server{srvA, srvB},
+	)
+	together := map[int]int{1: 1, 2: 1}
+	affine, err := CurveEvaluate(inst, together, AffineCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	convex, err := CurveEvaluate(inst, together, Curve{IdleScale: 0, Exponent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u = 0.8: u² = 0.64 < 0.8 → convex costs LESS below u=1... the
+	// γ>1 curve is below the line for u<1, so packing at u=0.8 is cheaper.
+	if convex.Run >= affine.Run {
+		t.Errorf("γ=2 run power %g not below affine %g at u<1", convex.Run, affine.Run)
+	}
+	// Concave γ<1 lies above the line: low utilisation costs nearly peak.
+	concave, err := CurveEvaluate(inst, together, Curve{IdleScale: 0, Exponent: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concave.Run <= affine.Run {
+		t.Errorf("γ=0.5 run power %g not above affine %g", concave.Run, affine.Run)
+	}
+}
+
+func TestCurveEvaluateErrors(t *testing.T) {
+	inst := model.NewInstance(
+		[]model.VM{vm(1, 1, 5, 1)},
+		[]model.Server{testServer()},
+	)
+	if _, err := CurveEvaluate(inst, map[int]int{}, AffineCurve()); err == nil {
+		t.Error("unplaced VM accepted")
+	}
+	if _, err := CurveEvaluate(inst, map[int]int{1: 9}, AffineCurve()); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if _, err := CurveEvaluate(inst, map[int]int{1: 1}, Curve{Exponent: -1}); err == nil {
+		t.Error("bad curve accepted")
+	}
+}

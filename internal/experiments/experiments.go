@@ -1,0 +1,198 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV). Each experiment is a registered, self-describing unit
+// that runs the required simulation campaigns and emits the same
+// rows/series the paper reports, plus the curve fits (with adjusted R²)
+// shown in the figure legends.
+//
+// Run all of them with `go run ./cmd/vmsim -exp all`, or a single one with
+// `-exp fig2`. Pass Options.Quick for a scaled-down sweep (used by the
+// benchmarks and smoke tests).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"vmalloc/internal/report"
+)
+
+// Paper parameter defaults, as reconstructed in DESIGN.md.
+const (
+	// DefaultMeanLength is the mean VM length in minutes (§IV-C).
+	DefaultMeanLength = 50.0
+	// DefaultTransition is the server transition time in minutes (§IV-C).
+	DefaultTransition = 1.0
+	// DefaultSeeds is the number of random runs each data point averages
+	// ("Each simulation result is averaged over 5 random runs").
+	DefaultSeeds = 5
+)
+
+// InterArrivals returns the §IV-B sweep of mean inter-arrival times
+// (minutes): "from 0.5 to 10".
+func InterArrivals() []float64 { return []float64{0.5, 1, 2, 4, 6, 8, 10} }
+
+// VMCounts returns the §IV-C sweep of workload sizes: "from 100 to 500",
+// with the number of servers set to half the VMs.
+func VMCounts() []int { return []int{100, 200, 300, 400, 500} }
+
+// Options configures an experiment run.
+type Options struct {
+	// Seeds is the number of random runs per data point; 0 means
+	// DefaultSeeds.
+	Seeds int
+	// Quick shrinks every sweep (fewer points, fewer seeds, smaller
+	// workloads) for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 2
+	}
+	return DefaultSeeds
+}
+
+func (o Options) interArrivals() []float64 {
+	if o.Quick {
+		return []float64{1, 4, 10}
+	}
+	return InterArrivals()
+}
+
+func (o Options) vmCounts() []int {
+	if o.Quick {
+		return []int{100}
+	}
+	return VMCounts()
+}
+
+// Table is one emitted result table: a header row plus data rows, with a
+// caption tying it back to the paper.
+type Table struct {
+	Name    string     `json:"name"`
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	// Notes carry fit equations, skip counts and other annotations.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "── %s ──\n%s\n", t.Name, t.Caption)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  · %s\n", n)
+	}
+	sb.WriteString("\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// CSV renders the table as RFC-4180-ish CSV (fields never contain commas
+// or quotes in this module).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Header, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Result is everything an experiment produces.
+type Result struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Tables []Table        `json:"tables"`
+	Charts []report.Chart `json:"charts,omitempty"`
+}
+
+// WriteTo renders all tables as text.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "═══ %s — %s ═══\n\n", r.ID, r.Title)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i := range r.Tables {
+		m, err := r.Tables[i].WriteTo(w)
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Experiment reproduces one paper table or figure.
+type Experiment interface {
+	// ID is the registry key, e.g. "fig2".
+	ID() string
+	// Title summarises what the experiment reproduces.
+	Title() string
+	// Run executes the experiment.
+	Run(ctx context.Context, opts Options) (*Result, error)
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		&Table1{},
+		&Table2{},
+		&Fig2{},
+		&Fig3{},
+		&Fig4{},
+		&Fig5{},
+		&Fig6{},
+		&Fig7{},
+		&Fig8{},
+		&Fig9{},
+		&OptGap{},
+		&Ablation{},
+		&Online{},
+		&Consolidation{},
+		&Sensitivity{},
+		&Scaling{},
+		&Proportionality{},
+		&Diurnal{},
+		&LocalSearch{},
+	}
+}
+
+// ByID looks an experiment up; the id "all" is not resolved here.
+func ByID(id string) (Experiment, error) {
+	ids := make([]string, 0, 16)
+	for _, e := range All() {
+		if e.ID() == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID())
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(ids, ", "))
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func num(x float64) string { return fmt.Sprintf("%g", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func itoa(x int) string    { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	wantIDs := []string{
+		"table1", "table2", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "optgap", "ablation",
+		"online", "consolidation", "sensitivity", "scaling", "proportionality", "diurnal",
+		"localsearch",
+	}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+	for i, e := range all {
+		if e.ID() != wantIDs[i] {
+			t.Errorf("experiment %d has ID %q, want %q", i, e.ID(), wantIDs[i])
+		}
+		if e.Title() == "" {
+			t.Errorf("experiment %q has empty title", e.ID())
+		}
+		got, err := ByID(e.ID())
+		if err != nil || got.ID() != e.ID() {
+			t.Errorf("ByID(%q) = %v, %v", e.ID(), got, err)
+		}
+	}
+	if _, err := ByID("nonexistent"); err == nil {
+		t.Error("ByID of unknown id must error")
+	}
+}
+
+func TestTablesRun(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background(), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) != 1 {
+			t.Fatalf("%s: %d tables", id, len(res.Tables))
+		}
+		tab := res.Tables[0]
+		wantRows := 9
+		if id == "table2" {
+			wantRows = 5
+		}
+		if len(tab.Rows) != wantRows {
+			t.Errorf("%s: %d rows, want %d", id, len(tab.Rows), wantRows)
+		}
+		var sb strings.Builder
+		if _, err := res.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), tab.Name) {
+			t.Errorf("%s: rendered output missing table name", id)
+		}
+		if csv := tab.CSV(); !strings.HasPrefix(csv, strings.Join(tab.Header, ",")) {
+			t.Errorf("%s: CSV missing header", id)
+		}
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode and
+// checks structural invariants of the outputs.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still runs full simulations")
+	}
+	ctx := context.Background()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID(), func(t *testing.T) {
+			res, err := e.Run(ctx, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.ID != e.ID() {
+				t.Errorf("result ID %q != %q", res.ID, e.ID())
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+					t.Fatalf("table %q empty", tab.Name)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %q: row width %d != header width %d",
+							tab.Name, len(row), len(tab.Header))
+					}
+				}
+			}
+			var sb strings.Builder
+			if _, err := res.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.Len() == 0 {
+				t.Error("empty rendering")
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if got := (Options{}).seeds(); got != DefaultSeeds {
+		t.Errorf("default seeds = %d", got)
+	}
+	if got := (Options{Quick: true}).seeds(); got != 2 {
+		t.Errorf("quick seeds = %d", got)
+	}
+	if got := (Options{Seeds: 9}).seeds(); got != 9 {
+		t.Errorf("explicit seeds = %d", got)
+	}
+	if got := len((Options{Quick: true}).interArrivals()); got != 3 {
+		t.Errorf("quick inter-arrivals = %d", got)
+	}
+	if got := len((Options{}).vmCounts()); got != 5 {
+		t.Errorf("full vm counts = %d", got)
+	}
+}

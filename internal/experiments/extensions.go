@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"vmalloc/internal/baseline"
+	"vmalloc/internal/core"
+	"vmalloc/internal/ilp"
+	"vmalloc/internal/model"
+	"vmalloc/internal/sim"
+	"vmalloc/internal/stats"
+	"vmalloc/internal/workload"
+)
+
+// OptGap is an extension experiment (not in the paper): on small random
+// instances it compares the heuristic against the exact branch-and-bound
+// optimum of the paper's ILP (Eq. 8–14) and against the LP-relaxation
+// lower bound.
+type OptGap struct{}
+
+// ID implements Experiment.
+func (*OptGap) ID() string { return "optgap" }
+
+// Title implements Experiment.
+func (*OptGap) Title() string {
+	return "Extension — heuristic optimality gap vs exact ILP on small instances"
+}
+
+// Run implements Experiment.
+func (e *OptGap) Run(ctx context.Context, opts Options) (*Result, error) {
+	trials := 20
+	if opts.Quick {
+		trials = 5
+	}
+	t := Table{
+		Name:    "Optimality gap",
+		Caption: "MinCost and FFPS vs branch-and-bound optimum (6 VMs, 3 servers per trial)",
+		Header: []string{
+			"trial", "optimum (Wmin)", "LP bound (Wmin)",
+			"MinCost gap", "FFPS gap", "B&B nodes",
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	var gaps, ffpsGaps []float64
+	for trial := 1; trial <= trials; trial++ {
+		inst, err := smallFeasibleInstance(rng)
+		if err != nil {
+			return nil, err
+		}
+		placement, opt, st, err := (&ilp.BranchAndBound{}).Solve(ctx, inst)
+		if err != nil {
+			return nil, fmt.Errorf("optgap trial %d: %w", trial, err)
+		}
+		if err := ilp.CheckPlacement(inst, placement); err != nil {
+			return nil, fmt.Errorf("optgap trial %d: optimum infeasible: %w", trial, err)
+		}
+		mdl, err := ilp.BuildModel(inst)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := mdl.LowerBound()
+		if err != nil {
+			return nil, fmt.Errorf("optgap trial %d: %w", trial, err)
+		}
+		heur, err := core.NewMinCost().Allocate(inst)
+		if err != nil {
+			return nil, err
+		}
+		ffps, err := baseline.NewFFPS(int64(trial)).Allocate(inst)
+		if err != nil {
+			return nil, err
+		}
+		gap := heur.Energy.Total()/opt - 1
+		fgap := ffps.Energy.Total()/opt - 1
+		gaps = append(gaps, gap)
+		ffpsGaps = append(ffpsGaps, fgap)
+		t.Rows = append(t.Rows, []string{
+			itoa(trial), f2(opt), f2(bound), pct(gap), pct(fgap), itoa(st.Nodes),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean MinCost gap %s (max %s); mean FFPS gap %s",
+			pct(stats.Mean(gaps)), pct(maxOf(gaps)), pct(stats.Mean(ffpsGaps))))
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}}, nil
+}
+
+// smallFeasibleInstance draws 6 standard VMs on 3 servers, retrying until
+// the heuristic can place it (so optimum and heuristic are comparable).
+func smallFeasibleInstance(rng *rand.Rand) (model.Instance, error) {
+	types := model.VMTypesByClass(model.ClassStandard)
+	srvTypes := model.ServerTypeCatalog()[:3]
+	for attempt := 0; attempt < 100; attempt++ {
+		vms := make([]model.VM, 6)
+		for j := range vms {
+			vt := types[rng.Intn(len(types))]
+			start := 1 + rng.Intn(20)
+			vms[j] = model.VM{
+				ID: j + 1, Type: vt.Name, Demand: vt.Resources(),
+				Start: start, End: start + 1 + rng.Intn(15),
+			}
+		}
+		servers := make([]model.Server, 3)
+		for i := range servers {
+			servers[i] = srvTypes[i].NewServer(i+1, 1)
+		}
+		inst := model.NewInstance(vms, servers)
+		if _, err := core.NewMinCost().Allocate(inst); err == nil {
+			return inst, nil
+		}
+	}
+	return model.Instance{}, fmt.Errorf("experiments: no feasible small instance after 100 draws")
+}
+
+func maxOf(xs []float64) float64 {
+	mx := 0.0
+	for i, x := range xs {
+		if i == 0 || x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// Ablation is an extension experiment (not in the paper): it isolates the
+// contribution of each design choice of the heuristic by comparing it to
+// degraded variants and to the extra bin-packing baselines.
+type Ablation struct{}
+
+// ID implements Experiment.
+func (*Ablation) ID() string { return "ablation" }
+
+// Title implements Experiment.
+func (*Ablation) Title() string {
+	return "Extension — ablation of the heuristic's design choices"
+}
+
+// Run implements Experiment.
+func (e *Ablation) Run(ctx context.Context, opts Options) (*Result, error) {
+	ias := []float64{1, 4, 10}
+	t := Table{
+		Name:    "Ablation",
+		Caption: "total energy (kWmin) by allocator, 100 VMs / 50 servers, all types",
+		Header: []string{
+			"inter-arrival (min)", "MinCost", "MinCost/lookahead", "MinCost/no-transition",
+			"FFPS", "FirstFit/efficiency", "BestFit/cpu", "RandomFit",
+			"MinBusyTime", "VectorFit", "WorstFit",
+		},
+	}
+	for _, ia := range ias {
+		cfg := sim.Config{
+			Workload: workload.Spec{
+				NumVMs: 100, MeanInterArrival: ia, MeanLength: DefaultMeanLength,
+			},
+			Fleet: workload.FleetSpec{
+				NumServers: 50, TransitionTime: DefaultTransition,
+			},
+			Seeds:          sim.Seeds(opts.seeds()),
+			SkipInfeasible: true,
+		}
+		runner := sim.NewRunner()
+		runner.Extra = []func(int64) core.Allocator{
+			func(int64) core.Allocator { return core.NewLookahead() },
+			func(int64) core.Allocator { return core.NewMinCost(core.WithoutTransitionAwareness()) },
+			func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByEfficiency) },
+			func(int64) core.Allocator { return baseline.NewBestFitCPU() },
+			func(seed int64) core.Allocator { return baseline.NewRandomFit(seed) },
+			func(int64) core.Allocator { return baseline.NewMinBusyTime() },
+			func(int64) core.Allocator { return baseline.NewVectorFit() },
+			func(int64) core.Allocator { return baseline.NewWorstFit() },
+		}
+		sum, err := runner.Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation ia=%g: %w", ia, err)
+		}
+		row := []string{num(ia), kwm(avgEnergy(sum, pickOurs))}
+		row = append(row, kwm(avgEnergy(sum, pickExtra(0)))) // lookahead
+		row = append(row, kwm(avgEnergy(sum, pickExtra(1)))) // no-transition
+		row = append(row, kwm(avgEnergy(sum, pickFFPS)))
+		for k := 2; k < 8; k++ {
+			row = append(row, kwm(avgEnergy(sum, pickExtra(k))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"MinCost/no-transition selects by run cost W_ij only; the gap to MinCost is the value of idle/transition awareness",
+		"MinCost/lookahead adds one-step lookahead (O(n²)); its gap to MinCost measures the greedy rule's myopia",
+		"MinBusyTime/VectorFit/WorstFit are related-work objectives: busy-time minimisation, vector packing, load spreading")
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}}, nil
+}
+
+func pickOurs(o sim.SeedOutcome) float64 { return o.Ours.Energy }
+func pickFFPS(o sim.SeedOutcome) float64 { return o.FFPS.Energy }
+func pickExtra(i int) func(sim.SeedOutcome) float64 {
+	return func(o sim.SeedOutcome) float64 { return o.Extra[i].Energy }
+}
+
+func avgEnergy(sum *sim.Summary, pick func(sim.SeedOutcome) float64) float64 {
+	var total float64
+	for _, o := range sum.Runs {
+		total += pick(o)
+	}
+	return total / float64(len(sum.Runs))
+}
+
+func kwm(wattMinutes float64) string {
+	return fmt.Sprintf("%.1f", wattMinutes/1000)
+}

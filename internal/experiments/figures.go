@@ -1,0 +1,551 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/report"
+	"vmalloc/internal/sim"
+	"vmalloc/internal/stats"
+	"vmalloc/internal/workload"
+)
+
+// campaign describes one simulation sweep point and runs it.
+type campaign struct {
+	vms         int
+	servers     int
+	interArr    float64
+	meanLength  float64
+	transition  float64
+	classes     []model.VMClass
+	serverTypes []string
+}
+
+func (c campaign) run(ctx context.Context, opts Options) (*sim.Summary, error) {
+	cfg := sim.Config{
+		Workload: workload.Spec{
+			NumVMs:           c.vms,
+			MeanInterArrival: c.interArr,
+			MeanLength:       c.meanLength,
+			Classes:          c.classes,
+		},
+		Fleet: workload.FleetSpec{
+			NumServers:     c.servers,
+			TransitionTime: c.transition,
+			Types:          c.serverTypes,
+		},
+		Seeds:          sim.Seeds(opts.seeds()),
+		SkipInfeasible: true,
+	}
+	return sim.NewRunner().Run(ctx, cfg)
+}
+
+// fitNote formats a per-series fit annotation like the paper's legends.
+func fitNote(series string, xs, ys []float64, kind stats.FitKind) string {
+	var (
+		fit stats.Fit
+		err error
+	)
+	switch kind {
+	case stats.Logarithmic:
+		fit, err = stats.LogFit(xs, ys)
+	case stats.Exponential:
+		fit, err = stats.ExpFit(xs, ys)
+	default:
+		fit, err = stats.LinearFit(xs, ys)
+	}
+	if err != nil {
+		return fmt.Sprintf("%s: fit unavailable (%v)", series, err)
+	}
+	return fmt.Sprintf("%s fit of %s: %s", fit.Kind, series, fit)
+}
+
+// Fig2 reproduces paper Fig. 2: energy reduction ratio vs mean
+// inter-arrival time for 100–500 VMs (all VM and server types, servers =
+// VMs/2), with linear fits.
+type Fig2 struct{}
+
+// ID implements Experiment.
+func (*Fig2) ID() string { return "fig2" }
+
+// Title implements Experiment.
+func (*Fig2) Title() string {
+	return "Fig. 2 — energy reduction ratio vs mean inter-arrival time (all VM/server types)"
+}
+
+// Run implements Experiment.
+func (e *Fig2) Run(ctx context.Context, opts Options) (*Result, error) {
+	counts := opts.vmCounts()
+	ias := opts.interArrivals()
+	t := Table{
+		Name:    "Fig. 2",
+		Caption: "energy reduction ratio vs mean inter-arrival time (minutes)",
+		Header:  []string{"inter-arrival (min)"},
+	}
+	for _, m := range counts {
+		t.Header = append(t.Header, fmt.Sprintf("%d VMs", m))
+	}
+	cells := make(map[int]map[float64]float64, len(counts))
+	skipped := 0
+	for _, m := range counts {
+		cells[m] = make(map[float64]float64, len(ias))
+		for _, ia := range ias {
+			sum, err := campaign{
+				vms: m, servers: m / 2, interArr: ia,
+				meanLength: DefaultMeanLength, transition: DefaultTransition,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 m=%d ia=%g: %w", m, ia, err)
+			}
+			cells[m][ia] = sum.MeanReductionRatio
+			skipped += sum.Skipped
+		}
+	}
+	for _, ia := range ias {
+		row := []string{num(ia)}
+		for _, m := range counts {
+			row = append(row, pct(cells[m][ia]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, m := range counts {
+		ys := make([]float64, len(ias))
+		for i, ia := range ias {
+			ys[i] = cells[m][ia]
+		}
+		t.Notes = append(t.Notes, fitNote(fmt.Sprintf("%d VMs", m), ias, ys, stats.Linear))
+	}
+	if skipped > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d infeasible seed(s) skipped", skipped))
+	}
+	chart := report.Chart{
+		Title:    "Fig. 2 — energy reduction ratio vs mean inter-arrival time",
+		XLabel:   "mean inter-arrival time (min)",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, m := range counts {
+		ys := make([]float64, len(ias))
+		for i, ia := range ias {
+			ys[i] = cells[m][ia]
+		}
+		chart.Series = append(chart.Series, report.Series{
+			Name: fmt.Sprintf("%d VMs", m), X: ias, Y: ys,
+		})
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// Fig3 reproduces paper Fig. 3: average CPU and memory utilisation of
+// servers with 100 VMs, ours vs FFPS.
+type Fig3 struct{}
+
+// ID implements Experiment.
+func (*Fig3) ID() string { return "fig3" }
+
+// Title implements Experiment.
+func (*Fig3) Title() string {
+	return "Fig. 3 — average CPU/memory utilisation vs mean inter-arrival time (100 VMs)"
+}
+
+// Run implements Experiment.
+func (e *Fig3) Run(ctx context.Context, opts Options) (*Result, error) {
+	t := Table{
+		Name:    "Fig. 3",
+		Caption: "average utilisation of busy servers, MinCost vs FFPS (100 VMs, 50 servers)",
+		Header: []string{
+			"inter-arrival (min)",
+			"ours CPU", "ours mem", "FFPS CPU", "FFPS mem",
+		},
+	}
+	ias := opts.interArrivals()
+	series := map[string][]float64{}
+	for _, ia := range ias {
+		sum, err := campaign{
+			vms: 100, servers: 50, interArr: ia,
+			meanLength: DefaultMeanLength, transition: DefaultTransition,
+		}.run(ctx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 ia=%g: %w", ia, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			num(ia),
+			pct(sum.OursUtil.CPU), pct(sum.OursUtil.Mem),
+			pct(sum.FFPSUtil.CPU), pct(sum.FFPSUtil.Mem),
+		})
+		series["ours CPU"] = append(series["ours CPU"], sum.OursUtil.CPU)
+		series["ours mem"] = append(series["ours mem"], sum.OursUtil.Mem)
+		series["FFPS CPU"] = append(series["FFPS CPU"], sum.FFPSUtil.CPU)
+		series["FFPS mem"] = append(series["FFPS mem"], sum.FFPSUtil.Mem)
+	}
+	chart := report.Chart{
+		Title:    "Fig. 3 — average utilisation vs mean inter-arrival time (100 VMs)",
+		XLabel:   "mean inter-arrival time (min)",
+		YLabel:   "resource utilisation",
+		YPercent: true,
+	}
+	for _, name := range []string{"ours CPU", "ours mem", "FFPS CPU", "FFPS mem"} {
+		chart.Series = append(chart.Series, report.Series{Name: name, X: ias, Y: series[name]})
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// Fig4 reproduces paper Fig. 4: energy reduction ratio vs the memory load
+// of the system (quantified by the FFPS memory utilisation), with
+// logarithmic fits per VM count.
+type Fig4 struct{}
+
+// ID implements Experiment.
+func (*Fig4) ID() string { return "fig4" }
+
+// Title implements Experiment.
+func (*Fig4) Title() string { return "Fig. 4 — energy reduction ratio vs memory load of the system" }
+
+// Run implements Experiment.
+func (e *Fig4) Run(ctx context.Context, opts Options) (*Result, error) {
+	counts := opts.vmCounts()
+	ias := opts.interArrivals()
+	t := Table{
+		Name:    "Fig. 4",
+		Caption: "reduction ratio keyed by memory load (load = FFPS memory utilisation)",
+		Header:  []string{"VMs", "inter-arrival (min)", "memory load", "reduction ratio"},
+	}
+	chart := report.Chart{
+		Title:    "Fig. 4 — energy reduction ratio vs memory load",
+		XLabel:   "memory load of the system",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, m := range counts {
+		var loads, reds []float64
+		for _, ia := range ias {
+			sum, err := campaign{
+				vms: m, servers: m / 2, interArr: ia,
+				meanLength: DefaultMeanLength, transition: DefaultTransition,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 m=%d ia=%g: %w", m, ia, err)
+			}
+			loads = append(loads, sum.MemLoad)
+			reds = append(reds, sum.MeanReductionRatio)
+			t.Rows = append(t.Rows, []string{
+				itoa(m), num(ia), pct(sum.MemLoad), pct(sum.MeanReductionRatio),
+			})
+		}
+		t.Notes = append(t.Notes,
+			fitNote(fmt.Sprintf("%d VMs (reduction vs load)", m), loads, reds, stats.Logarithmic))
+		chart.Series = append(chart.Series, report.Series{
+			Name: fmt.Sprintf("%d VMs", m), X: loads, Y: reds,
+		})
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// Fig5 reproduces paper Fig. 5: the impact of the server transition time
+// (0.5, 1, 3 minutes) on the energy reduction ratio.
+type Fig5 struct{}
+
+// ID implements Experiment.
+func (*Fig5) ID() string { return "fig5" }
+
+// Title implements Experiment.
+func (*Fig5) Title() string {
+	return "Fig. 5 — impact of server transition time (100 VMs, 50 servers)"
+}
+
+// Run implements Experiment.
+func (e *Fig5) Run(ctx context.Context, opts Options) (*Result, error) {
+	transitions := []float64{0.5, 1, 3}
+	ias := opts.interArrivals()
+	t := Table{
+		Name:    "Fig. 5",
+		Caption: "energy reduction ratio for transition times of 0.5, 1 and 3 minutes",
+		Header:  []string{"inter-arrival (min)", "0.5 min", "1 min", "3 min"},
+	}
+	series := make(map[float64][]float64, len(transitions))
+	for _, ia := range ias {
+		row := []string{num(ia)}
+		for _, tr := range transitions {
+			sum, err := campaign{
+				vms: 100, servers: 50, interArr: ia,
+				meanLength: DefaultMeanLength, transition: tr,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 ia=%g tr=%g: %w", ia, tr, err)
+			}
+			row = append(row, pct(sum.MeanReductionRatio))
+			series[tr] = append(series[tr], sum.MeanReductionRatio)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	chart := report.Chart{
+		Title:    "Fig. 5 — impact of transition time",
+		XLabel:   "mean inter-arrival time (min)",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, tr := range transitions {
+		t.Notes = append(t.Notes,
+			fitNote(fmt.Sprintf("transition time = %g min", tr), ias, series[tr], stats.Linear))
+		chart.Series = append(chart.Series, report.Series{
+			Name: fmt.Sprintf("transition %g min", tr), X: ias, Y: series[tr],
+		})
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// Fig6 reproduces paper Fig. 6: the impact of the mean VM length (20, 50,
+// 100 minutes) on the energy reduction ratio.
+type Fig6 struct{}
+
+// ID implements Experiment.
+func (*Fig6) ID() string { return "fig6" }
+
+// Title implements Experiment.
+func (*Fig6) Title() string { return "Fig. 6 — impact of mean VM length (100 VMs, 50 servers)" }
+
+// Run implements Experiment.
+func (e *Fig6) Run(ctx context.Context, opts Options) (*Result, error) {
+	lengths := []float64{20, 50, 100}
+	ias := opts.interArrivals()
+	t := Table{
+		Name:    "Fig. 6",
+		Caption: "energy reduction ratio for mean VM lengths of 20, 50 and 100 minutes",
+		Header:  []string{"inter-arrival (min)", "20 min", "50 min", "100 min"},
+	}
+	series := make(map[float64][]float64, len(lengths))
+	skipped := 0
+	for _, ia := range ias {
+		row := []string{num(ia)}
+		for _, ml := range lengths {
+			sum, err := campaign{
+				vms: 100, servers: 50, interArr: ia,
+				meanLength: ml, transition: DefaultTransition,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 ia=%g len=%g: %w", ia, ml, err)
+			}
+			row = append(row, pct(sum.MeanReductionRatio))
+			series[ml] = append(series[ml], sum.MeanReductionRatio)
+			skipped += sum.Skipped
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	chart := report.Chart{
+		Title:    "Fig. 6 — impact of mean VM length",
+		XLabel:   "mean inter-arrival time (min)",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, ml := range lengths {
+		t.Notes = append(t.Notes,
+			fitNote(fmt.Sprintf("mean length = %g min", ml), ias, series[ml], stats.Linear))
+		chart.Series = append(chart.Series, report.Series{
+			Name: fmt.Sprintf("mean length %g min", ml), X: ias, Y: series[ml],
+		})
+	}
+	if skipped > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d infeasible seed(s) skipped", skipped))
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// standardClasses restricts workloads to the paper's standard VM types.
+var standardClasses = []model.VMClass{model.ClassStandard}
+
+// smallServerTypes is the paper's "types 1-3 of servers" fleet.
+var smallServerTypes = []string{"type-1", "type-2", "type-3"}
+
+// Fig7 reproduces paper Fig. 7: reduction ratio for standard VM types on
+// server types 1–3, with logarithmic fits per VM count.
+type Fig7 struct{}
+
+// ID implements Experiment.
+func (*Fig7) ID() string { return "fig7" }
+
+// Title implements Experiment.
+func (*Fig7) Title() string {
+	return "Fig. 7 — energy reduction ratio, standard VMs on server types 1-3"
+}
+
+// Run implements Experiment.
+func (e *Fig7) Run(ctx context.Context, opts Options) (*Result, error) {
+	counts := opts.vmCounts()
+	ias := opts.interArrivals()
+	t := Table{
+		Name:    "Fig. 7",
+		Caption: "reduction ratio vs mean inter-arrival time (standard VMs, server types 1-3)",
+		Header:  []string{"inter-arrival (min)"},
+	}
+	for _, m := range counts {
+		t.Header = append(t.Header, fmt.Sprintf("%d VMs", m))
+	}
+	cells := make(map[int]map[float64]float64, len(counts))
+	for _, m := range counts {
+		cells[m] = make(map[float64]float64, len(ias))
+		for _, ia := range ias {
+			sum, err := campaign{
+				vms: m, servers: m / 2, interArr: ia,
+				meanLength: DefaultMeanLength, transition: DefaultTransition,
+				classes: standardClasses, serverTypes: smallServerTypes,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 m=%d ia=%g: %w", m, ia, err)
+			}
+			cells[m][ia] = sum.MeanReductionRatio
+		}
+	}
+	for _, ia := range ias {
+		row := []string{num(ia)}
+		for _, m := range counts {
+			row = append(row, pct(cells[m][ia]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	chart := report.Chart{
+		Title:    "Fig. 7 — reduction ratio, standard VMs on server types 1-3",
+		XLabel:   "mean inter-arrival time (min)",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, m := range counts {
+		ys := make([]float64, len(ias))
+		for i, ia := range ias {
+			ys[i] = cells[m][ia]
+		}
+		t.Notes = append(t.Notes, fitNote(fmt.Sprintf("%d VMs", m), ias, ys, stats.Logarithmic))
+		chart.Series = append(chart.Series, report.Series{
+			Name: fmt.Sprintf("%d VMs", m), X: ias, Y: ys,
+		})
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}
+
+// Fig8 reproduces paper Fig. 8: utilisations for 100 standard VMs on
+// (a) all server types and (b) server types 1-3.
+type Fig8 struct{}
+
+// ID implements Experiment.
+func (*Fig8) ID() string { return "fig8" }
+
+// Title implements Experiment.
+func (*Fig8) Title() string {
+	return "Fig. 8 — average utilisation, 100 standard VMs (both fleets)"
+}
+
+// Run implements Experiment.
+func (e *Fig8) Run(ctx context.Context, opts Options) (*Result, error) {
+	sub := []struct {
+		name  string
+		types []string
+	}{
+		{"Fig. 8(a) all types of servers", nil},
+		{"Fig. 8(b) types 1-3 of servers", smallServerTypes},
+	}
+	res := &Result{ID: e.ID(), Title: e.Title()}
+	ias := opts.interArrivals()
+	for _, sc := range sub {
+		t := Table{
+			Name:    sc.name,
+			Caption: "average utilisation of busy servers (100 standard VMs, 50 servers)",
+			Header: []string{
+				"inter-arrival (min)",
+				"ours CPU", "ours mem", "FFPS CPU", "FFPS mem",
+			},
+		}
+		series := map[string][]float64{}
+		for _, ia := range ias {
+			sum, err := campaign{
+				vms: 100, servers: 50, interArr: ia,
+				meanLength: DefaultMeanLength, transition: DefaultTransition,
+				classes: standardClasses, serverTypes: sc.types,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s ia=%g: %w", sc.name, ia, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				num(ia),
+				pct(sum.OursUtil.CPU), pct(sum.OursUtil.Mem),
+				pct(sum.FFPSUtil.CPU), pct(sum.FFPSUtil.Mem),
+			})
+			series["ours CPU"] = append(series["ours CPU"], sum.OursUtil.CPU)
+			series["ours mem"] = append(series["ours mem"], sum.OursUtil.Mem)
+			series["FFPS CPU"] = append(series["FFPS CPU"], sum.FFPSUtil.CPU)
+			series["FFPS mem"] = append(series["FFPS mem"], sum.FFPSUtil.Mem)
+		}
+		chart := report.Chart{
+			Title:    sc.name,
+			XLabel:   "mean inter-arrival time (min)",
+			YLabel:   "resource utilisation",
+			YPercent: true,
+		}
+		for _, name := range []string{"ours CPU", "ours mem", "FFPS CPU", "FFPS mem"} {
+			chart.Series = append(chart.Series, report.Series{Name: name, X: ias, Y: series[name]})
+		}
+		res.Tables = append(res.Tables, t)
+		res.Charts = append(res.Charts, chart)
+	}
+	return res, nil
+}
+
+// Fig9 reproduces paper Fig. 9: reduction ratio vs the CPU and memory load
+// of the system for standard VMs on both fleets, with linear fits.
+type Fig9 struct{}
+
+// ID implements Experiment.
+func (*Fig9) ID() string { return "fig9" }
+
+// Title implements Experiment.
+func (*Fig9) Title() string {
+	return "Fig. 9 — energy reduction ratio vs system load (standard VMs)"
+}
+
+// Run implements Experiment.
+func (e *Fig9) Run(ctx context.Context, opts Options) (*Result, error) {
+	sub := []struct {
+		name  string
+		types []string
+	}{
+		{"all types of servers used", nil},
+		{"types 1-3 of servers used", smallServerTypes},
+	}
+	t := Table{
+		Name:    "Fig. 9",
+		Caption: "reduction ratio vs system load (load = FFPS utilisation; 100 standard VMs)",
+		Header:  []string{"fleet", "inter-arrival (min)", "CPU load", "memory load", "reduction ratio"},
+	}
+	chart := report.Chart{
+		Title:    "Fig. 9 — energy reduction ratio vs system load (standard VMs)",
+		XLabel:   "load of the system",
+		YLabel:   "energy reduction ratio",
+		YPercent: true,
+	}
+	for _, sc := range sub {
+		var cpuLoads, memLoads, reds []float64
+		for _, ia := range opts.interArrivals() {
+			sum, err := campaign{
+				vms: 100, servers: 50, interArr: ia,
+				meanLength: DefaultMeanLength, transition: DefaultTransition,
+				classes: standardClasses, serverTypes: sc.types,
+			}.run(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s ia=%g: %w", sc.name, ia, err)
+			}
+			cpuLoads = append(cpuLoads, sum.CPULoad)
+			memLoads = append(memLoads, sum.MemLoad)
+			reds = append(reds, sum.MeanReductionRatio)
+			t.Rows = append(t.Rows, []string{
+				sc.name, num(ia), pct(sum.CPULoad), pct(sum.MemLoad), pct(sum.MeanReductionRatio),
+			})
+		}
+		t.Notes = append(t.Notes,
+			fitNote("vs CPU load ("+sc.name+")", cpuLoads, reds, stats.Linear),
+			fitNote("vs memory load ("+sc.name+")", memLoads, reds, stats.Linear))
+		chart.Series = append(chart.Series,
+			report.Series{Name: "vs CPU load (" + sc.name + ")", X: cpuLoads, Y: reds},
+			report.Series{Name: "vs memory load (" + sc.name + ")", X: memLoads, Y: reds},
+		)
+	}
+	return &Result{ID: e.ID(), Title: e.Title(), Tables: []Table{t}, Charts: []report.Chart{chart}}, nil
+}

@@ -1,0 +1,464 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimise    c·x
+//	subject to  A x {≤,=,≥} b,   x ≥ 0.
+//
+// It is the module's stdlib-only stand-in for an external LP library and
+// is used by package ilp for relaxation bounds. Bland's rule guarantees
+// termination; the solver is exact up to floating-point tolerance and is
+// intended for the small/medium problems the ILP experiments build
+// (hundreds of variables and constraints).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // ≤
+	GE                  // ≥
+	EQ                  // =
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one row: Coeffs·x Sense RHS. Coeffs may be shorter than
+// the variable count; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimise Objective·x; may be shorter than NumVars
+	Constraints []Constraint
+}
+
+// Validate reports whether the problem is well formed.
+func (p Problem) Validate() error {
+	if p.NumVars < 1 {
+		return errors.New("lp: no variables")
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables",
+			len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables",
+				i, len(c.Coeffs), p.NumVars)
+		}
+		switch c.Sense {
+		case LE, GE, EQ:
+		default:
+			return fmt.Errorf("lp: constraint %d has invalid sense %d", i, int(c.Sense))
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve. X and Objective are meaningful only
+// when Status == Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// ErrIterationLimit is returned when the simplex exceeds its pivot budget,
+// which indicates numerical degeneracy the solver cannot break. Callers
+// that only need a bound can retry on a RelaxBy-perturbed problem.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// tableau is a dense simplex tableau in canonical form: rows[i] holds the
+// constraint coefficients with rhs appended; basis[i] is the basic column
+// of row i; obj is the reduced-cost row with the (negated) objective value
+// in its last entry.
+type tableau struct {
+	rows  [][]float64
+	basis []int
+	obj   []float64
+	cols  int // columns excluding rhs
+}
+
+// Solve runs two-phase primal simplex on the problem.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := p.NumVars
+	m := len(p.Constraints)
+
+	// Column layout: [0,n) originals, then one slack/surplus per
+	// inequality, then one artificial per row that needs it.
+	slackCol := make([]int, m) // -1 if none
+	artCol := make([]int, m)   // -1 if none
+	col := n
+	for i, c := range p.Constraints {
+		slackCol[i], artCol[i] = -1, -1
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			// Negate the row so rhs ≥ 0.
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			slackCol[i] = col
+			col++
+		case GE:
+			slackCol[i] = col
+			col++
+			artCol[i] = -2 // decided below
+		case EQ:
+			artCol[i] = -2
+		}
+	}
+	firstArt := col
+	for i := range p.Constraints {
+		if artCol[i] == -2 {
+			artCol[i] = col
+			col++
+		}
+	}
+	t := &tableau{
+		rows:  make([][]float64, m),
+		basis: make([]int, m),
+		obj:   make([]float64, col+1),
+		cols:  col,
+	}
+	for i, c := range p.Constraints {
+		row := make([]float64, col+1)
+		sign := 1.0
+		if c.RHS < 0 {
+			sign = -1
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[col] = sign * c.RHS
+		sense := c.Sense
+		if sign < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			row[slackCol[i]] = 1
+			t.basis[i] = slackCol[i]
+		case GE:
+			row[slackCol[i]] = -1
+			row[artCol[i]] = 1
+			t.basis[i] = artCol[i]
+		case EQ:
+			row[artCol[i]] = 1
+			t.basis[i] = artCol[i]
+		}
+		t.rows[i] = row
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	if firstArt < col {
+		phase1 := make([]float64, col)
+		for j := firstArt; j < col; j++ {
+			phase1[j] = 1
+		}
+		t.setObjective(phase1)
+		status, err := t.iterate(-1)
+		if err != nil {
+			return Solution{}, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if status == Unbounded {
+			// Phase 1 is bounded below by 0; this cannot happen.
+			return Solution{}, errors.New("lp: phase 1 reported unbounded")
+		}
+		if t.objValue() > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial out of the basis.
+		for i, b := range t.basis {
+			if b < firstArt {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < firstArt; j++ {
+				if math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it (it stays inert).
+				for j := range t.rows[i] {
+					t.rows[i][j] = 0
+				}
+				t.basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns banned.
+	phase2 := make([]float64, col)
+	copy(phase2, p.Objective)
+	t.setObjective(phase2)
+	status, err := t.iterate(firstArt)
+	if err != nil {
+		return Solution{}, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b >= 0 && b < n {
+			x[b] = t.rows[i][t.cols]
+		}
+	}
+	var objVal float64
+	for j, c := range p.Objective {
+		objVal += c * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// setObjective installs cost vector c (length cols) as the reduced-cost
+// row, canonicalised against the current basis.
+func (t *tableau) setObjective(c []float64) {
+	for j := 0; j <= t.cols; j++ {
+		if j < len(c) {
+			t.obj[j] = c[j]
+		} else {
+			t.obj[j] = 0
+		}
+	}
+	for i, b := range t.basis {
+		if b < 0 {
+			continue
+		}
+		cb := 0.0
+		if b < len(c) {
+			cb = c[b]
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= cb * t.rows[i][j]
+		}
+	}
+}
+
+// objValue returns the current objective value.
+func (t *tableau) objValue() float64 { return -t.obj[t.cols] }
+
+// iterate runs simplex to optimality. The entering column follows
+// Dantzig's rule (most negative reduced cost) for speed, switching to
+// Bland's rule — which provably cannot cycle — once a long degenerate
+// stretch suggests stalling. Columns ≥ banned (when banned ≥ 0) may not
+// enter the basis. Returns Optimal or Unbounded.
+func (t *tableau) iterate(banned int) (Status, error) {
+	limit := t.cols
+	if banned >= 0 && banned < limit {
+		limit = banned
+	}
+	// After this many pivots without objective improvement, fall back to
+	// Bland's rule permanently.
+	const stallLimit = 64
+	// Hard backstop: floating-point degeneracy can in principle defeat
+	// even Bland's rule; bail out rather than spin.
+	maxIter := 1000 + 200*(len(t.rows)+t.cols)
+	var (
+		bland     bool
+		stalled   int
+		lastValue = t.objValue()
+	)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return 0, ErrIterationLimit
+		}
+		enter := -1
+		if bland {
+			// Bland: lowest-index negative reduced cost.
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			// Dantzig: most negative reduced cost.
+			most := -eps
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < most {
+					most = t.obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test, two passes: find the exact minimum ratio, then —
+		// among rows within tolerance of it — Bland's tie-break on the
+		// lowest basic index. (A one-pass fuzzy comparison lets the
+		// minimum creep upward through chains of near-ties, which breaks
+		// Bland's anti-cycling guarantee.)
+		minRatio := math.Inf(1)
+		for i := range t.rows {
+			a := t.rows[i][enter]
+			if a <= eps || t.basis[i] < 0 {
+				continue
+			}
+			if r := t.rows[i][t.cols] / a; r < minRatio {
+				minRatio = r
+			}
+		}
+		if math.IsInf(minRatio, 1) {
+			return Unbounded, nil
+		}
+		tol := eps * (1 + math.Abs(minRatio))
+		leave := -1
+		for i := range t.rows {
+			a := t.rows[i][enter]
+			if a <= eps || t.basis[i] < 0 {
+				continue
+			}
+			if r := t.rows[i][t.cols] / a; r <= minRatio+tol {
+				if leave < 0 || t.basis[i] < t.basis[leave] {
+					leave = i
+				}
+			}
+		}
+		t.pivot(leave, enter)
+		if !bland {
+			if v := t.objValue(); v < lastValue-eps {
+				lastValue = v
+				stalled = 0
+			} else {
+				stalled++
+				if stalled >= stallLimit {
+					bland = true
+				}
+			}
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	p := row[enter]
+	for j := range row {
+		row[j] /= p
+	}
+	for i := range t.rows {
+		if i == leave {
+			continue
+		}
+		f := t.rows[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := range t.rows[i] {
+			t.rows[i][j] -= f * row[j]
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * row[j]
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// RelaxBy returns a copy of the problem with every constraint loosened by
+// delta (scaled by max(1, |RHS|)): ≤ rows gain slack, ≥ rows lose
+// requirement, and equalities become a ±delta band (two inequalities).
+// The feasible region only grows, so for a minimisation the relaxed
+// optimum never exceeds the original one — a RelaxBy'd problem still
+// yields a valid lower bound. Its purpose is to break the degenerate
+// ties (many identical zero RHS values) that can stall the simplex.
+func (p Problem) RelaxBy(delta float64) Problem {
+	out := Problem{
+		NumVars:     p.NumVars,
+		Objective:   p.Objective,
+		Constraints: make([]Constraint, 0, len(p.Constraints)+4),
+	}
+	for i, c := range p.Constraints {
+		// Vary the slack per row so previously identical RHS values
+		// become distinct, which is what actually breaks the ties.
+		d := delta * (1 + math.Abs(c.RHS)) * (1 + float64(i%7)/7)
+		switch c.Sense {
+		case LE:
+			out.Constraints = append(out.Constraints,
+				Constraint{Coeffs: c.Coeffs, Sense: LE, RHS: c.RHS + d})
+		case GE:
+			out.Constraints = append(out.Constraints,
+				Constraint{Coeffs: c.Coeffs, Sense: GE, RHS: c.RHS - d})
+		case EQ:
+			out.Constraints = append(out.Constraints,
+				Constraint{Coeffs: c.Coeffs, Sense: LE, RHS: c.RHS + d},
+				Constraint{Coeffs: c.Coeffs, Sense: GE, RHS: c.RHS - d})
+		}
+	}
+	return out
+}

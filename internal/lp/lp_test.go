@@ -1,0 +1,234 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestSolveSimpleLE(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  →  x=2 (any opt with y=2)…
+	// optimum: y=2, x=2, obj = -6.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 3},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, -6, 1e-9, "objective")
+	approx(t, s.X[1], 2, 1e-9, "y")
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 1 → x=1, obj=1.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, 1, 1e-9, "objective")
+	approx(t, s.X[0], 1, 1e-9, "x")
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 4, x >= 1 → x=1, y=3, obj = 9.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: GE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, 9, 1e-9, "objective")
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -2  (i.e. x >= 2) → obj 2.
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, 2, 1e-9, "objective")
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1 → unbounded below.
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7 (Beale's cycling example).
+	p := Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -1.0 / 25, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -1.0 / 50, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, -0.05, 1e-9, "objective")
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Duplicate equality rows leave a redundant artificial basic at zero.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 2},
+			{Coeffs: []float64{2, 2}, Sense: EQ, RHS: 4},
+		},
+	}
+	s := solveOK(t, p)
+	approx(t, s.Objective, 2, 1e-9, "objective")
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Problem{
+		{NumVars: 0},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: 0}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("problem %d accepted", i)
+		}
+	}
+}
+
+func TestStatusAndSenseStrings(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty Status string")
+		}
+	}
+	for _, s := range []Sense{LE, GE, EQ, Sense(9)} {
+		if s.String() == "" {
+			t.Error("empty Sense string")
+		}
+	}
+}
+
+// TestRandomLPWeakDuality cross-checks the solver against brute force on
+// random small LPs with box constraints: enumerate a fine grid to bound
+// the optimum from above; simplex must do at least as well (and be
+// feasible).
+func TestRandomLPGridCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// 2 variables in [0, 3] with two extra random LE constraints.
+		c1 := Constraint{Coeffs: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}, Sense: LE, RHS: rng.Float64() * 6}
+		c2 := Constraint{Coeffs: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}, Sense: LE, RHS: rng.Float64() * 6}
+		obj := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		p := Problem{
+			NumVars:   2,
+			Objective: obj,
+			Constraints: []Constraint{
+				c1, c2,
+				{Coeffs: []float64{1, 0}, Sense: LE, RHS: 3},
+				{Coeffs: []float64{0, 1}, Sense: LE, RHS: 3},
+			},
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (box-bounded LP with 0 feasible must be optimal)", trial, s.Status)
+		}
+		// Solution must satisfy all constraints.
+		for ci, c := range p.Constraints {
+			lhs := c.Coeffs[0]*s.X[0] + c.Coeffs[1]*s.X[1]
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, ci, lhs, c.RHS)
+			}
+		}
+		// Grid search upper bound.
+		best := math.Inf(1)
+		const steps = 60
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := 3 * float64(i) / steps
+				y := 3 * float64(j) / steps
+				if c1.Coeffs[0]*x+c1.Coeffs[1]*y > c1.RHS || c2.Coeffs[0]*x+c2.Coeffs[1]*y > c2.RHS {
+					continue
+				}
+				v := obj[0]*x + obj[1]*y
+				if v < best {
+					best = v
+				}
+			}
+		}
+		if s.Objective > best+1e-6 {
+			t.Fatalf("trial %d: simplex %g worse than grid %g", trial, s.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package model
+
+import "fmt"
+
+// VMClass partitions the VM type catalog the way paper Table I does.
+type VMClass string
+
+// The three VM classes of paper Table I.
+const (
+	ClassStandard        VMClass = "standard"
+	ClassMemoryIntensive VMClass = "memory-intensive"
+	ClassCPUIntensive    VMClass = "cpu-intensive"
+)
+
+// VMType is one row of paper Table I: a named resource-demand shape.
+type VMType struct {
+	Name  string  `json:"name"`
+	Class VMClass `json:"class"`
+	CPU   float64 `json:"cpu"`
+	Mem   float64 `json:"mem"`
+}
+
+// Resources returns the demand vector of the type.
+func (t VMType) Resources() Resources { return Resources{CPU: t.CPU, Mem: t.Mem} }
+
+// VMTypeCatalog returns paper Table I: the nine VM types, modelled on the
+// first-generation Amazon EC2 instance families (standard m1.*,
+// memory-intensive m2.*, CPU-intensive c1.*) the paper cites as its source.
+// CPU is in EC2 compute units, memory in GBytes.
+func VMTypeCatalog() []VMType {
+	return []VMType{
+		{Name: "standard-1", Class: ClassStandard, CPU: 1, Mem: 1.7},
+		{Name: "standard-2", Class: ClassStandard, CPU: 2, Mem: 3.75},
+		{Name: "standard-3", Class: ClassStandard, CPU: 4, Mem: 7.5},
+		{Name: "standard-4", Class: ClassStandard, CPU: 8, Mem: 15},
+		{Name: "memory-intensive-1", Class: ClassMemoryIntensive, CPU: 6.5, Mem: 17.1},
+		{Name: "memory-intensive-2", Class: ClassMemoryIntensive, CPU: 13, Mem: 34.2},
+		{Name: "memory-intensive-3", Class: ClassMemoryIntensive, CPU: 26, Mem: 68.4},
+		{Name: "cpu-intensive-1", Class: ClassCPUIntensive, CPU: 5, Mem: 1.7},
+		{Name: "cpu-intensive-2", Class: ClassCPUIntensive, CPU: 20, Mem: 7},
+	}
+}
+
+// VMTypesByClass returns the catalog rows belonging to any of the given
+// classes; with no classes it returns the full catalog.
+func VMTypesByClass(classes ...VMClass) []VMType {
+	all := VMTypeCatalog()
+	if len(classes) == 0 {
+		return all
+	}
+	var out []VMType
+	for _, t := range all {
+		for _, c := range classes {
+			if t.Class == c {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// VMTypeByName looks a VM type up in the catalog.
+func VMTypeByName(name string) (VMType, error) {
+	for _, t := range VMTypeCatalog() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return VMType{}, fmt.Errorf("model: unknown vm type %q", name)
+}
+
+// ServerType is one row of paper Table II: a capacity vector plus the two
+// affine power-model parameters.
+type ServerType struct {
+	Name  string  `json:"name"`
+	CPU   float64 `json:"cpu"`
+	Mem   float64 `json:"mem"`
+	PIdle float64 `json:"pIdleWatts"`
+	PPeak float64 `json:"pPeakWatts"`
+}
+
+// IdlePeakRatio returns PIdle/PPeak, which Table II reports as a
+// percentage (the paper keeps it in the 40–50% band).
+func (t ServerType) IdlePeakRatio() float64 { return t.PIdle / t.PPeak }
+
+// NewServer instantiates a server of this type.
+func (t ServerType) NewServer(id int, transitionTime float64) Server {
+	return Server{
+		ID:             id,
+		Type:           t.Name,
+		Capacity:       Resources{CPU: t.CPU, Mem: t.Mem},
+		PIdle:          t.PIdle,
+		PPeak:          t.PPeak,
+		TransitionTime: transitionTime,
+	}
+}
+
+// ServerTypeCatalog returns paper Table II: five hypothetical server types
+// constructed by the paper's three rules — (1) the 60-CU type is roughly
+// an HP ProLiant BL460c G6 blade, (2) idle power is 40–50% of peak,
+// (3) power grows with capacity. Smaller servers draw slightly *less*
+// power per compute unit, matching §III's observation that "servers with
+// small resource capacity usually consume lower power than those with
+// large resource capacity", which is what makes consolidating onto small,
+// well-filled servers the energy-efficient choice at light load.
+func ServerTypeCatalog() []ServerType {
+	return []ServerType{
+		{Name: "type-1", CPU: 16, Mem: 24, PIdle: 46, PPeak: 100},
+		{Name: "type-2", CPU: 24, Mem: 32, PIdle: 72, PPeak: 158},
+		{Name: "type-3", CPU: 32, Mem: 48, PIdle: 100, PPeak: 222},
+		{Name: "type-4", CPU: 48, Mem: 72, PIdle: 152, PPeak: 344},
+		{Name: "type-5", CPU: 60, Mem: 96, PIdle: 185, PPeak: 437},
+	}
+}
+
+// ServerTypeByName looks a server type up in the catalog.
+func ServerTypeByName(name string) (ServerType, error) {
+	for _, t := range ServerTypeCatalog() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return ServerType{}, fmt.Errorf("model: unknown server type %q", name)
+}

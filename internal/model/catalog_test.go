@@ -1,0 +1,156 @@
+package model
+
+import "testing"
+
+func TestVMTypeCatalogShape(t *testing.T) {
+	cat := VMTypeCatalog()
+	if len(cat) != 9 {
+		t.Fatalf("catalog has %d types, want 9 (paper Table I)", len(cat))
+	}
+	counts := map[VMClass]int{}
+	seen := map[string]bool{}
+	for _, vt := range cat {
+		counts[vt.Class]++
+		if seen[vt.Name] {
+			t.Errorf("duplicate type name %q", vt.Name)
+		}
+		seen[vt.Name] = true
+		if vt.CPU <= 0 || vt.Mem <= 0 {
+			t.Errorf("type %q has non-positive resources", vt.Name)
+		}
+	}
+	if counts[ClassStandard] != 4 {
+		t.Errorf("standard types = %d, want 4", counts[ClassStandard])
+	}
+	if counts[ClassMemoryIntensive] != 3 {
+		t.Errorf("memory-intensive types = %d, want 3", counts[ClassMemoryIntensive])
+	}
+	if counts[ClassCPUIntensive] != 2 {
+		t.Errorf("cpu-intensive types = %d, want 2", counts[ClassCPUIntensive])
+	}
+}
+
+func TestVMClassShapes(t *testing.T) {
+	// Memory-intensive types must have more GB per CU than standard;
+	// CPU-intensive types less.
+	ratio := func(vt VMType) float64 { return vt.Mem / vt.CPU }
+	var stdMin, stdMax float64
+	for i, vt := range VMTypesByClass(ClassStandard) {
+		r := ratio(vt)
+		if i == 0 {
+			stdMin, stdMax = r, r
+		}
+		if r < stdMin {
+			stdMin = r
+		}
+		if r > stdMax {
+			stdMax = r
+		}
+	}
+	for _, vt := range VMTypesByClass(ClassMemoryIntensive) {
+		if ratio(vt) <= stdMax {
+			t.Errorf("%s mem/cpu ratio %.2f not above standard max %.2f", vt.Name, ratio(vt), stdMax)
+		}
+	}
+	for _, vt := range VMTypesByClass(ClassCPUIntensive) {
+		if ratio(vt) >= stdMin {
+			t.Errorf("%s mem/cpu ratio %.2f not below standard min %.2f", vt.Name, ratio(vt), stdMin)
+		}
+	}
+}
+
+func TestVMTypesByClassFilter(t *testing.T) {
+	if got := len(VMTypesByClass()); got != 9 {
+		t.Errorf("no-filter length = %d, want 9", got)
+	}
+	if got := len(VMTypesByClass(ClassStandard, ClassCPUIntensive)); got != 6 {
+		t.Errorf("standard+cpu length = %d, want 6", got)
+	}
+}
+
+func TestVMTypeByName(t *testing.T) {
+	vt, err := VMTypeByName("standard-4")
+	if err != nil {
+		t.Fatalf("VMTypeByName: %v", err)
+	}
+	if vt.CPU != 8 || vt.Mem != 15 {
+		t.Errorf("standard-4 = (%g, %g), want (8, 15)", vt.CPU, vt.Mem)
+	}
+	if vt.Resources() != (Resources{CPU: 8, Mem: 15}) {
+		t.Errorf("Resources() = %v", vt.Resources())
+	}
+	if _, err := VMTypeByName("nonexistent"); err == nil {
+		t.Error("want error for unknown type")
+	}
+}
+
+func TestServerTypeCatalogShape(t *testing.T) {
+	cat := ServerTypeCatalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d types, want 5 (paper Table II)", len(cat))
+	}
+	for i, st := range cat {
+		// Rule 2: idle power is 40-50% of peak.
+		if r := st.IdlePeakRatio(); r < 0.40 || r > 0.50 {
+			t.Errorf("%s: idle/peak ratio %.2f outside [0.40, 0.50]", st.Name, r)
+		}
+		// Rule 3: power and capacity grow monotonically with type index.
+		if i > 0 {
+			prev := cat[i-1]
+			if st.CPU < prev.CPU || st.Mem < prev.Mem {
+				t.Errorf("%s: capacity not monotone vs %s", st.Name, prev.Name)
+			}
+			if st.PIdle <= prev.PIdle || st.PPeak <= prev.PPeak {
+				t.Errorf("%s: power not monotone vs %s", st.Name, prev.Name)
+			}
+		}
+	}
+	// Rule 1: a 60-CU type exists (the HP blade anchor).
+	found := false
+	for _, st := range cat {
+		if st.CPU == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 60-CU anchor type in catalog")
+	}
+}
+
+func TestServerTypeNewServer(t *testing.T) {
+	st, err := ServerTypeByName("type-3")
+	if err != nil {
+		t.Fatalf("ServerTypeByName: %v", err)
+	}
+	srv := st.NewServer(42, 1.5)
+	if srv.ID != 42 || srv.Type != "type-3" || srv.TransitionTime != 1.5 {
+		t.Errorf("NewServer = %+v", srv)
+	}
+	if srv.Capacity != (Resources{CPU: st.CPU, Mem: st.Mem}) {
+		t.Errorf("capacity = %v", srv.Capacity)
+	}
+	if err := srv.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := ServerTypeByName("nope"); err == nil {
+		t.Error("want error for unknown server type")
+	}
+}
+
+func TestLargestVMFitsLargestServer(t *testing.T) {
+	// Every VM type must fit on at least one server type, or workloads can
+	// be unsatisfiable by construction.
+	servers := ServerTypeCatalog()
+	for _, vt := range VMTypeCatalog() {
+		ok := false
+		for _, st := range servers {
+			if vt.Resources().Fits(Resources{CPU: st.CPU, Mem: st.Mem}) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("vm type %s fits no server type", vt.Name)
+		}
+	}
+}

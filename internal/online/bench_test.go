@@ -1,0 +1,26 @@
+package online
+
+import (
+	"testing"
+
+	"vmalloc/internal/workload"
+)
+
+// BenchmarkEngineRun measures end-to-end event-driven simulation
+// throughput at paper scale.
+func BenchmarkEngineRun(b *testing.B) {
+	inst, err := workload.Generate(
+		workload.Spec{NumVMs: 100, MeanInterArrival: 2, MeanLength: 50},
+		workload.FleetSpec{NumServers: 50, TransitionTime: 1},
+		1,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Engine{Policy: &MinCostPolicy{}, IdleTimeout: 2}).Run(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package online
+
+import (
+	"testing"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+// TestEngineCapacityInvariantRandom reconstructs per-server usage from the
+// report's actual start times and asserts no server ever exceeds capacity,
+// across policies, timeouts and seeds.
+func TestEngineCapacityInvariantRandom(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		inst, err := workload.Generate(
+			workload.Spec{NumVMs: 70, MeanInterArrival: 1.5, MeanLength: 35},
+			workload.FleetSpec{NumServers: 35, TransitionTime: 2},
+			seed,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, timeout := range []int{0, 3, -1} {
+			for _, p := range []Policy{&MinCostPolicy{}, NewFirstFitPolicy(seed), &PreferActivePolicy{}} {
+				rep, err := (&Engine{Policy: p, IdleTimeout: timeout}).Run(inst)
+				if err != nil {
+					t.Fatalf("seed %d %s timeout %d: %v", seed, p.Name(), timeout, err)
+				}
+				assertCapacity(t, inst, rep)
+			}
+		}
+	}
+}
+
+func assertCapacity(t *testing.T, inst model.Instance, rep *Report) {
+	t.Helper()
+	type diff struct{ cpu, mem []float64 }
+	horizon := inst.Horizon + 64
+	use := map[int]*diff{}
+	for _, v := range inst.VMs {
+		sid, ok := rep.Placement[v.ID]
+		if !ok {
+			t.Fatalf("%s: vm %d unplaced", rep.Policy, v.ID)
+		}
+		start, ok := rep.Starts[v.ID]
+		if !ok {
+			t.Fatalf("%s: vm %d has no start time", rep.Policy, v.ID)
+		}
+		if start < v.Start {
+			t.Fatalf("%s: vm %d started at %d before its request time %d",
+				rep.Policy, v.ID, start, v.Start)
+		}
+		end := start + v.Duration() - 1
+		if end >= horizon {
+			t.Fatalf("%s: vm %d ends at %d beyond padded horizon", rep.Policy, v.ID, end)
+		}
+		u := use[sid]
+		if u == nil {
+			u = &diff{cpu: make([]float64, horizon+2), mem: make([]float64, horizon+2)}
+			use[sid] = u
+		}
+		u.cpu[start] += v.Demand.CPU
+		u.cpu[end+1] -= v.Demand.CPU
+		u.mem[start] += v.Demand.Mem
+		u.mem[end+1] -= v.Demand.Mem
+	}
+	for sid, u := range use {
+		srv, ok := inst.ServerByID(sid)
+		if !ok {
+			t.Fatalf("%s: unknown server %d", rep.Policy, sid)
+		}
+		var curCPU, curMem float64
+		for tt := 1; tt <= horizon; tt++ {
+			curCPU += u.cpu[tt]
+			curMem += u.mem[tt]
+			if curCPU > srv.Capacity.CPU+1e-9 {
+				t.Fatalf("%s: server %d CPU over capacity at t=%d (%.2f > %.2f)",
+					rep.Policy, sid, tt, curCPU, srv.Capacity.CPU)
+			}
+			if curMem > srv.Capacity.Mem+1e-9 {
+				t.Fatalf("%s: server %d memory over capacity at t=%d", rep.Policy, sid, tt)
+			}
+		}
+	}
+}

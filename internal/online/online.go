@@ -1,0 +1,348 @@
+// Package online is an event-driven extension of the paper's model. The
+// offline formulation (§II) assumes transitions can be scheduled
+// clairvoyantly: a server is active exactly when its placement needs it,
+// and an idle gap is bridged iff P_idle·gap < α, decided with full
+// knowledge of the future.
+//
+// This package drops that assumption and simulates the fleet as a
+// discrete-event system: servers are explicit state machines
+// (power-saving → waking → active → power-saving), waking takes the
+// server's real transition time during which it cannot host VMs, and a
+// server decides to sleep using only the past — an idle-timeout policy —
+// rather than the future. VMs placed on a sleeping server wait for it to
+// wake, which surfaces a metric the offline model cannot express: start
+// delay.
+//
+// Comparing the event-driven energy against the offline evaluator on the
+// same placements quantifies how much of the paper's savings survives
+// without clairvoyance (experiment "online" in internal/experiments).
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/timeline"
+)
+
+// State is a server's power state.
+type State int
+
+// Server power states.
+const (
+	PowerSaving State = iota + 1
+	Waking
+	Active
+)
+
+func (s State) String() string {
+	switch s {
+	case PowerSaving:
+		return "power-saving"
+	case Waking:
+		return "waking"
+	case Active:
+		return "active"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Policy chooses a server for each VM at its arrival instant, seeing only
+// the current fleet state (plus the end times of already-admitted VMs,
+// which the paper's request model reveals on arrival).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Place returns the index of the chosen server, or an error if no
+	// server can host the VM.
+	Place(f *FleetView, v model.VM) (int, error)
+}
+
+// FleetView is the policy-visible state of the fleet.
+type FleetView struct {
+	units []*unit
+	now   int
+}
+
+// NumServers returns the fleet size.
+func (f *FleetView) NumServers() int { return len(f.units) }
+
+// Server returns server index i's static description.
+func (f *FleetView) Server(i int) model.Server { return f.units[i].srv }
+
+// StateOf returns server index i's current power state.
+func (f *FleetView) StateOf(i int) State { return f.units[i].state }
+
+// Running returns the number of VMs currently committed to server i
+// (running or queued behind its wake-up).
+func (f *FleetView) Running(i int) int { return f.units[i].vms }
+
+// Now returns the simulation clock.
+func (f *FleetView) Now() int { return f.now }
+
+// Fits reports whether v fits on server i throughout [start, start+dur),
+// accounting for every already-committed VM (their end times are known).
+func (f *FleetView) Fits(i int, v model.VM, start int) bool {
+	u := f.units[i]
+	if !v.Demand.Fits(u.srv.Capacity) {
+		return false
+	}
+	end := start + v.Duration() - 1
+	if end > u.cpu.Horizon() {
+		// Beyond the tracked horizon: capacity profiles are sized to the
+		// worst case, so this only trips on pathological inputs.
+		return false
+	}
+	if u.cpu.Max(start, end)+v.Demand.CPU > u.srv.Capacity.CPU {
+		return false
+	}
+	return u.mem.Max(start, end)+v.Demand.Mem <= u.srv.Capacity.Mem
+}
+
+// StartTime returns the earliest time v could start on server i if chosen
+// now: immediately if the server is active or can be woken by v.Start,
+// otherwise when the wake-up completes.
+func (f *FleetView) StartTime(i int, v model.VM) int {
+	u := f.units[i]
+	switch u.state {
+	case Active:
+		return v.Start
+	case Waking:
+		return maxInt(v.Start, u.wakeDone)
+	default:
+		return v.Start + int(math.Ceil(u.srv.TransitionTime))
+	}
+}
+
+// Report is the outcome of an event-driven run.
+type Report struct {
+	Policy string `json:"policy"`
+	// Energy uses the same three components as the offline model.
+	Energy energy.Breakdown `json:"energy"`
+	// Transitions counts power-saving→active wake-ups across the fleet.
+	Transitions int `json:"transitions"`
+	// MeanStartDelay is the average minutes VMs waited for a server
+	// wake-up beyond their requested start time.
+	MeanStartDelay float64 `json:"meanStartDelayMinutes"`
+	// MaxStartDelay is the worst single VM wait.
+	MaxStartDelay int `json:"maxStartDelayMinutes"`
+	// Placement maps VM ID to server ID (for cross-checking against the
+	// offline evaluator).
+	Placement map[int]int `json:"placement"`
+	// Starts maps VM ID to the minute the VM actually started (equal to
+	// its requested start plus any wake-up delay).
+	Starts map[int]int `json:"starts"`
+	// ServersUsed counts servers that hosted at least one VM.
+	ServersUsed int `json:"serversUsed"`
+}
+
+// Engine runs the event-driven simulation.
+type Engine struct {
+	// Policy places VMs; required.
+	Policy Policy
+	// IdleTimeout is the number of idle minutes after which an empty
+	// active server goes to power saving. Negative means never sleep
+	// (after the first wake); 0 means sleep immediately.
+	IdleTimeout int
+}
+
+type unit struct {
+	srv      model.Server
+	state    State
+	wakeDone int // valid when state == Waking
+	vms      int // committed VMs (running or waiting on wake)
+	cpu      timeline.Profile
+	mem      timeline.Profile
+
+	activeSince int // valid when state == Active or Waking (wake start)
+	idleSince   int // last time vms dropped to 0 while Active
+	idleEnergy  float64
+	transitions int
+	used        bool
+}
+
+// event kinds, processed in (time, kind, seq) order so departures free
+// capacity before same-minute arrivals claim it.
+const (
+	evDeparture = iota + 1
+	evWakeDone
+	evIdleCheck
+	evArrival
+)
+
+type event struct {
+	time int
+	kind int
+	seq  int
+	vm   model.VM
+	srv  int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].time != q[b].time {
+		return q[a].time < q[b].time
+	}
+	if q[a].kind != q[b].kind {
+		return q[a].kind < q[b].kind
+	}
+	return q[a].seq < q[b].seq
+}
+func (q eventQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Run simulates the instance under the engine's policy. Delayed starts
+// shift a VM's whole interval (it still runs for its full duration), so
+// the simulated horizon can exceed the instance's.
+func (e *Engine) Run(inst model.Instance) (*Report, error) {
+	if e.Policy == nil {
+		return nil, fmt.Errorf("online: no policy configured")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	// Worst case every VM waits for a wake-up: pad the horizon.
+	maxWake := 0.0
+	for _, s := range inst.Servers {
+		if s.TransitionTime > maxWake {
+			maxWake = s.TransitionTime
+		}
+	}
+	horizon := inst.Horizon + int(math.Ceil(maxWake)) + 1
+
+	view := &FleetView{units: make([]*unit, len(inst.Servers))}
+	for i, s := range inst.Servers {
+		view.units[i] = &unit{
+			srv:   s,
+			state: PowerSaving,
+			cpu:   timeline.NewTreeProfile(horizon),
+			mem:   timeline.NewTreeProfile(horizon),
+		}
+	}
+	var (
+		q   eventQueue
+		seq int
+		rep = Report{
+			Policy:    e.Policy.Name(),
+			Placement: make(map[int]int, len(inst.VMs)),
+			Starts:    make(map[int]int, len(inst.VMs)),
+		}
+		totalDelay int
+	)
+	push := func(ev event) {
+		ev.seq = seq
+		seq++
+		heap.Push(&q, ev)
+	}
+	for _, v := range inst.VMs {
+		push(event{time: v.Start, kind: evArrival, vm: v})
+	}
+	heap.Init(&q)
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		view.now = ev.time
+		switch ev.kind {
+		case evArrival:
+			i, err := e.Policy.Place(view, ev.vm)
+			if err != nil {
+				return nil, fmt.Errorf("online: vm %d at t=%d: %w", ev.vm.ID, ev.time, err)
+			}
+			u := view.units[i]
+			start := view.StartTime(i, ev.vm)
+			if !view.Fits(i, ev.vm, start) {
+				return nil, fmt.Errorf("online: policy %s placed vm %d on full server %d",
+					e.Policy.Name(), ev.vm.ID, u.srv.ID)
+			}
+			delay := start - ev.vm.Start
+			totalDelay += delay
+			if delay > rep.MaxStartDelay {
+				rep.MaxStartDelay = delay
+			}
+			end := start + ev.vm.Duration() - 1
+			u.cpu.Add(start, end, ev.vm.Demand.CPU)
+			u.mem.Add(start, end, ev.vm.Demand.Mem)
+			u.vms++
+			u.used = true
+			rep.Placement[ev.vm.ID] = u.srv.ID
+			rep.Starts[ev.vm.ID] = start
+			rep.Energy.Run += energy.RunCost(u.srv, ev.vm)
+			switch u.state {
+			case PowerSaving:
+				u.state = Waking
+				u.wakeDone = ev.time + int(math.Ceil(u.srv.TransitionTime))
+				u.transitions++
+				rep.Energy.Transition += u.srv.TransitionCost()
+				push(event{time: u.wakeDone, kind: evWakeDone, srv: i})
+			case Active:
+				// Hosting again: cancel any idle countdown implicitly
+				// (the idle check re-validates emptiness).
+			}
+			push(event{time: end + 1, kind: evDeparture, srv: i})
+
+		case evWakeDone:
+			u := view.units[ev.srv]
+			if u.state == Waking && u.wakeDone == ev.time {
+				u.state = Active
+				u.activeSince = ev.time
+				u.idleSince = ev.time // re-evaluated by departures
+			}
+
+		case evDeparture:
+			u := view.units[ev.srv]
+			u.vms--
+			if u.vms == 0 && u.state == Active {
+				u.idleSince = ev.time
+				if e.IdleTimeout >= 0 {
+					push(event{time: ev.time + e.IdleTimeout, kind: evIdleCheck, srv: ev.srv})
+				}
+			}
+
+		case evIdleCheck:
+			u := view.units[ev.srv]
+			if u.state == Active && u.vms == 0 && u.idleSince+e.IdleTimeout <= ev.time {
+				// Sleep: account the active stretch.
+				u.idleEnergy += u.srv.PIdle * float64(ev.time-u.activeSince)
+				u.state = PowerSaving
+			}
+		}
+	}
+	// Close out servers still active or waking at the end of the run.
+	for _, u := range view.units {
+		switch u.state {
+		case Active:
+			u.idleEnergy += u.srv.PIdle * float64(view.now-u.activeSince)
+		case Waking:
+			// Woke for nothing at the very end; α already accounted.
+		}
+		rep.Energy.Idle += u.idleEnergy
+		rep.Transitions += u.transitions
+		if u.used {
+			rep.ServersUsed++
+		}
+	}
+	if len(inst.VMs) > 0 {
+		rep.MeanStartDelay = float64(totalDelay) / float64(len(inst.VMs))
+	}
+	return &rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+)
+
+// MinCostPolicy is the online counterpart of the paper's heuristic: each
+// VM goes to the feasible server with the least *estimated* incremental
+// energy, computed from the present only — run cost, plus the wake-up
+// cost if the server sleeps, plus the idle power for the stretch the
+// server would be newly kept active.
+type MinCostPolicy struct{}
+
+var _ Policy = (*MinCostPolicy)(nil)
+
+// Name implements Policy.
+func (*MinCostPolicy) Name() string { return "online/mincost" }
+
+// Place implements Policy.
+func (*MinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
+	best := -1
+	var bestCost float64
+	for i := 0; i < f.NumServers(); i++ {
+		start := f.StartTime(i, v)
+		if !f.Fits(i, v, start) {
+			continue
+		}
+		s := f.Server(i)
+		cost := energy.RunCost(s, v)
+		if f.StateOf(i) == PowerSaving {
+			cost += s.TransitionCost()
+		}
+		if f.Running(i) == 0 {
+			// The server would be kept active for this VM alone.
+			cost += s.PIdle * float64(v.Duration())
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return 0, &NoCapacityError{VM: v}
+	}
+	return best, nil
+}
+
+// DelayAwareMinCostPolicy extends MinCostPolicy with a latency penalty:
+// each minute of expected start delay costs the caller `PenaltyPerMinute`
+// watt-minutes, trading energy for responsiveness.
+type DelayAwareMinCostPolicy struct {
+	// PenaltyPerMinute prices one minute of VM start delay, in
+	// watt-minutes.
+	PenaltyPerMinute float64
+}
+
+var _ Policy = (*DelayAwareMinCostPolicy)(nil)
+
+// Name implements Policy.
+func (*DelayAwareMinCostPolicy) Name() string { return "online/delay-aware" }
+
+// Place implements Policy.
+func (p *DelayAwareMinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
+	best := -1
+	var bestCost float64
+	for i := 0; i < f.NumServers(); i++ {
+		start := f.StartTime(i, v)
+		if !f.Fits(i, v, start) {
+			continue
+		}
+		s := f.Server(i)
+		cost := energy.RunCost(s, v)
+		if f.StateOf(i) == PowerSaving {
+			cost += s.TransitionCost()
+		}
+		if f.Running(i) == 0 {
+			cost += s.PIdle * float64(v.Duration())
+		}
+		cost += p.PenaltyPerMinute * float64(start-v.Start)
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return 0, &NoCapacityError{VM: v}
+	}
+	return best, nil
+}
+
+// FirstFitPolicy is the online counterpart of FFPS: servers are searched
+// in a fresh random order per request and the first fitting one wins.
+type FirstFitPolicy struct {
+	rng *rand.Rand
+}
+
+var _ Policy = (*FirstFitPolicy)(nil)
+
+// NewFirstFitPolicy returns an online FFPS policy seeded for
+// reproducibility.
+func NewFirstFitPolicy(seed int64) *FirstFitPolicy {
+	return &FirstFitPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*FirstFitPolicy) Name() string { return "online/ffps" }
+
+// Place implements Policy.
+func (p *FirstFitPolicy) Place(f *FleetView, v model.VM) (int, error) {
+	order := p.rng.Perm(f.NumServers())
+	for _, i := range order {
+		if f.Fits(i, v, f.StartTime(i, v)) {
+			return i, nil
+		}
+	}
+	return 0, &NoCapacityError{VM: v}
+}
+
+// PreferActivePolicy packs onto already-active servers (tightest spare
+// CPU first) and wakes the cheapest sleeping server only when nothing
+// active fits — a common practical consolidation rule.
+type PreferActivePolicy struct{}
+
+var _ Policy = (*PreferActivePolicy)(nil)
+
+// Name implements Policy.
+func (*PreferActivePolicy) Name() string { return "online/prefer-active" }
+
+// Place implements Policy.
+func (*PreferActivePolicy) Place(f *FleetView, v model.VM) (int, error) {
+	bestActive, bestSleeping := -1, -1
+	bestSpare := math.Inf(1)
+	var bestWake float64
+	for i := 0; i < f.NumServers(); i++ {
+		start := f.StartTime(i, v)
+		if !f.Fits(i, v, start) {
+			continue
+		}
+		s := f.Server(i)
+		if f.StateOf(i) != PowerSaving {
+			spare := s.Capacity.CPU - v.Demand.CPU
+			if spare < bestSpare {
+				bestSpare = spare
+				bestActive = i
+			}
+			continue
+		}
+		wake := s.TransitionCost() + s.PIdle*float64(v.Duration())
+		if bestSleeping < 0 || wake < bestWake {
+			bestSleeping, bestWake = i, wake
+		}
+	}
+	if bestActive >= 0 {
+		return bestActive, nil
+	}
+	if bestSleeping >= 0 {
+		return bestSleeping, nil
+	}
+	return 0, &NoCapacityError{VM: v}
+}
+
+// NoCapacityError reports that no server could host the VM at its arrival.
+type NoCapacityError struct {
+	VM model.VM
+}
+
+func (e *NoCapacityError) Error() string {
+	return "online: no server can host vm " + strconv.Itoa(e.VM.ID)
+}

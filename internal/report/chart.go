@@ -1,0 +1,203 @@
+// Package report renders experiment data as figures: standalone SVG line
+// charts (the shape the paper's own figures take) and quick ASCII plots
+// for terminals. Everything is generated with the standard library only.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// Chart is a line chart with labelled axes.
+type Chart struct {
+	Title  string   `json:"title"`
+	XLabel string   `json:"xLabel"`
+	YLabel string   `json:"yLabel"`
+	Series []Series `json:"series"`
+	// YPercent formats Y tick labels as percentages.
+	YPercent bool `json:"yPercent,omitempty"`
+}
+
+// palette: print-friendly distinguishable line colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+type bounds struct{ minX, maxX, minY, maxY float64 }
+
+func (c *Chart) bounds() (bounds, bool) {
+	b := bounds{
+		minX: math.Inf(1), maxX: math.Inf(-1),
+		minY: math.Inf(1), maxY: math.Inf(-1),
+	}
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			any = true
+			b.minX = math.Min(b.minX, s.X[i])
+			b.maxX = math.Max(b.maxX, s.X[i])
+			b.minY = math.Min(b.minY, s.Y[i])
+			b.maxY = math.Max(b.maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return b, false
+	}
+	// Zero-baseline for percentage charts reads better.
+	if c.YPercent && b.minY > 0 {
+		b.minY = 0
+	}
+	if b.maxX == b.minX {
+		b.maxX = b.minX + 1
+	}
+	if b.maxY == b.minY {
+		b.maxY = b.minY + 1
+	}
+	// Headroom.
+	b.maxY += (b.maxY - b.minY) * 0.05
+	return b, true
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() string {
+	const (
+		width, height                = 640, 420
+		left, right, top, bottom     = 70, 160, 40, 50
+		plotW, plotH             int = width - left - right, height - top - bottom
+	)
+	b, ok := c.bounds()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, escape(c.Title))
+	if !ok {
+		sb.WriteString(`<text x="50%" y="50%" font-family="sans-serif" font-size="13">no data</text></svg>`)
+		return sb.String()
+	}
+	xPix := func(x float64) float64 {
+		return float64(left) + (x-b.minX)/(b.maxX-b.minX)*float64(plotW)
+	}
+	yPix := func(y float64) float64 {
+		return float64(top+plotH) - (y-b.minY)/(b.maxY-b.minY)*float64(plotH)
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		left, top, plotW, plotH)
+	// Ticks: 5 per axis with grid lines.
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		fx := b.minX + (b.maxX-b.minX)*float64(i)/ticks
+		fy := b.minY + (b.maxY-b.minY)*float64(i)/ticks
+		px, py := xPix(fx), yPix(fy)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px, top, px, top+plotH)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			left, py, left+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, top+plotH+16, tickLabel(fx, false))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-6, py+4, tickLabel(fy, c.YPercent))
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, escape(c.YLabel))
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(s.X[i]), yPix(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := top + 10 + 18*si
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			left+plotW+10, ly, left+plotW+30, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			left+plotW+35, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>")
+	return sb.String()
+}
+
+// ASCII renders the chart as a character plot of the given dimensions
+// (minimum 16×6). Each series uses its own marker rune.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	b, ok := c.bounds()
+	if !ok {
+		return c.Title + "\n(no data)\n"
+	}
+	markers := []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			col := int((s.X[i] - b.minX) / (b.maxX - b.minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-b.minY)/(b.maxY-b.minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(c.Title + "\n")
+	fmt.Fprintf(&sb, "%s (top=%s bottom=%s)\n", c.YLabel, tickLabel(b.maxY, c.YPercent), tickLabel(b.minY, c.YPercent))
+	for _, row := range grid {
+		sb.WriteString("|" + string(row) + "\n")
+	}
+	fmt.Fprintf(&sb, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, " %s: %s .. %s   ", c.XLabel, tickLabel(b.minX, false), tickLabel(b.maxX, false))
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "[%c] %s  ", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func tickLabel(v float64, percent bool) string {
+	if percent {
+		return fmt.Sprintf("%.0f%%", 100*v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:    "Fig. X — test <chart>",
+		XLabel:   "inter-arrival (min)",
+		YLabel:   "reduction ratio",
+		YPercent: true,
+		Series: []Series{
+			{Name: "100 VMs", X: []float64{0.5, 1, 2, 4}, Y: []float64{0.32, 0.35, 0.39, 0.41}},
+			{Name: "500 VMs", X: []float64{0.5, 1, 2, 4}, Y: []float64{0.42, 0.44, 0.45, 0.45}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	svg := sampleChart().SVG()
+	decoder := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := decoder.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "reduction ratio", "100 VMs", "500 VMs"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The title's angle brackets must be escaped.
+	if strings.Contains(svg, "<chart>") {
+		t.Error("unescaped title in SVG")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	svg := (&Chart{Title: "empty"}).SVG()
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestSVGFlatSeries(t *testing.T) {
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}},
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Errorf("degenerate ranges leaked into coordinates:\n%s", svg)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := sampleChart().ASCII(40, 10)
+	if !strings.Contains(out, "[*] 100 VMs") || !strings.Contains(out, "[o] 500 VMs") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestASCIIMinimumSize(t *testing.T) {
+	out := sampleChart().ASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("no plot rows")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	out := (&Chart{Title: "t"}).ASCII(20, 8)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	if got := tickLabel(0.425, true); got != "42%" && got != "43%" {
+		t.Errorf("percent tick = %q", got)
+	}
+	if got := tickLabel(12.5, false); got != "12.5" {
+		t.Errorf("plain tick = %q", got)
+	}
+}

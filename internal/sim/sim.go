@@ -1,0 +1,264 @@
+// Package sim drives complete simulation campaigns: it generates seeded
+// workloads, runs the heuristic and the FFPS baseline (plus any extra
+// allocators) on each, verifies the placements, computes the paper's
+// metrics, and averages across seeds. Seeds run concurrently on a bounded
+// worker pool.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vmalloc/internal/baseline"
+	"vmalloc/internal/core"
+	"vmalloc/internal/metrics"
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+// Config describes one simulation campaign: a workload/fleet pair run over
+// several seeds.
+type Config struct {
+	Workload workload.Spec      `json:"workload"`
+	Fleet    workload.FleetSpec `json:"fleet"`
+	// Seeds are the workload seeds to run; the paper averages 5 random
+	// runs per data point.
+	Seeds []int64 `json:"seeds"`
+	// Parallelism bounds concurrent seed runs; 0 means GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
+	// SkipInfeasible drops seeds on which any allocator cannot place every
+	// VM (possible at the densest settings) instead of failing the whole
+	// campaign. Skipped seeds are counted in Summary.Skipped.
+	SkipInfeasible bool `json:"skipInfeasible,omitempty"`
+}
+
+// Seeds returns the canonical seed list 1..n.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// RunResult is one allocator's outcome on one seeded instance.
+type RunResult struct {
+	Allocator   string              `json:"allocator"`
+	Seed        int64               `json:"seed"`
+	Energy      float64             `json:"energyWattMinutes"`
+	Utilization metrics.Utilization `json:"utilization"`
+	ServersUsed int                 `json:"serversUsed"`
+}
+
+// SeedOutcome collects every allocator's result on one seeded instance.
+type SeedOutcome struct {
+	Seed    int64       `json:"seed"`
+	Horizon int         `json:"horizon"`
+	Ours    RunResult   `json:"ours"`
+	FFPS    RunResult   `json:"ffps"`
+	Extra   []RunResult `json:"extra,omitempty"`
+	// ReductionRatio is (E_FFPS − E_ours)/E_FFPS for this seed.
+	ReductionRatio float64 `json:"reductionRatio"`
+}
+
+// Summary aggregates a campaign over its seeds.
+type Summary struct {
+	Config Config        `json:"config"`
+	Runs   []SeedOutcome `json:"runs"`
+	// Skipped counts seeds dropped because a placement was infeasible
+	// (only when Config.SkipInfeasible is set).
+	Skipped int `json:"skipped,omitempty"`
+
+	// MeanReductionRatio is the average of the per-seed reduction ratios.
+	MeanReductionRatio float64 `json:"meanReductionRatio"`
+	// OursUtil and FFPSUtil are utilisations averaged across seeds.
+	OursUtil metrics.Utilization `json:"oursUtilization"`
+	FFPSUtil metrics.Utilization `json:"ffpsUtilization"`
+	// CPULoad and MemLoad quantify the system load the way §IV-C does: by
+	// the FFPS utilisations.
+	CPULoad float64 `json:"cpuLoad"`
+	MemLoad float64 `json:"memLoad"`
+}
+
+// Runner executes simulation campaigns with a fixed allocator lineup.
+type Runner struct {
+	// Ours builds the allocator under evaluation for a given seed. By
+	// default it is the paper's MinCost heuristic (seed-independent).
+	Ours func(seed int64) core.Allocator
+	// Baseline builds the baseline for a given seed. By default FFPS,
+	// shuffled by the seed.
+	Baseline func(seed int64) core.Allocator
+	// Extra allocators (optional) are run alongside for ablation tables.
+	Extra []func(seed int64) core.Allocator
+}
+
+// NewRunner returns a Runner with the paper's lineup: MinCost vs FFPS.
+func NewRunner() *Runner {
+	return &Runner{
+		Ours:     func(int64) core.Allocator { return core.NewMinCost() },
+		Baseline: func(seed int64) core.Allocator { return baseline.NewFFPS(seed) },
+	}
+}
+
+// Run executes the campaign, parallelising across seeds. It fails fast on
+// the first error (including infeasible placements) and respects ctx
+// cancellation.
+func (r *Runner) Run(ctx context.Context, cfg Config) (*Summary, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("sim: no seeds configured")
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Seeds) {
+		workers = len(cfg.Seeds)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		outcomes = make([]*SeedOutcome, len(cfg.Seeds))
+		wg       sync.WaitGroup
+		jobs     = make(chan int)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				out, err := r.runSeed(cfg, cfg.Seeds[idx])
+				var ue *core.UnplaceableError
+				if cfg.SkipInfeasible && errors.As(err, &ue) {
+					continue // leave outcomes[idx] nil
+				}
+				if err != nil {
+					fail(fmt.Errorf("seed %d: %w", cfg.Seeds[idx], err))
+					continue
+				}
+				outcomes[idx] = out
+			}
+		}()
+	}
+feed:
+	for idx := range cfg.Seeds {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kept := make([]SeedOutcome, 0, len(outcomes))
+	skipped := 0
+	for _, o := range outcomes {
+		if o == nil {
+			skipped++
+			continue
+		}
+		kept = append(kept, *o)
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("sim: all %d seeds were infeasible", skipped)
+	}
+	sum := summarize(cfg, kept)
+	sum.Skipped = skipped
+	return sum, nil
+}
+
+// runSeed generates the seeded instance and runs every allocator on it.
+func (r *Runner) runSeed(cfg Config, seed int64) (*SeedOutcome, error) {
+	inst, err := workload.Generate(cfg.Workload, cfg.Fleet, seed)
+	if err != nil {
+		return nil, err
+	}
+	ours, err := r.evaluate(r.Ours(seed), inst, seed)
+	if err != nil {
+		return nil, err
+	}
+	ffps, err := r.evaluate(r.Baseline(seed), inst, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &SeedOutcome{
+		Seed:    seed,
+		Horizon: inst.Horizon,
+		Ours:    *ours,
+		FFPS:    *ffps,
+	}
+	if ffps.Energy > 0 {
+		out.ReductionRatio = (ffps.Energy - ours.Energy) / ffps.Energy
+	}
+	for _, mk := range r.Extra {
+		res, err := r.evaluate(mk(seed), inst, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Extra = append(out.Extra, *res)
+	}
+	return out, nil
+}
+
+func (r *Runner) evaluate(a core.Allocator, inst model.Instance, seed int64) (*RunResult, error) {
+	res, err := a.Allocate(inst)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	util, err := metrics.AverageUtilization(inst, res.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	return &RunResult{
+		Allocator:   res.Allocator,
+		Seed:        seed,
+		Energy:      res.Energy.Total(),
+		Utilization: util,
+		ServersUsed: res.ServersUsed,
+	}, nil
+}
+
+func summarize(cfg Config, outcomes []SeedOutcome) *Summary {
+	s := &Summary{Config: cfg, Runs: outcomes}
+	n := float64(len(outcomes))
+	for _, o := range outcomes {
+		s.MeanReductionRatio += o.ReductionRatio / n
+		s.OursUtil.CPU += o.Ours.Utilization.CPU / n
+		s.OursUtil.Mem += o.Ours.Utilization.Mem / n
+		s.FFPSUtil.CPU += o.FFPS.Utilization.CPU / n
+		s.FFPSUtil.Mem += o.FFPS.Utilization.Mem / n
+	}
+	s.CPULoad = s.FFPSUtil.CPU
+	s.MemLoad = s.FFPSUtil.Mem
+	return s
+}
+
+// ReductionRatios returns the per-seed reduction ratios (for confidence
+// intervals and fits).
+func (s *Summary) ReductionRatios() []float64 {
+	out := make([]float64, len(s.Runs))
+	for i, o := range s.Runs {
+		out[i] = o.ReductionRatio
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"vmalloc/internal/baseline"
+	"vmalloc/internal/core"
+	"vmalloc/internal/workload"
+)
+
+func paperConfig(seeds int) Config {
+	return Config{
+		Workload: workload.Spec{NumVMs: 100, MeanInterArrival: 2, MeanLength: 5},
+		Fleet:    workload.FleetSpec{NumServers: 50, TransitionTime: 1},
+		Seeds:    Seeds(seeds),
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Seeds(3) = %v", got)
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	sum, err := NewRunner().Run(context.Background(), paperConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Runs) != 5 {
+		t.Fatalf("got %d runs, want 5", len(sum.Runs))
+	}
+	for _, o := range sum.Runs {
+		if o.Ours.Energy <= 0 || o.FFPS.Energy <= 0 {
+			t.Fatalf("seed %d: non-positive energies %+v", o.Seed, o)
+		}
+		if o.Ours.Allocator != "MinCost" || o.FFPS.Allocator != "FFPS" {
+			t.Fatalf("unexpected allocators %q, %q", o.Ours.Allocator, o.FFPS.Allocator)
+		}
+	}
+	// The paper's headline: positive mean reduction at moderate load.
+	if sum.MeanReductionRatio <= 0 {
+		t.Errorf("mean reduction ratio %.3f, want > 0", sum.MeanReductionRatio)
+	}
+	// Our utilisation should not be below FFPS's.
+	if sum.OursUtil.CPU < sum.FFPSUtil.CPU {
+		t.Errorf("ours CPU util %.3f below FFPS %.3f", sum.OursUtil.CPU, sum.FFPSUtil.CPU)
+	}
+	if sum.CPULoad != sum.FFPSUtil.CPU || sum.MemLoad != sum.FFPSUtil.Mem {
+		t.Error("load must equal FFPS utilisation by definition")
+	}
+	if got := sum.ReductionRatios(); len(got) != 5 {
+		t.Errorf("ReductionRatios length %d", len(got))
+	}
+}
+
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	cfg := paperConfig(4)
+	cfg.Parallelism = 1
+	serial, err := NewRunner().Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	parallel, err := NewRunner().Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Runs {
+		a, b := serial.Runs[i], parallel.Runs[i]
+		if a.Seed != b.Seed || math.Abs(a.Ours.Energy-b.Ours.Energy) > 1e-9 ||
+			math.Abs(a.FFPS.Energy-b.FFPS.Energy) > 1e-9 {
+			t.Fatalf("parallelism changed results: %+v vs %+v", a, b)
+		}
+	}
+	if math.Abs(serial.MeanReductionRatio-parallel.MeanReductionRatio) > 1e-12 {
+		t.Error("mean reduction differs across parallelism")
+	}
+}
+
+func TestRunnerExtraAllocators(t *testing.T) {
+	r := NewRunner()
+	r.Extra = []func(int64) core.Allocator{
+		func(int64) core.Allocator { return baseline.NewBestFitCPU() },
+		func(seed int64) core.Allocator { return baseline.NewRandomFit(seed) },
+	}
+	sum, err := r.Run(context.Background(), paperConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sum.Runs {
+		if len(o.Extra) != 2 {
+			t.Fatalf("seed %d: %d extra results, want 2", o.Seed, len(o.Extra))
+		}
+		if o.Extra[0].Allocator != "BestFit/cpu" || o.Extra[1].Allocator != "RandomFit" {
+			t.Fatalf("extra allocators = %q, %q", o.Extra[0].Allocator, o.Extra[1].Allocator)
+		}
+	}
+}
+
+func TestRunnerNoSeeds(t *testing.T) {
+	cfg := paperConfig(1)
+	cfg.Seeds = nil
+	if _, err := NewRunner().Run(context.Background(), cfg); err == nil {
+		t.Error("want error for empty seed list")
+	}
+}
+
+func TestRunnerPropagatesGenerationError(t *testing.T) {
+	cfg := paperConfig(2)
+	cfg.Workload.MeanLength = 0
+	if _, err := NewRunner().Run(context.Background(), cfg); err == nil {
+		t.Error("want error for invalid workload spec")
+	}
+}
+
+func TestRunnerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := paperConfig(8)
+	if _, err := NewRunner().Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerSkipInfeasible(t *testing.T) {
+	// A workload far beyond fleet capacity: every seed is infeasible.
+	cfg := Config{
+		Workload:       workload.Spec{NumVMs: 200, MeanInterArrival: 0.1, MeanLength: 500},
+		Fleet:          workload.FleetSpec{NumServers: 2, TransitionTime: 1},
+		Seeds:          Seeds(3),
+		SkipInfeasible: true,
+	}
+	if _, err := NewRunner().Run(context.Background(), cfg); err == nil {
+		t.Fatal("want error when all seeds are infeasible")
+	}
+	// Without the flag, an infeasible seed fails the campaign.
+	cfg.SkipInfeasible = false
+	if _, err := NewRunner().Run(context.Background(), cfg); err == nil {
+		t.Fatal("want error without SkipInfeasible")
+	}
+	// A feasible campaign reports zero skips.
+	sum, err := NewRunner().Run(context.Background(), paperConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 0 {
+		t.Errorf("Skipped = %d, want 0", sum.Skipped)
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanCI95Basics(t *testing.T) {
+	// Single sample: degenerate interval.
+	ci := MeanCI95([]float64{5})
+	if ci.Mean != 5 || ci.Low != 5 || ci.High != 5 {
+		t.Errorf("single-sample CI = %+v", ci)
+	}
+	// Known small-sample case: n=2, values 0 and 2 → mean 1, sd √2,
+	// half-width 12.706·√2/√2 = 12.706.
+	ci = MeanCI95([]float64{0, 2})
+	if math.Abs(ci.Mean-1) > 1e-12 {
+		t.Errorf("mean = %g", ci.Mean)
+	}
+	if math.Abs(ci.High-1-12.706) > 1e-9 {
+		t.Errorf("half width = %g, want 12.706", ci.High-1)
+	}
+	if !ci.Contains(1) || ci.Contains(100) {
+		t.Error("Contains wrong")
+	}
+	if ci.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestMeanCI95Coverage: across many resamples of a known-mean population,
+// the 95% interval must contain the true mean roughly 95% of the time.
+func TestMeanCI95Coverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const trueMean = 3.0
+	hits, trials := 0, 600
+	for i := 0; i < trials; i++ {
+		sample := make([]float64, 10)
+		for j := range sample {
+			sample[j] = trueMean + rng.NormFloat64()
+		}
+		if MeanCI95(sample).Contains(trueMean) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if rate < 0.91 || rate > 0.99 {
+		t.Errorf("coverage = %.3f, want ≈0.95", rate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.125, 1.5},
+		{-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty Percentile = %g", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton Percentile = %g", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %g", got)
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return Percentile(xs, 0) <= Percentile(xs, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

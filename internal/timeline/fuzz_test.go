@@ -1,0 +1,102 @@
+package timeline
+
+import (
+	"testing"
+)
+
+// FuzzSegmentSetInsert feeds arbitrary interval streams into SegmentSet
+// and checks its invariants against a bitmap oracle.
+func FuzzSegmentSetInsert(f *testing.F) {
+	f.Add([]byte{1, 3, 5, 2, 10, 1})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{200, 50, 10, 10, 10, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var (
+			s       SegmentSet
+			covered [600]bool
+		)
+		for i := 0; i+1 < len(data); i += 2 {
+			start := int(data[i]) + 1
+			end := start + int(data[i+1])%32
+			if end >= len(covered) {
+				end = len(covered) - 1
+			}
+			if start > end {
+				continue
+			}
+			s.Insert(Interval{Start: start, End: end})
+			for x := start; x <= end; x++ {
+				covered[x] = true
+			}
+		}
+		// Invariant 1: segments sorted, disjoint, non-adjacent.
+		segs := s.Segments()
+		for k := 1; k < len(segs); k++ {
+			if segs[k].Start <= segs[k-1].End+1 {
+				t.Fatalf("segments not normalised: %v then %v", segs[k-1], segs[k])
+			}
+		}
+		// Invariant 2: coverage matches the oracle.
+		total := 0
+		for x := 1; x < len(covered); x++ {
+			if covered[x] {
+				total++
+			}
+			if s.Covers(x) != covered[x] {
+				t.Fatalf("Covers(%d) = %v, oracle %v", x, s.Covers(x), covered[x])
+			}
+		}
+		if s.Total() != total {
+			t.Fatalf("Total = %d, oracle %d", s.Total(), total)
+		}
+		// Invariant 3: gaps are exactly the uncovered stretches inside the
+		// span.
+		if first, last, ok := s.Bounds(); ok {
+			gapLen := 0
+			for _, g := range s.Gaps() {
+				gapLen += g.Len()
+				for x := g.Start; x <= g.End; x++ {
+					if covered[x] {
+						t.Fatalf("gap %v overlaps covered time %d", g, x)
+					}
+				}
+			}
+			if s.Total()+gapLen != last-first+1 {
+				t.Fatalf("total %d + gaps %d != span %d", s.Total(), gapLen, last-first+1)
+			}
+		}
+	})
+}
+
+// FuzzTreeProfile cross-checks the segment tree against the slice
+// implementation on arbitrary operation streams.
+func FuzzTreeProfile(f *testing.F) {
+	f.Add([]byte{10, 1, 5, 3, 2, 8, 100})
+	f.Add([]byte{255, 0, 255, 255, 1, 1, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		horizon := int(data[0])%200 + 1
+		tree := NewTreeProfile(horizon)
+		slice := NewSliceProfile(horizon)
+		for i := 1; i+2 < len(data); i += 3 {
+			a := int(data[i])%horizon + 1
+			b := int(data[i+1])%horizon + 1
+			if a > b {
+				a, b = b, a
+			}
+			amt := float64(int(data[i+2]) - 128)
+			tree.Add(a, b, amt)
+			slice.Add(a, b, amt)
+			if got, want := tree.Max(a, b), slice.Max(a, b); got != want {
+				t.Fatalf("Max(%d,%d) = %g, want %g", a, b, got, want)
+			}
+		}
+		for x := 1; x <= horizon; x++ {
+			if got, want := tree.At(x), slice.At(x); got != want {
+				t.Fatalf("At(%d) = %g, want %g", x, got, want)
+			}
+		}
+	})
+}

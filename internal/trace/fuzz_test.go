@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the parser never panics on arbitrary input and that
+// whatever it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,type,cpu,mem,start,end\n1,standard-1,1,1.7,1,10\n")
+	f.Add("id,type,cpu,mem,start,end\n")
+	f.Add("garbage")
+	f.Add("id,type,cpu,mem,start,end\n1,t,NaN,1,1,2\n")
+	f.Add("id,type,cpu,mem,start,end\n1,\"a,b\",1,1,1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		vms, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, v := range vms {
+			if v.Validate() != nil {
+				t.Fatalf("parser accepted invalid vm %+v", v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, vms); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(vms) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(vms))
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package trace imports and exports VM request traces and analyses them.
+// A trace is the list of VM requests of an instance — the paper's
+// synthetic workloads and real data-center request logs share the same
+// shape (id, type, cpu, mem, start, end) — so traces can be captured from
+// one source, summarised, and refitted into workload.Spec parameters to
+// generate statistically similar synthetic instances.
+//
+// CSV format (header required):
+//
+//	id,type,cpu,mem,start,end
+//	1,standard-2,2,3.75,4,61
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+var csvHeader = []string{"id", "type", "cpu", "mem", "start", "end"}
+
+// WriteCSV writes the VMs as a CSV trace.
+func WriteCSV(w io.Writer, vms []model.VM) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, v := range vms {
+		rec := []string{
+			strconv.Itoa(v.ID),
+			v.Type,
+			strconv.FormatFloat(v.Demand.CPU, 'g', -1, 64),
+			strconv.FormatFloat(v.Demand.Mem, 'g', -1, 64),
+			strconv.Itoa(v.Start),
+			strconv.Itoa(v.End),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace and validates every VM.
+func ReadCSV(r io.Reader) ([]model.VM, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var vms []model.VM
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		v, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		vms = append(vms, v)
+	}
+	return vms, nil
+}
+
+func parseRecord(rec []string) (model.VM, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return model.VM{}, fmt.Errorf("id: %w", err)
+	}
+	cpu, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return model.VM{}, fmt.Errorf("cpu: %w", err)
+	}
+	mem, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return model.VM{}, fmt.Errorf("mem: %w", err)
+	}
+	start, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return model.VM{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return model.VM{}, fmt.Errorf("end: %w", err)
+	}
+	return model.VM{
+		ID:     id,
+		Type:   rec[1],
+		Demand: model.Resources{CPU: cpu, Mem: mem},
+		Start:  start,
+		End:    end,
+	}, nil
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Count int `json:"count"`
+	// MeanInterArrival is the mean gap between consecutive starts, in
+	// minutes.
+	MeanInterArrival float64 `json:"meanInterArrivalMinutes"`
+	// MeanLength is the mean VM duration in minutes.
+	MeanLength float64 `json:"meanLengthMinutes"`
+	// Horizon is the last end time.
+	Horizon int `json:"horizon"`
+	// PeakConcurrency is the maximum number of simultaneously live VMs.
+	PeakConcurrency int `json:"peakConcurrency"`
+	// MeanCPU and MeanMem are the average demands.
+	MeanCPU float64 `json:"meanCPU"`
+	MeanMem float64 `json:"meanMem"`
+	// TypeMix counts VMs per type name.
+	TypeMix map[string]int `json:"typeMix"`
+	// ClassMix counts VMs per catalog class (types not in the catalog
+	// fall under "other").
+	ClassMix map[string]int `json:"classMix"`
+}
+
+// Analyze computes trace statistics.
+func Analyze(vms []model.VM) Stats {
+	st := Stats{
+		Count:    len(vms),
+		TypeMix:  make(map[string]int),
+		ClassMix: make(map[string]int),
+	}
+	if len(vms) == 0 {
+		return st
+	}
+	starts := make([]int, 0, len(vms))
+	events := make(map[int]int)
+	var totalLen, totalCPU, totalMem float64
+	for _, v := range vms {
+		starts = append(starts, v.Start)
+		totalLen += float64(v.Duration())
+		totalCPU += v.Demand.CPU
+		totalMem += v.Demand.Mem
+		if v.End > st.Horizon {
+			st.Horizon = v.End
+		}
+		st.TypeMix[v.Type]++
+		if vt, err := model.VMTypeByName(v.Type); err == nil {
+			st.ClassMix[string(vt.Class)]++
+		} else {
+			st.ClassMix["other"]++
+		}
+		events[v.Start]++
+		events[v.End+1]--
+	}
+	sort.Ints(starts)
+	if len(starts) > 1 {
+		st.MeanInterArrival = float64(starts[len(starts)-1]-starts[0]) / float64(len(starts)-1)
+	}
+	st.MeanLength = totalLen / float64(len(vms))
+	st.MeanCPU = totalCPU / float64(len(vms))
+	st.MeanMem = totalMem / float64(len(vms))
+
+	times := make([]int, 0, len(events))
+	for t := range events {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	cur := 0
+	for _, t := range times {
+		cur += events[t]
+		if cur > st.PeakConcurrency {
+			st.PeakConcurrency = cur
+		}
+	}
+	return st
+}
+
+// FitSpec estimates workload.Spec parameters that would generate a
+// statistically similar trace: the empirical mean inter-arrival and mean
+// length, and the catalog classes present in the trace (classes whose
+// share is below 1% are dropped as noise).
+func (st Stats) FitSpec() workload.Spec {
+	spec := workload.Spec{
+		NumVMs:           st.Count,
+		MeanInterArrival: st.MeanInterArrival,
+		MeanLength:       st.MeanLength,
+	}
+	if spec.MeanInterArrival <= 0 {
+		spec.MeanInterArrival = 1
+	}
+	if spec.MeanLength <= 0 {
+		spec.MeanLength = 1
+	}
+	classes := make([]string, 0, len(st.ClassMix))
+	for c := range st.ClassMix {
+		if c != "other" && st.ClassMix[c]*100 >= st.Count {
+			classes = append(classes, c)
+		}
+	}
+	sort.Strings(classes)
+	if len(classes) < 3 { // not all classes present: restrict
+		for _, c := range classes {
+			spec.Classes = append(spec.Classes, model.VMClass(c))
+		}
+	}
+	return spec
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/workload"
+)
+
+func sample() []model.VM {
+	return []model.VM{
+		{ID: 1, Type: "standard-2", Demand: model.Resources{CPU: 2, Mem: 3.75}, Start: 1, End: 20},
+		{ID: 2, Type: "cpu-intensive-1", Demand: model.Resources{CPU: 5, Mem: 1.7}, Start: 5, End: 14},
+		{ID: 3, Type: "custom", Demand: model.Resources{CPU: 1, Mem: 1}, Start: 11, End: 30},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, sample())
+	}
+}
+
+func TestCSVRoundTripGenerated(t *testing.T) {
+	spec := workload.Spec{NumVMs: 200, MeanInterArrival: 2, MeanLength: 30}
+	vms, err := spec.VMs(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, vms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vms) {
+		t.Error("generated trace did not round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d,e,f\n"},
+		{"bad id", "id,type,cpu,mem,start,end\nx,t,1,1,1,2\n"},
+		{"bad cpu", "id,type,cpu,mem,start,end\n1,t,x,1,1,2\n"},
+		{"bad mem", "id,type,cpu,mem,start,end\n1,t,1,x,1,2\n"},
+		{"bad start", "id,type,cpu,mem,start,end\n1,t,1,1,x,2\n"},
+		{"bad end", "id,type,cpu,mem,start,end\n1,t,1,1,1,x\n"},
+		{"invalid vm", "id,type,cpu,mem,start,end\n1,t,1,1,5,2\n"},
+		{"wrong width", "id,type,cpu,mem,start,end\n1,t,1,1,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	st := Analyze(sample())
+	if st.Count != 3 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	// Starts 1, 5, 11 → mean inter-arrival (11-1)/2 = 5.
+	if st.MeanInterArrival != 5 {
+		t.Errorf("MeanInterArrival = %g, want 5", st.MeanInterArrival)
+	}
+	// Durations 20, 10, 20 → mean 50/3.
+	if want := 50.0 / 3; st.MeanLength != want {
+		t.Errorf("MeanLength = %g, want %g", st.MeanLength, want)
+	}
+	if st.Horizon != 30 {
+		t.Errorf("Horizon = %d", st.Horizon)
+	}
+	// All three overlap during [11,14].
+	if st.PeakConcurrency != 3 {
+		t.Errorf("PeakConcurrency = %d, want 3", st.PeakConcurrency)
+	}
+	if st.TypeMix["standard-2"] != 1 || st.TypeMix["custom"] != 1 {
+		t.Errorf("TypeMix = %v", st.TypeMix)
+	}
+	if st.ClassMix["standard"] != 1 || st.ClassMix["cpu-intensive"] != 1 || st.ClassMix["other"] != 1 {
+		t.Errorf("ClassMix = %v", st.ClassMix)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(nil)
+	if st.Count != 0 || st.PeakConcurrency != 0 {
+		t.Errorf("empty Analyze = %+v", st)
+	}
+}
+
+func TestFitSpecRecoversParameters(t *testing.T) {
+	spec := workload.Spec{
+		NumVMs: 3000, MeanInterArrival: 2.5, MeanLength: 40,
+		Classes: []model.VMClass{model.ClassStandard, model.ClassCPUIntensive},
+	}
+	vms, err := spec.VMs(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := Analyze(vms).FitSpec()
+	if fit.NumVMs != 3000 {
+		t.Errorf("NumVMs = %d", fit.NumVMs)
+	}
+	if fit.MeanInterArrival < 2.2 || fit.MeanInterArrival > 2.8 {
+		t.Errorf("MeanInterArrival = %g, want ≈2.5", fit.MeanInterArrival)
+	}
+	if fit.MeanLength < 36 || fit.MeanLength > 44 {
+		t.Errorf("MeanLength = %g, want ≈40", fit.MeanLength)
+	}
+	wantClasses := []model.VMClass{model.ClassCPUIntensive, model.ClassStandard}
+	if !reflect.DeepEqual(fit.Classes, wantClasses) {
+		t.Errorf("Classes = %v, want %v", fit.Classes, wantClasses)
+	}
+	// The fitted spec must itself be generatable.
+	if _, err := fit.VMs(rand.New(rand.NewSource(3))); err != nil {
+		t.Errorf("fitted spec unusable: %v", err)
+	}
+}
+
+func TestFitSpecAllClasses(t *testing.T) {
+	spec := workload.Spec{NumVMs: 2000, MeanInterArrival: 1, MeanLength: 20}
+	vms, err := spec.VMs(rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := Analyze(vms).FitSpec()
+	if len(fit.Classes) != 0 {
+		t.Errorf("all-class trace should fit to unrestricted spec, got %v", fit.Classes)
+	}
+}

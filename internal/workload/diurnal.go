@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vmalloc/internal/model"
+)
+
+// DiurnalSpec generates VM requests whose arrival rate follows a
+// day/night cycle — the load shape the dynamic right-sizing literature
+// (paper §V [4]) targets. Arrivals are an inhomogeneous Poisson process
+// with rate
+//
+//	λ(t) = λ̄ · (1 + a·sin(2πt/Period)),   a = (PeakToTrough−1)/(PeakToTrough+1),
+//
+// so the average rate matches a flat Spec with the same MeanInterArrival
+// while the instantaneous rate swings between λ̄(1−a) and λ̄(1+a).
+type DiurnalSpec struct {
+	// NumVMs is the number of requests.
+	NumVMs int `json:"numVMs"`
+	// MeanInterArrival is the day-average inter-arrival time in minutes.
+	MeanInterArrival float64 `json:"meanInterArrivalMinutes"`
+	// MeanLength is the mean VM length in minutes.
+	MeanLength float64 `json:"meanLengthMinutes"`
+	// PeakToTrough is the ratio of the peak to the trough arrival rate;
+	// 1 degenerates to the flat Poisson process.
+	PeakToTrough float64 `json:"peakToTrough"`
+	// Period is the cycle length in minutes (e.g. 1440 for a day).
+	Period float64 `json:"periodMinutes"`
+	// Classes restricts the VM type catalog; empty means all classes.
+	Classes []model.VMClass `json:"classes,omitempty"`
+}
+
+// Validate reports whether the spec is well formed.
+func (s DiurnalSpec) Validate() error {
+	switch {
+	case s.NumVMs < 1:
+		return fmt.Errorf("workload: NumVMs %d < 1", s.NumVMs)
+	case s.MeanInterArrival <= 0:
+		return fmt.Errorf("workload: MeanInterArrival %g <= 0", s.MeanInterArrival)
+	case s.MeanLength <= 0:
+		return fmt.Errorf("workload: MeanLength %g <= 0", s.MeanLength)
+	case s.PeakToTrough < 1:
+		return fmt.Errorf("workload: PeakToTrough %g < 1", s.PeakToTrough)
+	case s.Period <= 0:
+		return fmt.Errorf("workload: Period %g <= 0", s.Period)
+	}
+	return nil
+}
+
+// VMs generates the requests by thinning a homogeneous Poisson process at
+// the peak rate.
+func (s DiurnalSpec) VMs(rng *rand.Rand) ([]model.VM, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	types := model.VMTypesByClass(s.Classes...)
+	if len(types) == 0 {
+		return nil, fmt.Errorf("workload: classes %v match no VM types", s.Classes)
+	}
+	var (
+		lambdaBar = 1 / s.MeanInterArrival
+		a         = (s.PeakToTrough - 1) / (s.PeakToTrough + 1)
+		lambdaMax = lambdaBar * (1 + a)
+	)
+	rate := func(t float64) float64 {
+		return lambdaBar * (1 + a*math.Sin(2*math.Pi*t/s.Period))
+	}
+	vms := make([]model.VM, 0, s.NumVMs)
+	now := 0.0
+	for len(vms) < s.NumVMs {
+		now += rng.ExpFloat64() / lambdaMax
+		if rng.Float64()*lambdaMax > rate(now) {
+			continue // thinned
+		}
+		start := int(math.Round(now))
+		if start < 1 {
+			start = 1
+		}
+		length := int(math.Round(rng.ExpFloat64() * s.MeanLength))
+		if length < 1 {
+			length = 1
+		}
+		vt := types[rng.Intn(len(types))]
+		vms = append(vms, model.VM{
+			ID:     len(vms) + 1,
+			Type:   vt.Name,
+			Demand: vt.Resources(),
+			Start:  start,
+			End:    start + length - 1,
+		})
+	}
+	return vms, nil
+}
+
+// GenerateDiurnal builds a complete instance from a diurnal workload and
+// a fleet spec with the given seed.
+func GenerateDiurnal(spec DiurnalSpec, fleet FleetSpec, seed int64) (model.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	vms, err := spec.VMs(rng)
+	if err != nil {
+		return model.Instance{}, err
+	}
+	servers, err := fleet.Servers(rng)
+	if err != nil {
+		return model.Instance{}, err
+	}
+	inst := model.NewInstance(vms, servers)
+	if err := inst.Validate(); err != nil {
+		return model.Instance{}, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	return inst, nil
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{NumVMs: 10, MeanInterArrival: 1, MeanLength: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{NumVMs: 0, MeanInterArrival: 1, MeanLength: 5},
+		{NumVMs: 10, MeanInterArrival: 0, MeanLength: 5},
+		{NumVMs: 10, MeanInterArrival: 1, MeanLength: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestVMsBasicShape(t *testing.T) {
+	spec := Spec{NumVMs: 200, MeanInterArrival: 2, MeanLength: 5}
+	vms, err := spec.VMs(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 200 {
+		t.Fatalf("got %d VMs, want 200", len(vms))
+	}
+	prevStart := 0
+	for i, v := range vms {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("vm %d invalid: %v", i, err)
+		}
+		if v.Start < prevStart {
+			t.Fatalf("arrivals not monotone: vm %d starts at %d after %d", i, v.Start, prevStart)
+		}
+		prevStart = v.Start
+		if v.ID != i+1 {
+			t.Fatalf("vm %d has ID %d", i, v.ID)
+		}
+		if v.Type == "" {
+			t.Fatalf("vm %d has no type", i)
+		}
+	}
+}
+
+func TestVMsStatisticalMeans(t *testing.T) {
+	spec := Spec{NumVMs: 5000, MeanInterArrival: 3, MeanLength: 7}
+	vms, err := spec.VMs(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean inter-arrival ≈ lastStart / n.
+	meanIA := float64(vms[len(vms)-1].Start) / float64(len(vms))
+	if math.Abs(meanIA-3) > 0.3 {
+		t.Errorf("empirical mean inter-arrival %.2f, want ≈3", meanIA)
+	}
+	var totalLen float64
+	for _, v := range vms {
+		totalLen += float64(v.Duration())
+	}
+	meanLen := totalLen / float64(len(vms))
+	// Rounding up to ≥1 inflates the mean slightly; allow a wide band.
+	if meanLen < 6 || meanLen > 8.5 {
+		t.Errorf("empirical mean length %.2f, want ≈7", meanLen)
+	}
+}
+
+func TestVMsClassFilter(t *testing.T) {
+	spec := Spec{
+		NumVMs: 100, MeanInterArrival: 1, MeanLength: 5,
+		Classes: []model.VMClass{model.ClassStandard},
+	}
+	vms, err := spec.VMs(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	standard := map[string]bool{}
+	for _, vt := range model.VMTypesByClass(model.ClassStandard) {
+		standard[vt.Name] = true
+	}
+	for _, v := range vms {
+		if !standard[v.Type] {
+			t.Fatalf("vm of type %q escaped the standard filter", v.Type)
+		}
+	}
+}
+
+func TestFleetSpecServers(t *testing.T) {
+	fs := FleetSpec{NumServers: 23, TransitionTime: 1}
+	servers, err := fs.Servers(rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 23 {
+		t.Fatalf("got %d servers, want 23", len(servers))
+	}
+	counts := map[string]int{}
+	for i, s := range servers {
+		if s.ID != i+1 {
+			t.Fatalf("server %d has ID %d", i, s.ID)
+		}
+		if s.TransitionTime != 1 {
+			t.Fatalf("server %d transition time %g", i, s.TransitionTime)
+		}
+		counts[s.Type]++
+	}
+	// Round-robin over 5 types: counts differ by at most 1.
+	if len(counts) != 5 {
+		t.Fatalf("fleet uses %d types, want 5", len(counts))
+	}
+	for name, c := range counts {
+		if c < 23/5 || c > 23/5+1 {
+			t.Errorf("type %s count %d not balanced", name, c)
+		}
+	}
+}
+
+func TestFleetSpecTypeFilter(t *testing.T) {
+	fs := FleetSpec{NumServers: 9, TransitionTime: 1, Types: []string{"type-1", "type-2", "type-3"}}
+	servers, err := fs.Servers(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range servers {
+		if s.Type != "type-1" && s.Type != "type-2" && s.Type != "type-3" {
+			t.Fatalf("server of type %q escaped the filter", s.Type)
+		}
+	}
+	if _, err := (FleetSpec{NumServers: 3, Types: []string{"bogus"}}).Servers(rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for unknown server type")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{NumVMs: 50, MeanInterArrival: 2, MeanLength: 5}
+	fleet := FleetSpec{NumServers: 25, TransitionTime: 1}
+	a, err := Generate(spec, fleet, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, fleet, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horizon != b.Horizon || len(a.VMs) != len(b.VMs) {
+		t.Fatal("same seed produced different instances")
+	}
+	for i := range a.VMs {
+		if a.VMs[i] != b.VMs[i] {
+			t.Fatalf("vm %d differs across identical seeds", i)
+		}
+	}
+	c, err := Generate(spec, fleet, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.VMs {
+		if a.VMs[i] != c.VMs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical VM sets")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("generated instance invalid: %v", err)
+	}
+}
+
+func TestGeneratePropagatesSpecErrors(t *testing.T) {
+	if _, err := Generate(Spec{}, FleetSpec{NumServers: 1}, 1); err == nil {
+		t.Error("want error for invalid spec")
+	}
+	if _, err := Generate(Spec{NumVMs: 1, MeanInterArrival: 1, MeanLength: 1}, FleetSpec{}, 1); err == nil {
+		t.Error("want error for invalid fleet spec")
+	}
+}

@@ -1,0 +1,113 @@
+package vmalloc_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"vmalloc"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way the
+// README's quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	inst, err := vmalloc.Generate(
+		vmalloc.WorkloadSpec{NumVMs: 60, MeanInterArrival: 2, MeanLength: 40},
+		vmalloc.FleetSpec{NumServers: 30, TransitionTime: 1},
+		11,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocators := []vmalloc.Allocator{
+		vmalloc.NewMinCost(),
+		vmalloc.NewMinCost(vmalloc.WithoutTransitionAwareness()),
+		vmalloc.NewFFPS(11),
+		vmalloc.NewBestFit(),
+		vmalloc.NewFirstFitByEfficiency(),
+		vmalloc.NewRandomFit(11),
+	}
+	energies := make(map[string]float64, len(allocators))
+	for _, a := range allocators {
+		res, err := a.Allocate(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if err := vmalloc.CheckPlacement(inst, res.Placement); err != nil {
+			t.Fatalf("%s: infeasible placement: %v", a.Name(), err)
+		}
+		re, err := vmalloc.EvaluateObjective(inst, res.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(re.Total()-res.Energy.Total()) > 1e-9 {
+			t.Fatalf("%s: energy mismatch", a.Name())
+		}
+		util, err := vmalloc.AverageUtilization(inst, res.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if util.CPU <= 0 || util.CPU > 1 || util.Mem <= 0 || util.Mem > 1 {
+			t.Fatalf("%s: utilisation out of range: %+v", a.Name(), util)
+		}
+		energies[res.Allocator] = res.Energy.Total()
+	}
+	if energies["MinCost"] > energies["RandomFit"] {
+		t.Errorf("MinCost (%g) should not lose to RandomFit (%g)",
+			energies["MinCost"], energies["RandomFit"])
+	}
+	ours := vmalloc.Breakdown{Run: energies["MinCost"]}
+	base := vmalloc.Breakdown{Run: energies["FFPS"]}
+	if r := vmalloc.ReductionRatio(ours, base); r < -0.5 || r > 1 {
+		t.Errorf("reduction ratio %g implausible", r)
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if got := len(vmalloc.VMTypeCatalog()); got != 9 {
+		t.Errorf("VM catalog size %d", got)
+	}
+	if got := len(vmalloc.ServerTypeCatalog()); got != 5 {
+		t.Errorf("server catalog size %d", got)
+	}
+}
+
+func TestFacadeSolveOptimal(t *testing.T) {
+	st := vmalloc.ServerTypeCatalog()[0]
+	inst := vmalloc.NewInstance(
+		[]vmalloc.VM{
+			{ID: 1, Demand: vmalloc.Resources{CPU: 2, Mem: 2}, Start: 1, End: 10},
+			{ID: 2, Demand: vmalloc.Resources{CPU: 2, Mem: 2}, Start: 5, End: 15},
+		},
+		[]vmalloc.Server{st.NewServer(1, 1), st.NewServer(2, 1)},
+	)
+	placement, opt, err := vmalloc.SolveOptimal(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consolidating both on one server is optimal here.
+	if placement[1] != placement[2] {
+		t.Errorf("optimum did not consolidate: %v", placement)
+	}
+	heur, err := vmalloc.NewMinCost().Allocate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur.Energy.Total() < opt-1e-9 {
+		t.Errorf("heuristic %g beats optimum %g", heur.Energy.Total(), opt)
+	}
+}
+
+func TestFacadeUnplaceable(t *testing.T) {
+	st := vmalloc.ServerTypeCatalog()[0]
+	inst := vmalloc.NewInstance(
+		[]vmalloc.VM{{ID: 1, Demand: vmalloc.Resources{CPU: 999, Mem: 1}, Start: 1, End: 2}},
+		[]vmalloc.Server{st.NewServer(1, 1)},
+	)
+	_, err := vmalloc.NewMinCost().Allocate(inst)
+	var ue *vmalloc.UnplaceableError
+	if !errors.As(err, &ue) || ue.VM.ID != 1 {
+		t.Errorf("err = %v, want UnplaceableError for vm 1", err)
+	}
+}
