@@ -65,7 +65,7 @@ func BenchmarkMinCostAllocate(b *testing.B) {
 			alloc := vmalloc.NewMinCost()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := alloc.Allocate(inst); err != nil {
+				if _, err := alloc.Allocate(context.Background(), inst); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -74,12 +74,81 @@ func BenchmarkMinCostAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkMinCostParallel compares the sequential scan against the
+// parallel engine at a scale (5000 VMs on 500 servers) where the fan-out
+// pays for itself. Run with -cpu to sweep GOMAXPROCS; placements are
+// byte-identical at every setting, so the benchmark measures pure
+// engine overhead/speedup.
+func BenchmarkMinCostParallel(b *testing.B) {
+	inst := largeBenchInstance(b, 5000, 500)
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // 0 = auto: min(GOMAXPROCS, ceil(servers/16))
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			alloc := vmalloc.NewMinCost(vmalloc.WithParallelism(bc.parallelism))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := alloc.Allocate(context.Background(), inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.Workers), "workers")
+				}
+			}
+			b.ReportMetric(float64(len(inst.VMs))*float64(b.N)/b.Elapsed().Seconds(), "vms/s")
+		})
+	}
+}
+
+// BenchmarkBestFitParallel is the same comparison for the argmin-based
+// best-fit baseline.
+func BenchmarkBestFitParallel(b *testing.B) {
+	inst := largeBenchInstance(b, 5000, 500)
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			alloc := vmalloc.NewBestFit(vmalloc.WithParallelism(bc.parallelism))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Allocate(context.Background(), inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// largeBenchInstance builds a dense instance big enough for the parallel
+// engine's auto mode to spin up a full worker pool.
+func largeBenchInstance(b *testing.B, vms, servers int) vmalloc.Instance {
+	b.Helper()
+	inst, err := vmalloc.Generate(
+		vmalloc.WorkloadSpec{NumVMs: vms, MeanInterArrival: 0.5, MeanLength: 120},
+		vmalloc.FleetSpec{NumServers: servers, TransitionTime: 1},
+		1,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
 // BenchmarkFFPSAllocate measures the baseline's throughput.
 func BenchmarkFFPSAllocate(b *testing.B) {
 	inst := benchInstance(b, 250)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := vmalloc.NewFFPS(int64(i)).Allocate(inst); err != nil {
+		if _, err := vmalloc.NewFFPS(vmalloc.WithSeed(int64(i))).Allocate(context.Background(), inst); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +157,7 @@ func BenchmarkFFPSAllocate(b *testing.B) {
 // BenchmarkEvaluateObjective measures the exact Eq. 7 evaluator.
 func BenchmarkEvaluateObjective(b *testing.B) {
 	inst := benchInstance(b, 250)
-	res, err := vmalloc.NewMinCost().Allocate(inst)
+	res, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		b.Fatal(err)
 	}

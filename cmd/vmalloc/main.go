@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"vmalloc/internal/baseline"
 	"vmalloc/internal/core"
@@ -31,23 +34,27 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vmalloc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmalloc", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "instance JSON file (default stdin)")
-		algo    = fs.String("algo", "mincost", "allocator: mincost, ffps, firstfit, bestfit, randomfit")
-		seed    = fs.Int64("seed", 1, "seed for randomised allocators")
-		asJSON  = fs.Bool("json", false, "emit the result as JSON")
-		details = fs.Bool("plan", true, "print the per-VM placement plan")
-		improve = fs.Bool("improve", false, "refine the placement with local search")
-		onlineF = fs.Bool("online", false, "run the event-driven simulator instead of offline allocation")
-		timeout = fs.Int("idle-timeout", 2, "online mode: minutes an empty server stays active before sleeping (-1 = never)")
+		in       = fs.String("in", "", "instance JSON file (default stdin)")
+		algo     = fs.String("algo", "mincost", "allocator: mincost, ffps, firstfit, bestfit, randomfit")
+		seed     = fs.Int64("seed", 1, "seed for randomised allocators")
+		asJSON   = fs.Bool("json", false, "emit the result as JSON")
+		details  = fs.Bool("plan", true, "print the per-VM placement plan")
+		improve  = fs.Bool("improve", false, "refine the placement with local search")
+		stats    = fs.Bool("stats", false, "print the allocator's observability counters")
+		parallel = fs.Int("parallel", 0, "candidate-scan workers (0 = min(GOMAXPROCS, shards), 1 = sequential)")
+		onlineF  = fs.Bool("online", false, "run the event-driven simulator instead of offline allocation")
+		timeout  = fs.Int("idle-timeout", 2, "online mode: minutes an empty server stays active before sleeping (-1 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,13 +79,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *onlineF {
-		return runOnline(w, inst, *algo, *seed, *timeout)
+		return runOnline(ctx, w, inst, *algo, *seed, *timeout)
 	}
-	alloc, err := pickAllocator(*algo, *seed)
+	alloc, err := pickAllocator(*algo, *seed, *parallel)
 	if err != nil {
 		return err
 	}
-	res, err := alloc.Allocate(inst)
+	res, err := alloc.Allocate(ctx, inst)
 	if err != nil {
 		return err
 	}
@@ -118,6 +125,14 @@ func run(args []string, w io.Writer) error {
 		res.Energy.Total(), res.Energy.Run, res.Energy.Idle, res.Energy.Transition)
 	fmt.Fprintf(w, "utilization:  CPU %.1f%%, memory %.1f%% (busy servers)\n",
 		100*util.CPU, 100*util.Mem)
+	if *stats && res.Stats != nil {
+		st := res.Stats
+		fmt.Fprintf(w, "scan:         %d candidates, %d rejected, %d workers (%.0f%% busy)\n",
+			st.CandidatesEvaluated, st.FeasibilityRejections, st.Workers, 100*st.WorkerUtilization)
+		fmt.Fprintf(w, "time:         total %v (scan %v + commit %v)\n",
+			st.TotalWall.Round(time.Microsecond), st.ScanWall.Round(time.Microsecond),
+			st.CommitWall.Round(time.Microsecond))
+	}
 	if !*details {
 		return nil
 	}
@@ -138,7 +153,7 @@ func run(args []string, w io.Writer) error {
 }
 
 // runOnline drives the event-driven engine and prints its report.
-func runOnline(w io.Writer, inst model.Instance, algo string, seed int64, timeout int) error {
+func runOnline(ctx context.Context, w io.Writer, inst model.Instance, algo string, seed int64, timeout int) error {
 	var policy online.Policy
 	switch algo {
 	case "mincost":
@@ -161,7 +176,7 @@ func runOnline(w io.Writer, inst model.Instance, algo string, seed int64, timeou
 		rep.Energy.Total(), rep.Energy.Run, rep.Energy.Idle, rep.Energy.Transition)
 	fmt.Fprintf(w, "wake-ups:      %d\n", rep.Transitions)
 	fmt.Fprintf(w, "start delays:  mean %.2f min, max %d min\n", rep.MeanStartDelay, rep.MaxStartDelay)
-	offline, err := core.NewMinCost().Allocate(inst)
+	offline, err := core.NewMinCost().Allocate(ctx, inst)
 	if err == nil {
 		fmt.Fprintf(w, "vs offline:    clairvoyant MinCost would bill %.1f watt-minutes (%+.1f%%)\n",
 			offline.Energy.Total(), 100*(rep.Energy.Total()/offline.Energy.Total()-1))
@@ -169,18 +184,19 @@ func runOnline(w io.Writer, inst model.Instance, algo string, seed int64, timeou
 	return nil
 }
 
-func pickAllocator(name string, seed int64) (core.Allocator, error) {
+func pickAllocator(name string, seed int64, parallel int) (core.Allocator, error) {
+	par := core.WithParallelism(parallel)
 	switch name {
 	case "mincost":
-		return core.NewMinCost(), nil
+		return core.NewMinCost(par), nil
 	case "ffps":
-		return baseline.NewFFPS(seed), nil
+		return baseline.NewFFPS(core.WithSeed(seed), par), nil
 	case "firstfit":
-		return baseline.NewFirstFitSorted(baseline.ByEfficiency), nil
+		return baseline.NewFirstFitSorted(baseline.ByEfficiency, par), nil
 	case "bestfit":
-		return baseline.NewBestFitCPU(), nil
+		return baseline.NewBestFitCPU(par), nil
 	case "randomfit":
-		return baseline.NewRandomFit(seed), nil
+		return baseline.NewRandomFit(core.WithSeed(seed)), nil
 	default:
 		return nil, fmt.Errorf("unknown allocator %q", name)
 	}

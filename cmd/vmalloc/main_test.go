@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"mincost", "ffps", "firstfit", "bestfit", "randomfit"} {
 		t.Run(algo, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run([]string{"-in", path, "-algo", algo}, &sb); err != nil {
+			if err := run(context.Background(), []string{"-in", path, "-algo", algo}, &sb); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			out := sb.String()
@@ -51,7 +52,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	path := writeInstance(t)
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-json"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-json"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -70,13 +71,13 @@ func TestRunErrors(t *testing.T) {
 	path := writeInstance(t)
 	t.Run("unknown algo", func(t *testing.T) {
 		var sb strings.Builder
-		if err := run([]string{"-in", path, "-algo", "nope"}, &sb); err == nil {
+		if err := run(context.Background(), []string{"-in", path, "-algo", "nope"}, &sb); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("missing file", func(t *testing.T) {
 		var sb strings.Builder
-		if err := run([]string{"-in", "/nonexistent.json"}, &sb); err == nil {
+		if err := run(context.Background(), []string{"-in", "/nonexistent.json"}, &sb); err == nil {
 			t.Error("want error")
 		}
 	})
@@ -86,7 +87,7 @@ func TestRunErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		var sb strings.Builder
-		if err := run([]string{"-in", bad}, &sb); err == nil {
+		if err := run(context.Background(), []string{"-in", bad}, &sb); err == nil {
 			t.Error("want error")
 		}
 	})
@@ -97,7 +98,7 @@ func TestRunErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		var sb strings.Builder
-		if err := run([]string{"-in", bad}, &sb); err == nil {
+		if err := run(context.Background(), []string{"-in", bad}, &sb); err == nil {
 			t.Error("want error")
 		}
 	})
@@ -106,7 +107,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithImprove(t *testing.T) {
 	path := writeInstance(t)
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-algo", "ffps", "-improve"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-algo", "ffps", "-improve"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "+search") {
@@ -118,7 +119,7 @@ func TestRunOnlineMode(t *testing.T) {
 	path := writeInstance(t)
 	for _, algo := range []string{"mincost", "ffps", "prefer-active"} {
 		var sb strings.Builder
-		if err := run([]string{"-in", path, "-online", "-algo", algo}, &sb); err != nil {
+		if err := run(context.Background(), []string{"-in", path, "-online", "-algo", algo}, &sb); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		out := sb.String()
@@ -127,7 +128,7 @@ func TestRunOnlineMode(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := run([]string{"-in", path, "-online", "-algo", "bestfit"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-online", "-algo", "bestfit"}, &sb); err == nil {
 		t.Error("unsupported online algo accepted")
 	}
 }

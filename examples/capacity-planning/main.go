@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -27,7 +28,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := vmalloc.NewMinCost().Allocate(inst)
+		res, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 		var unplaceable *vmalloc.UnplaceableError
 		if errors.As(err, &unplaceable) {
 			fmt.Printf("%5d  the workload no longer fits (vm %d rejected) — stop\n",

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -52,7 +53,7 @@ func main() {
 	}
 	inst := vmalloc.NewInstance(vms, servers)
 
-	res, err := vmalloc.NewMinCost().Allocate(inst)
+	res, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 			sid, s.Type, s.PIdle, s.TransitionTime, perServer[sid])
 	}
 
-	ffps, err := vmalloc.NewFFPS(7).Allocate(inst)
+	ffps, err := vmalloc.NewFFPS(vmalloc.WithSeed(7)).Allocate(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	}
 
 	// The offline clairvoyant solution is the bound to beat.
-	offline, err := vmalloc.NewMinCost().Allocate(inst)
+	offline, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	for _, p := range []vmalloc.OnlinePolicy{
 		&vmalloc.OnlineMinCost{},
 		&vmalloc.OnlinePreferActive{},
-		vmalloc.NewOnlineFirstFit(21),
+		vmalloc.NewOnlineFirstFit(vmalloc.WithSeed(21)),
 	} {
 		rep, err := (&vmalloc.OnlineEngine{Policy: p, IdleTimeout: 2}).Run(inst)
 		if err != nil {

@@ -40,7 +40,7 @@ func main() {
 		}
 		inst := vmalloc.NewInstance(vms, servers)
 
-		heur, err := vmalloc.NewMinCost().Allocate(inst)
+		heur, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			// A dense draw may not fit three small servers; redraw.
 			trial--

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,9 +30,9 @@ func main() {
 
 	for _, alloc := range []vmalloc.Allocator{
 		vmalloc.NewMinCost(),
-		vmalloc.NewFFPS(42),
+		vmalloc.NewFFPS(vmalloc.WithSeed(42)),
 	} {
-		res, err := alloc.Allocate(inst)
+		res, err := alloc.Allocate(context.Background(), inst)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,11 +52,11 @@ func main() {
 			res.ServersUsed, 100*util.CPU, 100*util.Mem)
 	}
 
-	ours, err := vmalloc.NewMinCost().Allocate(inst)
+	ours, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ffps, err := vmalloc.NewFFPS(42).Allocate(inst)
+	ffps, err := vmalloc.NewFFPS(vmalloc.WithSeed(42)).Allocate(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -58,11 +59,11 @@ func main() {
 		{"original trace ", original},
 		{"refit synthetic", refit},
 	} {
-		ours, err := vmalloc.NewMinCost().Allocate(run.inst)
+		ours, err := vmalloc.NewMinCost().Allocate(context.Background(), run.inst)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ffps, err := vmalloc.NewFFPS(5).Allocate(run.inst)
+		ffps, err := vmalloc.NewFFPS(vmalloc.WithSeed(5)).Allocate(context.Background(), run.inst)
 		if err != nil {
 			log.Fatal(err)
 		}

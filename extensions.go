@@ -3,6 +3,7 @@ package vmalloc
 import (
 	"io"
 
+	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/migration"
 	"vmalloc/internal/online"
@@ -28,8 +29,12 @@ type (
 	OnlinePreferActive = online.PreferActivePolicy
 )
 
-// NewOnlineFirstFit returns the online counterpart of FFPS.
-func NewOnlineFirstFit(seed int64) OnlinePolicy { return online.NewFirstFitPolicy(seed) }
+// NewOnlineFirstFit returns the online counterpart of FFPS. WithSeed
+// drives its per-request random server order (default 1), matching the
+// option vocabulary of the offline constructors.
+func NewOnlineFirstFit(opts ...Option) OnlinePolicy {
+	return online.NewFirstFitPolicy(core.NewConfig(opts...).Seed)
+}
 
 // Migration-based consolidation — see internal/migration.
 type (

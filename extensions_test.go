@@ -1,6 +1,7 @@
 package vmalloc_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestExtensionsFacade(t *testing.T) {
 		t.Fatalf("diurnal generated %d VMs", len(inst.VMs))
 	}
 
-	res, err := vmalloc.NewMinCost().Allocate(inst)
+	res, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 
 	// The improver starts from FFPS and must not worsen it.
-	ffps, err := vmalloc.NewFFPS(13).Allocate(inst)
+	ffps, err := vmalloc.NewFFPS(vmalloc.WithSeed(13)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 
 	// Lookahead allocates validly and is named distinctly.
-	look, err := vmalloc.NewLookahead().Allocate(inst)
+	look, err := vmalloc.NewLookahead().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 
 	// Online first-fit runs end to end.
-	rep, err := (&vmalloc.OnlineEngine{Policy: vmalloc.NewOnlineFirstFit(13), IdleTimeout: 2}).Run(inst)
+	rep, err := (&vmalloc.OnlineEngine{Policy: vmalloc.NewOnlineFirstFit(vmalloc.WithSeed(13)), IdleTimeout: 2}).Run(inst)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,11 +25,11 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 
 	// 1. Offline allocation + verification.
-	ours, err := vmalloc.NewMinCost().Allocate(inst)
+	ours, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ffps, err := vmalloc.NewFFPS(77).Allocate(inst)
+	ffps, err := vmalloc.NewFFPS(vmalloc.WithSeed(77)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +105,12 @@ func TestPipelineEndToEnd(t *testing.T) {
 	// 5. On a small instance, the exact optimum lower-bounds both
 	// allocators.
 	small := vmalloc.NewInstance(inst.VMs[:5], inst.Servers[:3])
-	if _, err := vmalloc.NewMinCost().Allocate(small); err == nil {
+	if _, err := vmalloc.NewMinCost().Allocate(context.Background(), small); err == nil {
 		_, opt, err := vmalloc.SolveOptimal(context.Background(), small)
 		if err != nil {
 			t.Fatal(err)
 		}
-		heur, err := vmalloc.NewMinCost().Allocate(small)
+		heur, err := vmalloc.NewMinCost().Allocate(context.Background(), small)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,14 +134,14 @@ func TestCrossAllocatorInvariants(t *testing.T) {
 		}
 		allocators := []vmalloc.Allocator{
 			vmalloc.NewMinCost(),
-			vmalloc.NewFFPS(seed),
+			vmalloc.NewFFPS(vmalloc.WithSeed(seed)),
 			vmalloc.NewBestFit(),
 			vmalloc.NewFirstFitByEfficiency(),
-			vmalloc.NewRandomFit(seed),
+			vmalloc.NewRandomFit(vmalloc.WithSeed(seed)),
 		}
 		var runCosts []float64
 		for _, a := range allocators {
-			res, err := a.Allocate(inst)
+			res, err := a.Allocate(context.Background(), inst)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
 			}

@@ -5,11 +5,16 @@
 // All of them process VMs in increasing start-time order and, like the
 // heuristic, have their final energy computed by the exact Eq. 7 evaluator,
 // with servers switching off during idle segments whenever the transition
-// cost is below the idle cost.
+// cost is below the idle cost. Their constructors accept the same
+// functional options as package core (core.WithSeed, core.WithParallelism);
+// feasibility scans run on the shared scan engine and their placements are
+// identical at every parallelism setting.
 package baseline
 
 import (
+	"context"
 	"math/rand"
+	"time"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
@@ -23,56 +28,47 @@ import (
 // turn first fit into a strongly consolidating policy and invert the
 // paper's load trends; see DESIGN.md.)
 type FFPS struct {
-	seed int64
+	cfg core.Config
 }
 
 var _ core.Allocator = (*FFPS)(nil)
 
 // NewFFPS returns an FFPS allocator whose server search order is driven by
-// the given seed, making runs reproducible.
-func NewFFPS(seed int64) *FFPS {
-	return &FFPS{seed: seed}
+// core.WithSeed (default seed 1), making runs reproducible. It also
+// honours core.WithParallelism for the per-request feasibility scan.
+func NewFFPS(opts ...core.Option) *FFPS {
+	return &FFPS{cfg: core.NewConfig(opts...)}
 }
 
 // Name implements core.Allocator.
 func (f *FFPS) Name() string { return "FFPS" }
 
 // Allocate implements core.Allocator.
-func (f *FFPS) Allocate(inst model.Instance) (*core.Result, error) {
+func (f *FFPS) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(f.seed))
-	fleet := core.NewFleet(inst)
-	placement := make(map[int]int, len(inst.VMs))
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
 	order := make([]int, len(inst.Servers))
 	for i := range order {
 		order[i] = i
 	}
-	for _, v := range core.SortVMsByStart(inst) {
+	shuffle := func() {
 		rng.Shuffle(len(order), func(a, b int) {
 			order[a], order[b] = order[b], order[a]
 		})
-		placed := false
-		for _, i := range order {
-			if fleet.Fits(i, v) {
-				fleet.Commit(i, v)
-				placement[v.ID] = fleet.Servers[i].ID
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			return nil, &core.UnplaceableError{VM: v}
-		}
 	}
-	return core.FinishResult(f.Name(), inst, placement, fleet.ServersUsed())
+	return firstFit(ctx, f.Name(), f.cfg, inst, order, shuffle)
 }
 
 // FirstFitSorted is first fit over servers sorted by a fixed key instead of
 // a random shuffle. Keys are chosen so "better" servers come first.
 type FirstFitSorted struct {
 	key SortKey
+	cfg core.Config
 }
 
 var _ core.Allocator = (*FirstFitSorted)(nil)
@@ -91,9 +87,9 @@ const (
 )
 
 // NewFirstFitSorted returns a first-fit allocator over a fixed server
-// ordering.
-func NewFirstFitSorted(key SortKey) *FirstFitSorted {
-	return &FirstFitSorted{key: key}
+// ordering. It honours core.WithParallelism.
+func NewFirstFitSorted(key SortKey, opts ...core.Option) *FirstFitSorted {
+	return &FirstFitSorted{key: key, cfg: core.NewConfig(opts...)}
 }
 
 // Name implements core.Allocator.
@@ -107,7 +103,10 @@ func (f *FirstFitSorted) Name() string {
 }
 
 // Allocate implements core.Allocator.
-func (f *FirstFitSorted) Allocate(inst model.Instance) (*core.Result, error) {
+func (f *FirstFitSorted) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,74 +131,99 @@ func (f *FirstFitSorted) Allocate(inst model.Instance) (*core.Result, error) {
 		return sa.ID < sb.ID
 	}
 	insertionSort(order, less)
-	return firstFit(f.Name(), inst, order)
+	return firstFit(ctx, f.Name(), f.cfg, inst, order, nil)
 }
 
 // BestFitCPU places each VM on the feasible server whose spare CPU over the
 // VM's interval is smallest after placement — the classic best-fit
 // bin-packing rule, energy-oblivious.
-type BestFitCPU struct{}
+type BestFitCPU struct {
+	cfg core.Config
+}
 
 var _ core.Allocator = (*BestFitCPU)(nil)
 
-// NewBestFitCPU returns the best-fit baseline.
-func NewBestFitCPU() *BestFitCPU { return &BestFitCPU{} }
+// NewBestFitCPU returns the best-fit baseline. It honours
+// core.WithParallelism.
+func NewBestFitCPU(opts ...core.Option) *BestFitCPU {
+	return &BestFitCPU{cfg: core.NewConfig(opts...)}
+}
 
 // Name implements core.Allocator.
 func (b *BestFitCPU) Name() string { return "BestFit/cpu" }
 
 // Allocate implements core.Allocator.
-func (b *BestFitCPU) Allocate(inst model.Instance) (*core.Result, error) {
+func (b *BestFitCPU) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	fleet := core.NewFleet(inst)
+	scan := core.NewScanEngine(b.cfg.Parallelism, len(fleet.Servers))
+	defer scan.Close()
+	stats := scan.NewStats()
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range core.SortVMsByStart(inst) {
-		best := -1
-		var bestSpare float64
-		for i := range fleet.Servers {
+		v := v
+		best, err := scan.ArgMin(ctx, stats, len(fleet.Servers), func(i int) (float64, bool) {
 			if !fleet.Fits(i, v) {
-				continue
+				return 0, false
 			}
-			spare := fleet.SpareCPU(i, v.Start, v.End) - v.Demand.CPU
-			if best < 0 || spare < bestSpare {
-				best, bestSpare = i, spare
-			}
+			return fleet.SpareCPU(i, v.Start, v.End) - v.Demand.CPU, true
+		})
+		if err != nil {
+			return nil, err
 		}
 		if best < 0 {
 			return nil, &core.UnplaceableError{VM: v}
 		}
-		fleet.Commit(best, v)
+		scan.Commit(stats, func() { fleet.Commit(best, v) })
 		placement[v.ID] = fleet.Servers[best].ID
 	}
-	return core.FinishResult(b.Name(), inst, placement, fleet.ServersUsed())
+	res, err := core.FinishResult(b.Name(), inst, placement, fleet.ServersUsed())
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = scan.FinishStats(stats, start)
+	return res, nil
 }
 
 // RandomFit places each VM on a uniformly random feasible server — the
 // weakest sensible baseline.
 type RandomFit struct {
-	seed int64
+	cfg core.Config
 }
 
 var _ core.Allocator = (*RandomFit)(nil)
 
-// NewRandomFit returns a random-fit allocator driven by the given seed.
-func NewRandomFit(seed int64) *RandomFit { return &RandomFit{seed: seed} }
+// NewRandomFit returns a random-fit allocator driven by core.WithSeed
+// (default seed 1).
+func NewRandomFit(opts ...core.Option) *RandomFit {
+	return &RandomFit{cfg: core.NewConfig(opts...)}
+}
 
 // Name implements core.Allocator.
 func (r *RandomFit) Name() string { return "RandomFit" }
 
 // Allocate implements core.Allocator.
-func (r *RandomFit) Allocate(inst model.Instance) (*core.Result, error) {
+func (r *RandomFit) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(r.seed))
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
 	fleet := core.NewFleet(inst)
 	placement := make(map[int]int, len(inst.VMs))
 	feasible := make([]int, 0, len(inst.Servers))
 	for _, v := range core.SortVMsByStart(inst) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		feasible = feasible[:0]
 		for i := range fleet.Servers {
 			if fleet.Fits(i, v) {
@@ -226,25 +250,39 @@ func MinPowerIncrease() core.Allocator {
 }
 
 // firstFit runs the shared first-fit scan over servers in the given order
-// of fleet indices.
-func firstFit(name string, inst model.Instance, order []int) (*core.Result, error) {
+// of fleet indices. When reorder is non-nil it is invoked before every
+// request (FFPS's per-request shuffle).
+func firstFit(ctx context.Context, name string, cfg core.Config, inst model.Instance, order []int, reorder func()) (*core.Result, error) {
+	start := time.Now()
 	fleet := core.NewFleet(inst)
+	scan := core.NewScanEngine(cfg.Parallelism, len(order))
+	defer scan.Close()
+	stats := scan.NewStats()
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range core.SortVMsByStart(inst) {
-		placed := false
-		for _, i := range order {
-			if fleet.Fits(i, v) {
-				fleet.Commit(i, v)
-				placement[v.ID] = fleet.Servers[i].ID
-				placed = true
-				break
-			}
+		v := v
+		if reorder != nil {
+			reorder()
 		}
-		if !placed {
+		k, err := scan.First(ctx, stats, len(order), func(k int) bool {
+			return fleet.Fits(order[k], v)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if k < 0 {
 			return nil, &core.UnplaceableError{VM: v}
 		}
+		i := order[k]
+		scan.Commit(stats, func() { fleet.Commit(i, v) })
+		placement[v.ID] = fleet.Servers[i].ID
 	}
-	return core.FinishResult(name, inst, placement, fleet.ServersUsed())
+	res, err := core.FinishResult(name, inst, placement, fleet.ServersUsed())
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = scan.FinishStats(stats, start)
+	return res, nil
 }
 
 // insertionSort sorts idx with the given less function. The server count is

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -63,16 +64,16 @@ func TestAllBaselinesProduceValidPlacements(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	inst := catalogInstance(rng, 80, 20)
 	allocators := []core.Allocator{
-		NewFFPS(1),
+		NewFFPS(core.WithSeed(1)),
 		NewFirstFitSorted(ByEfficiency),
 		NewFirstFitSorted(ByCapacity),
 		NewBestFitCPU(),
-		NewRandomFit(1),
+		NewRandomFit(core.WithSeed(1)),
 		MinPowerIncrease(),
 	}
 	for _, a := range allocators {
 		t.Run(a.Name(), func(t *testing.T) {
-			res, err := a.Allocate(inst)
+			res, err := a.Allocate(context.Background(), inst)
 			if err != nil {
 				t.Fatalf("Allocate: %v", err)
 			}
@@ -95,11 +96,11 @@ func TestAllBaselinesProduceValidPlacements(t *testing.T) {
 
 func TestFFPSSeedDeterminismAndVariation(t *testing.T) {
 	inst := smallInstance()
-	a1, err := NewFFPS(7).Allocate(inst)
+	a1, err := NewFFPS(core.WithSeed(7)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := NewFFPS(7).Allocate(inst)
+	a2, err := NewFFPS(core.WithSeed(7)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFFPSSeedDeterminismAndVariation(t *testing.T) {
 	// (servers are shuffled per run).
 	seen := map[int]bool{}
 	for seed := int64(0); seed < 20; seed++ {
-		res, err := NewFFPS(seed).Allocate(inst)
+		res, err := NewFFPS(core.WithSeed(seed)).Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestFirstFitSortedOrderings(t *testing.T) {
 			srv(3, 16, 32, 200, 400, 1), // 12.5 W/CU idle
 		},
 	)
-	res, err := NewFirstFitSorted(ByEfficiency).Allocate(inst)
+	res, err := NewFirstFitSorted(ByEfficiency).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFirstFitSortedOrderings(t *testing.T) {
 		t.Errorf("efficiency ordering placed vm on %d, want 2", res.Placement[1])
 	}
 	// Capacity ordering must put it on the biggest server: server 3.
-	res, err = NewFirstFitSorted(ByCapacity).Allocate(inst)
+	res, err = NewFirstFitSorted(ByCapacity).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestBestFitPicksTightestServer(t *testing.T) {
 			srv(3, 16, 32, 140, 300, 1),
 		},
 	)
-	res, err := NewBestFitCPU().Allocate(inst)
+	res, err := NewBestFitCPU().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +177,11 @@ func TestMinCostBeatsFFPSOnAverage(t *testing.T) {
 	var oursSum, ffpsSum float64
 	for seed := int64(1); seed <= 8; seed++ {
 		inst := catalogInstance(rng, 60, 30)
-		ours, err := core.NewMinCost().Allocate(inst)
+		ours, err := core.NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ffps, err := NewFFPS(seed).Allocate(inst)
+		ffps, err := NewFFPS(core.WithSeed(seed)).Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,9 +201,9 @@ func TestUnplaceablePropagation(t *testing.T) {
 		[]model.Server{srv(1, 10, 16, 80, 160, 1)},
 	)
 	for _, a := range []core.Allocator{
-		NewFFPS(1), NewFirstFitSorted(ByEfficiency), NewBestFitCPU(), NewRandomFit(1),
+		NewFFPS(core.WithSeed(1)), NewFirstFitSorted(ByEfficiency), NewBestFitCPU(), NewRandomFit(core.WithSeed(1)),
 	} {
-		if _, err := a.Allocate(inst); err == nil {
+		if _, err := a.Allocate(context.Background(), inst); err == nil {
 			t.Errorf("%s: want UnplaceableError", a.Name())
 		}
 	}

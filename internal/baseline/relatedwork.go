@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"vmalloc/internal/core"
@@ -24,7 +25,10 @@ func NewMinBusyTime() *MinBusyTime { return &MinBusyTime{} }
 func (*MinBusyTime) Name() string { return "MinBusyTime" }
 
 // Allocate implements core.Allocator.
-func (a *MinBusyTime) Allocate(inst model.Instance) (*core.Result, error) {
+func (a *MinBusyTime) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,6 +39,9 @@ func (a *MinBusyTime) Allocate(inst model.Instance) (*core.Result, error) {
 	}
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range core.SortVMsByStart(inst) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best, bestGrowth := -1, 0
 		for i := range fleet.Servers {
 			if !fleet.Fits(i, v) {
@@ -73,13 +80,19 @@ func NewVectorFit() *VectorFit { return &VectorFit{} }
 func (*VectorFit) Name() string { return "VectorFit" }
 
 // Allocate implements core.Allocator.
-func (a *VectorFit) Allocate(inst model.Instance) (*core.Result, error) {
+func (a *VectorFit) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	fleet := core.NewFleet(inst)
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range core.SortVMsByStart(inst) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := -1
 		bestScore := math.Inf(-1)
 		for i := range fleet.Servers {
@@ -122,13 +135,19 @@ func NewWorstFit() *WorstFit { return &WorstFit{} }
 func (*WorstFit) Name() string { return "WorstFit" }
 
 // Allocate implements core.Allocator.
-func (a *WorstFit) Allocate(inst model.Instance) (*core.Result, error) {
+func (a *WorstFit) Allocate(ctx context.Context, inst model.Instance) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	fleet := core.NewFleet(inst)
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range core.SortVMsByStart(inst) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := -1
 		bestSpare := math.Inf(-1)
 		for i := range fleet.Servers {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ func TestRelatedWorkAllocatorsProduceValidPlacements(t *testing.T) {
 		NewWorstFit(),
 	} {
 		t.Run(a.Name(), func(t *testing.T) {
-			res, err := a.Allocate(inst)
+			res, err := a.Allocate(context.Background(), inst)
 			if err != nil {
 				t.Fatalf("Allocate: %v", err)
 			}
@@ -44,7 +45,7 @@ func TestMinBusyTimePrefersOverlap(t *testing.T) {
 		[]model.VM{vm(1, 1, 10, 2, 2), vm(2, 3, 8, 2, 2)},
 		[]model.Server{srv(1, 10, 16, 100, 200, 1), srv(2, 10, 16, 100, 200, 1)},
 	)
-	res, err := NewMinBusyTime().Allocate(inst)
+	res, err := NewMinBusyTime().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestWorstFitSpreads(t *testing.T) {
 		[]model.VM{vm(1, 1, 10, 2, 2), vm(2, 1, 10, 2, 2)},
 		[]model.Server{srv(1, 10, 16, 100, 200, 1), srv(2, 10, 16, 100, 200, 1)},
 	)
-	res, err := NewWorstFit().Allocate(inst)
+	res, err := NewWorstFit().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestVectorFitBalancesResources(t *testing.T) {
 			srv(2, 16, 96, 100, 200, 1),
 		},
 	)
-	res, err := NewVectorFit().Allocate(inst)
+	res, err := NewVectorFit().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestMinCostBeatsRelatedWorkComparators(t *testing.T) {
 			{NewVectorFit(), &vector},
 			{NewWorstFit(), &worst},
 		} {
-			res, err := run.a.Allocate(inst)
+			res, err := run.a.Allocate(context.Background(), inst)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"vmalloc/internal/baseline"
 	"vmalloc/internal/core"
@@ -46,11 +47,11 @@ var allocatorFactories = map[string]func(seed int64) core.Allocator{
 	"mincost":               func(int64) core.Allocator { return core.NewMinCost() },
 	"mincost-lookahead":     func(int64) core.Allocator { return core.NewLookahead() },
 	"mincost-no-transition": func(int64) core.Allocator { return core.NewMinCost(core.WithoutTransitionAwareness()) },
-	"ffps":                  func(s int64) core.Allocator { return baseline.NewFFPS(s) },
+	"ffps":                  func(s int64) core.Allocator { return baseline.NewFFPS(core.WithSeed(s)) },
 	"firstfit-efficiency":   func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByEfficiency) },
 	"firstfit-capacity":     func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByCapacity) },
 	"bestfit":               func(int64) core.Allocator { return baseline.NewBestFitCPU() },
-	"randomfit":             func(s int64) core.Allocator { return baseline.NewRandomFit(s) },
+	"randomfit":             func(s int64) core.Allocator { return baseline.NewRandomFit(core.WithSeed(s)) },
 	"minbusytime":           func(int64) core.Allocator { return baseline.NewMinBusyTime() },
 	"vectorfit":             func(int64) core.Allocator { return baseline.NewVectorFit() },
 	"worstfit":              func(int64) core.Allocator { return baseline.NewWorstFit() },
@@ -115,6 +116,10 @@ type AllocatorRow struct {
 	// VsFirst is this row's energy relative to the first allocator's
 	// (1.0 = equal).
 	VsFirst float64 `json:"vsFirst"`
+	// Stats accumulates the allocator's AllocStats over every seed
+	// (candidates evaluated, rejections, wall times), when the allocator
+	// reports them.
+	Stats core.AllocStats `json:"stats"`
 }
 
 // Outcome is a completed campaign.
@@ -134,6 +139,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 	}
 	type acc struct {
 		energy, used, cpu, mem float64
+		stats                  core.AllocStats
 	}
 	accs := make([]acc, len(c.Allocators))
 	used := 0
@@ -150,7 +156,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 		utils := make([]metrics.Utilization, len(c.Allocators))
 		failed := false
 		for k, name := range c.Allocators {
-			res, err := allocatorFactories[name](seed).Allocate(inst)
+			res, err := allocatorFactories[name](seed).Allocate(ctx, inst)
 			if err != nil {
 				var ue *core.UnplaceableError
 				if c.SkipInfeasible && errors.As(err, &ue) {
@@ -175,6 +181,18 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 			accs[k].used += float64(results[k].ServersUsed)
 			accs[k].cpu += utils[k].CPU
 			accs[k].mem += utils[k].Mem
+			if st := results[k].Stats; st != nil {
+				a := &accs[k].stats
+				a.VMsPlaced += st.VMsPlaced
+				a.CandidatesEvaluated += st.CandidatesEvaluated
+				a.FeasibilityRejections += st.FeasibilityRejections
+				a.ScanWall += st.ScanWall
+				a.CommitWall += st.CommitWall
+				a.TotalWall += st.TotalWall
+				if st.Workers > a.Workers {
+					a.Workers = st.Workers
+				}
+			}
 		}
 	}
 	if used == 0 {
@@ -188,6 +206,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 			Energy:      accs[k].energy / n,
 			ServersUsed: accs[k].used / n,
 			Utilization: metrics.Utilization{CPU: accs[k].cpu / n, Mem: accs[k].mem / n},
+			Stats:       accs[k].stats,
 		}
 		if accs[0].energy > 0 {
 			row.VsFirst = accs[k].energy / accs[0].energy
@@ -217,6 +236,14 @@ func (o *Outcome) WriteText(w io.Writer) error {
 			row.Name, row.Energy, row.VsFirst, row.ServersUsed,
 			100*row.Utilization.CPU, 100*row.Utilization.Mem); err != nil {
 			return err
+		}
+		if st := row.Stats; st.CandidatesEvaluated > 0 {
+			if _, err := fmt.Fprintf(w, "  %22s %d candidates (%d rejected), scan %v + commit %v across %d workers\n",
+				"", st.CandidatesEvaluated, st.FeasibilityRejections,
+				st.ScanWall.Round(time.Millisecond), st.CommitWall.Round(time.Millisecond),
+				st.Workers); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -6,11 +6,19 @@
 // memory throughout the VM's time interval, evaluates the incremental
 // energy cost (Eq. 17) of placing the VM on each, and commits it to the
 // server with the minimum increment.
+//
+// The candidate scan — the dominant cost at fleet scale — runs on a
+// per-allocation worker pool (see engine.go) and is byte-identical to the
+// sequential scan; WithParallelism tunes or disables it. All Allocate
+// methods take a context.Context and return ctx.Err() promptly when it is
+// cancelled.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"vmalloc/internal/energy"
 	"vmalloc/internal/model"
@@ -23,8 +31,10 @@ type Allocator interface {
 	Name() string
 	// Allocate places every VM of the instance. The instance is not
 	// modified. Implementations must be deterministic given their
-	// construction parameters.
-	Allocate(inst model.Instance) (*Result, error)
+	// construction parameters, must respect ctx cancellation (returning
+	// ctx.Err() promptly without leaking goroutines), and must not leave
+	// partial results behind on error.
+	Allocate(ctx context.Context, inst model.Instance) (*Result, error)
 }
 
 // Result is a complete placement with its exact energy accounting.
@@ -37,6 +47,9 @@ type Result struct {
 	Energy energy.Breakdown `json:"energy"`
 	// ServersUsed is the number of servers hosting at least one VM.
 	ServersUsed int `json:"serversUsed"`
+	// Stats records the run's observability counters (nil when the
+	// allocator does not collect them).
+	Stats *AllocStats `json:"stats,omitempty"`
 }
 
 // UnplaceableError reports a VM for which no server had sufficient spare
@@ -50,9 +63,87 @@ func (e *UnplaceableError) Error() string {
 		e.VM.ID, e.VM.Demand, e.VM.Start, e.VM.End)
 }
 
+// Config is the resolved set of allocator constructor options. Every
+// constructor in this module and in package baseline accepts the same
+// Option values; options that do not apply to an allocator are ignored
+// (WithSeed on MinCost, for example).
+type Config struct {
+	// TransitionAware selects the full Eq. 17 incremental cost; false
+	// degrades MinCost to the run-cost-only ablation. Default true.
+	TransitionAware bool
+	// MemoryCheck enables the memory feasibility constraint (Eq. 10).
+	// Default true.
+	MemoryCheck bool
+	// Parallelism is the candidate-scan worker pool size: 0 (default)
+	// selects min(GOMAXPROCS, ceil(servers/16)); 1 forces the sequential
+	// scan; n>1 forces an n-worker pool.
+	Parallelism int
+	// Seed drives the randomised allocators (FFPS, RandomFit).
+	// Default 1.
+	Seed int64
+}
+
+// DefaultConfig returns the constructor defaults documented on Config.
+func DefaultConfig() Config {
+	return Config{TransitionAware: true, MemoryCheck: true, Parallelism: 0, Seed: 1}
+}
+
+// NewConfig applies opts on top of DefaultConfig.
+func NewConfig(opts ...Option) Config {
+	c := DefaultConfig()
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	return c
+}
+
+// Option configures an allocator constructor. Options are shared across
+// allocators; each constructor documents which fields it reads.
+type Option interface {
+	apply(*Config)
+}
+
+type optionFunc func(*Config)
+
+func (f optionFunc) apply(c *Config) { f(c) }
+
+// WithSeed sets the seed of the randomised allocators (FFPS's per-request
+// server search order, RandomFit's server draw). The default seed is 1.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *Config) { c.Seed = seed })
+}
+
+// WithParallelism sets the candidate-scan worker pool size: 1 forces the
+// sequential scan, n>1 forces an n-worker pool, and 0 restores the
+// default min(GOMAXPROCS, ceil(servers/16)). Placements are identical at
+// every setting; only throughput changes.
+func WithParallelism(n int) Option {
+	return optionFunc(func(c *Config) { c.Parallelism = n })
+}
+
+// WithoutTransitionAwareness makes the allocator ignore transition and idle
+// costs and select servers by run cost W_ij alone. Ablation variant; not in
+// the paper.
+func WithoutTransitionAwareness() Option {
+	return optionFunc(func(c *Config) { c.TransitionAware = false })
+}
+
+// WithoutMemoryCheck drops the memory feasibility constraint (Eq. 10).
+// Ablation variant; not in the paper — its placements can violate memory
+// capacity and are rejected by the ILP checker, which is the point of the
+// ablation.
+func WithoutMemoryCheck() Option {
+	return optionFunc(func(c *Config) { c.MemoryCheck = false })
+}
+
 // Fleet is the shared per-server allocation state used by the allocators in
 // this module: resource profiles for feasibility and energy states for cost
 // evaluation.
+//
+// Concurrency: the read path (Fits, FitsCPUOnly, SpareCPU, SpareMem,
+// State's cost queries) is safe for concurrent use from scan workers;
+// Commit must only run with no concurrent readers. The allocators uphold
+// this by scanning and committing in strictly alternating phases.
 type Fleet struct {
 	Servers []model.Server
 	horizon int
@@ -188,51 +279,25 @@ func FinishResult(name string, inst model.Instance, placement map[int]int, used 
 
 // MinCost is the paper's heuristic allocator.
 type MinCost struct {
-	transitionAware bool
-	memoryCheck     bool
+	cfg Config
 }
 
 var _ Allocator = (*MinCost)(nil)
 
-// Option configures a MinCost allocator.
-type Option interface {
-	apply(*MinCost)
-}
-
-type optionFunc func(*MinCost)
-
-func (f optionFunc) apply(m *MinCost) { f(m) }
-
-// WithoutTransitionAwareness makes the allocator ignore transition and idle
-// costs and select servers by run cost W_ij alone. Ablation variant; not in
-// the paper.
-func WithoutTransitionAwareness() Option {
-	return optionFunc(func(m *MinCost) { m.transitionAware = false })
-}
-
-// WithoutMemoryCheck drops the memory feasibility constraint (Eq. 10).
-// Ablation variant; not in the paper — its placements can violate memory
-// capacity and are rejected by the ILP checker, which is the point of the
-// ablation.
-func WithoutMemoryCheck() Option {
-	return optionFunc(func(m *MinCost) { m.memoryCheck = false })
-}
-
-// NewMinCost returns the paper's heuristic allocator.
+// NewMinCost returns the paper's heuristic allocator. It honours
+// WithParallelism, WithoutTransitionAwareness and WithoutMemoryCheck; by
+// default the candidate scan is parallel (see Config.Parallelism), fully
+// transition-aware and memory-checked.
 func NewMinCost(opts ...Option) *MinCost {
-	m := &MinCost{transitionAware: true, memoryCheck: true}
-	for _, o := range opts {
-		o.apply(m)
-	}
-	return m
+	return &MinCost{cfg: NewConfig(opts...)}
 }
 
 // Name implements Allocator.
 func (m *MinCost) Name() string {
 	switch {
-	case !m.transitionAware:
+	case !m.cfg.TransitionAware:
 		return "MinCost/no-transition"
-	case !m.memoryCheck:
+	case !m.cfg.MemoryCheck:
 		return "MinCost/no-memory"
 	default:
 		return "MinCost"
@@ -240,39 +305,49 @@ func (m *MinCost) Name() string {
 }
 
 // Allocate implements Allocator. Ties on incremental cost break toward the
-// lower server index, making the algorithm fully deterministic.
-func (m *MinCost) Allocate(inst model.Instance) (*Result, error) {
+// lower server index, making the algorithm fully deterministic at every
+// parallelism setting.
+func (m *MinCost) Allocate(ctx context.Context, inst model.Instance) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	fleet := NewFleet(inst)
+	scan := NewScanEngine(m.cfg.Parallelism, len(fleet.Servers))
+	defer scan.Close()
+	stats := scan.NewStats()
 	placement := make(map[int]int, len(inst.VMs))
 	for _, v := range SortVMsByStart(inst) {
-		best := -1
-		var bestCost float64
-		for i := range fleet.Servers {
-			if m.memoryCheck {
+		v := v
+		best, err := scan.ArgMin(ctx, stats, len(fleet.Servers), func(i int) (float64, bool) {
+			if m.cfg.MemoryCheck {
 				if !fleet.Fits(i, v) {
-					continue
+					return 0, false
 				}
 			} else if !fleet.FitsCPUOnly(i, v) {
-				continue
+				return 0, false
 			}
-			var inc float64
-			if m.transitionAware {
-				inc = fleet.State(i).IncrementalCost(v)
-			} else {
-				inc = energy.RunCost(fleet.Servers[i], v)
+			if m.cfg.TransitionAware {
+				return fleet.State(i).IncrementalCost(v), true
 			}
-			if best < 0 || inc < bestCost {
-				best, bestCost = i, inc
-			}
+			return energy.RunCost(fleet.Servers[i], v), true
+		})
+		if err != nil {
+			return nil, err
 		}
 		if best < 0 {
 			return nil, &UnplaceableError{VM: v}
 		}
-		fleet.Commit(best, v)
+		scan.Commit(stats, func() { fleet.Commit(best, v) })
 		placement[v.ID] = fleet.Servers[best].ID
 	}
-	return FinishResult(m.Name(), inst, placement, fleet.ServersUsed())
+	res, err := FinishResult(m.Name(), inst, placement, fleet.ServersUsed())
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = scan.FinishStats(stats, start)
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -32,7 +33,7 @@ func TestMinCostConsolidates(t *testing.T) {
 		[]model.VM{vm(1, 1, 10, 2, 2), vm(2, 1, 10, 2, 2)},
 		[]model.Server{srv(1, 10, 16, 100, 200, 1), srv(2, 10, 16, 100, 200, 1)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestMinCostPrefersEfficientServer(t *testing.T) {
 		[]model.VM{vm(1, 1, 10, 1, 1)},
 		[]model.Server{srv(1, 10, 16, 150, 300, 2), srv(2, 10, 16, 80, 160, 1)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestMinCostPrefersLowTransitionCost(t *testing.T) {
 		[]model.VM{vm(1, 1, 5, 1, 1)},
 		[]model.Server{srv(1, 10, 16, 100, 200, 3), srv(2, 10, 16, 100, 200, 0.5)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestMinCostRespectsCapacity(t *testing.T) {
 		[]model.VM{vm(1, 1, 10, 6, 6), vm(2, 1, 10, 6, 6)},
 		[]model.Server{srv(1, 10, 16, 80, 160, 1), srv(2, 10, 16, 100, 200, 1)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestMinCostReusesFreedCapacity(t *testing.T) {
 		[]model.VM{vm(1, 1, 5, 8, 8), vm(2, 6, 10, 8, 8)},
 		[]model.Server{srv(1, 10, 16, 80, 160, 1), srv(2, 10, 16, 100, 200, 1)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestMinCostMemoryConstraint(t *testing.T) {
 		[]model.VM{vm(1, 1, 5, 1, 20)},
 		[]model.Server{srv(1, 10, 16, 80, 160, 1), srv(2, 10, 32, 100, 200, 1)},
 	)
-	res, err := NewMinCost().Allocate(inst)
+	res, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestMinCostMemoryConstraint(t *testing.T) {
 	}
 
 	// The ablation variant must ignore memory and pick server 1 (cheaper).
-	res, err = NewMinCost(WithoutMemoryCheck()).Allocate(inst)
+	res, err = NewMinCost(WithoutMemoryCheck()).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestMinCostUnplaceable(t *testing.T) {
 		[]model.VM{vm(1, 1, 5, 100, 1)},
 		[]model.Server{srv(1, 10, 16, 80, 160, 1)},
 	)
-	_, err := NewMinCost().Allocate(inst)
+	_, err := NewMinCost().Allocate(context.Background(), inst)
 	var ue *UnplaceableError
 	if !errors.As(err, &ue) {
 		t.Fatalf("err = %v, want UnplaceableError", err)
@@ -150,18 +151,18 @@ func TestMinCostUnplaceable(t *testing.T) {
 }
 
 func TestMinCostRejectsInvalidInstance(t *testing.T) {
-	if _, err := NewMinCost().Allocate(model.Instance{}); err == nil {
+	if _, err := NewMinCost().Allocate(context.Background(), model.Instance{}); err == nil {
 		t.Error("want error for empty instance")
 	}
 }
 
 func TestMinCostDeterminism(t *testing.T) {
 	inst := randomInstance(rand.New(rand.NewSource(5)), 60, 21)
-	a, err := NewMinCost().Allocate(inst)
+	a, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewMinCost().Allocate(inst)
+	b, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMinCostEnergyMatchesEvaluator(t *testing.T) {
 	var infeasible int
 	for trial := 0; trial < 20; trial++ {
 		inst := randomInstance(rng, 40, 15)
-		res, err := NewMinCost().Allocate(inst)
+		res, err := NewMinCost().Allocate(context.Background(), inst)
 		var ue *UnplaceableError
 		if errors.As(err, &ue) {
 			// A dense random draw can genuinely run the largest VM types
@@ -208,11 +209,11 @@ func TestMinCostBeatsNoTransitionVariantOnSparseLoad(t *testing.T) {
 	var worse int
 	for trial := 0; trial < 10; trial++ {
 		inst := sparseInstance(rng, 40, 10)
-		full, err := NewMinCost().Allocate(inst)
+		full, err := NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}
-		blind, err := NewMinCost(WithoutTransitionAwareness()).Allocate(inst)
+		blind, err := NewMinCost(WithoutTransitionAwareness()).Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"vmalloc/internal/model"
 )
 
@@ -10,22 +13,38 @@ import (
 // incremental cost of the *next* VM under that choice, picking the pair
 // minimiser. It costs O(n²) evaluations per VM instead of O(n) and
 // quantifies how myopic the greedy rule is.
-type Lookahead struct{}
+//
+// The outer candidate loop fans out over the scan worker pool — each
+// worker evaluates the full inner loop for its candidate servers — which
+// is where parallelism pays off most in this module.
+type Lookahead struct {
+	cfg Config
+}
 
 var _ Allocator = (*Lookahead)(nil)
 
-// NewLookahead returns the one-step lookahead allocator.
-func NewLookahead() *Lookahead { return &Lookahead{} }
+// NewLookahead returns the one-step lookahead allocator. It honours
+// WithParallelism; other options are ignored.
+func NewLookahead(opts ...Option) *Lookahead {
+	return &Lookahead{cfg: NewConfig(opts...)}
+}
 
 // Name implements Allocator.
 func (*Lookahead) Name() string { return "MinCost/lookahead" }
 
 // Allocate implements Allocator.
-func (l *Lookahead) Allocate(inst model.Instance) (*Result, error) {
+func (l *Lookahead) Allocate(ctx context.Context, inst model.Instance) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	fleet := NewFleet(inst)
+	scan := NewScanEngine(l.cfg.Parallelism, len(fleet.Servers))
+	defer scan.Close()
+	stats := scan.NewStats()
 	vms := SortVMsByStart(inst)
 	placement := make(map[int]int, len(vms))
 	for idx, v := range vms {
@@ -33,35 +52,41 @@ func (l *Lookahead) Allocate(inst model.Instance) (*Result, error) {
 		if idx+1 < len(vms) {
 			next = &vms[idx+1]
 		}
-		best := -1
-		var bestScore float64
-		for i := range fleet.Servers {
+		v := v
+		best, err := scan.ArgMin(ctx, stats, len(fleet.Servers), func(i int) (float64, bool) {
 			if !fleet.Fits(i, v) {
-				continue
+				return 0, false
 			}
 			score := fleet.State(i).IncrementalCost(v)
 			if next != nil {
-				score += l.bestNextCost(fleet, i, v, *next)
+				score += bestNextCost(fleet, i, v, *next)
 			}
-			if best < 0 || score < bestScore {
-				best, bestScore = i, score
-			}
+			return score, true
+		})
+		if err != nil {
+			return nil, err
 		}
 		if best < 0 {
 			return nil, &UnplaceableError{VM: v}
 		}
-		fleet.Commit(best, v)
+		scan.Commit(stats, func() { fleet.Commit(best, v) })
 		placement[v.ID] = fleet.Servers[best].ID
 	}
-	return FinishResult(l.Name(), inst, placement, fleet.ServersUsed())
+	res, err := FinishResult(l.Name(), inst, placement, fleet.ServersUsed())
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = scan.FinishStats(stats, start)
+	return res, nil
 }
 
 // bestNextCost returns the cheapest incremental cost of `next` assuming
 // `v` has been placed on server index chosen. The tentative placement is
 // simulated without mutating the fleet: for the chosen server the
 // incremental cost of `next` is evaluated on a preview state holding both
-// VMs; other servers are unaffected.
-func (l *Lookahead) bestNextCost(fleet *Fleet, chosen int, v, next model.VM) float64 {
+// VMs; other servers are unaffected. It only reads shared fleet state, so
+// scan workers may call it concurrently for distinct candidates.
+func bestNextCost(fleet *Fleet, chosen int, v, next model.VM) float64 {
 	best := -1.0
 	for i := range fleet.Servers {
 		var (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ func TestLookaheadValidAndVerified(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 10; trial++ {
 		inst := randomInstance(rng, 40, 15)
-		res, err := NewLookahead().Allocate(inst)
+		res, err := NewLookahead().Allocate(context.Background(), inst)
 		if err != nil {
 			continue // dense draws may be infeasible; covered elsewhere
 		}
@@ -51,11 +52,11 @@ func TestLookaheadSeesAPairGreedyMisses(t *testing.T) {
 			srv(2, 12, 16, 90, 200, 1), // big: fits A+B together
 		},
 	)
-	greedy, err := NewMinCost().Allocate(inst)
+	greedy, err := NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	look, err := NewLookahead().Allocate(inst)
+	look, err := NewLookahead().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +75,8 @@ func TestLookaheadNeverMuchWorseThanGreedy(t *testing.T) {
 	trials := 0
 	for trials < 8 {
 		inst := randomInstance(rng, 50, 18)
-		g, err1 := NewMinCost().Allocate(inst)
-		l, err2 := NewLookahead().Allocate(inst)
+		g, err1 := NewMinCost().Allocate(context.Background(), inst)
+		l, err2 := NewLookahead().Allocate(context.Background(), inst)
 		if err1 != nil || err2 != nil {
 			continue
 		}
@@ -97,10 +98,10 @@ func TestLookaheadUnplaceable(t *testing.T) {
 		[]model.VM{vm(1, 1, 5, 100, 1)},
 		[]model.Server{srv(1, 10, 16, 80, 160, 1)},
 	)
-	if _, err := NewLookahead().Allocate(inst); err == nil {
+	if _, err := NewLookahead().Allocate(context.Background(), inst); err == nil {
 		t.Error("want error")
 	}
-	if _, err := NewLookahead().Allocate(model.Instance{}); err == nil {
+	if _, err := NewLookahead().Allocate(context.Background(), model.Instance{}); err == nil {
 		t.Error("want error for invalid instance")
 	}
 }

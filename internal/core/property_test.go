@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -36,7 +37,7 @@ func quickInstance(seed int64) model.Instance {
 func TestMinCostPlacementProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		inst := quickInstance(seed)
-		res, err := NewMinCost().Allocate(inst)
+		res, err := NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			return true // infeasible draw: nothing to check
 		}
@@ -69,7 +70,7 @@ func TestMinCostPlacementProperties(t *testing.T) {
 func TestMinCostUpperBoundProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		inst := quickInstance(seed)
-		res, err := NewMinCost().Allocate(inst)
+		res, err := NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			return true
 		}
@@ -107,7 +108,7 @@ func TestMinCostMoreServersRarelyHurts(t *testing.T) {
 	for trials < 20 {
 		inst := quickInstance(rng.Int63())
 		small := inst
-		res1, err1 := NewMinCost().Allocate(small)
+		res1, err1 := NewMinCost().Allocate(context.Background(), small)
 		// Double the fleet.
 		bigServers := make([]model.Server, 0, 2*len(inst.Servers))
 		bigServers = append(bigServers, inst.Servers...)
@@ -116,7 +117,7 @@ func TestMinCostMoreServersRarelyHurts(t *testing.T) {
 			bigServers = append(bigServers, s)
 		}
 		big := model.NewInstance(inst.VMs, bigServers)
-		res2, err2 := NewMinCost().Allocate(big)
+		res2, err2 := NewMinCost().Allocate(context.Background(), big)
 		if err1 != nil || err2 != nil {
 			continue
 		}
@@ -136,7 +137,7 @@ func TestMinCostMoreServersRarelyHurts(t *testing.T) {
 func TestEnergyHomogeneity(t *testing.T) {
 	f := func(seed int64) bool {
 		inst := quickInstance(seed)
-		res, err := NewMinCost().Allocate(inst)
+		res, err := NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			return true
 		}

@@ -50,10 +50,20 @@ func SegmentCost(s model.Server, busy *timeline.SegmentSet) float64 {
 // of busy segments and the accumulated run cost. It supports O(#segments)
 // evaluation of the incremental cost of a candidate VM, which is the inner
 // loop of the paper's heuristic.
+//
+// Concurrency: the read path — Cost, CostWith, IncrementalCost, Busy,
+// VMs, Clone — never mutates the state (the segment cost of the current
+// busy set is cached eagerly by Add, not computed lazily on read), so any
+// number of goroutines may evaluate candidates concurrently as long as no
+// Add runs at the same time. The parallel scan engine in internal/core
+// relies on this contract.
 type ServerState struct {
 	server  model.Server
 	busy    timeline.SegmentSet
 	runCost float64
+	// segCost caches SegmentCost(server, &busy); maintained by Add so
+	// Cost is an O(1) pure read.
+	segCost float64
 	vms     int
 }
 
@@ -74,7 +84,7 @@ func (st *ServerState) Busy() []timeline.Interval { return st.busy.Segments() }
 // Cost returns the server's total energy cost (Eq. 17): run costs plus
 // SegmentCost of its busy set.
 func (st *ServerState) Cost() float64 {
-	return st.runCost + SegmentCost(st.server, &st.busy)
+	return st.runCost + st.segCost
 }
 
 // CostWith returns the server's total cost if v were added (the server
@@ -98,15 +108,18 @@ func (st *ServerState) Clone() *ServerState {
 		server:  st.server,
 		busy:    *st.busy.Clone(),
 		runCost: st.runCost,
+		segCost: st.segCost,
 		vms:     st.vms,
 	}
 	return c
 }
 
-// Add commits v to the server.
+// Add commits v to the server. Not safe to call concurrently with the
+// read path (see the type comment).
 func (st *ServerState) Add(v model.VM) {
 	st.busy.Insert(timeline.Interval{Start: v.Start, End: v.End})
 	st.runCost += RunCost(st.server, v)
+	st.segCost = SegmentCost(st.server, &st.busy)
 	st.vms++
 }
 

@@ -45,7 +45,7 @@ func (e *OptGap) Run(ctx context.Context, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(1))
 	var gaps, ffpsGaps []float64
 	for trial := 1; trial <= trials; trial++ {
-		inst, err := smallFeasibleInstance(rng)
+		inst, err := smallFeasibleInstance(ctx, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -64,11 +64,11 @@ func (e *OptGap) Run(ctx context.Context, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("optgap trial %d: %w", trial, err)
 		}
-		heur, err := core.NewMinCost().Allocate(inst)
+		heur, err := core.NewMinCost().Allocate(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
-		ffps, err := baseline.NewFFPS(int64(trial)).Allocate(inst)
+		ffps, err := baseline.NewFFPS(core.WithSeed(int64(trial))).Allocate(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +88,7 @@ func (e *OptGap) Run(ctx context.Context, opts Options) (*Result, error) {
 
 // smallFeasibleInstance draws 6 standard VMs on 3 servers, retrying until
 // the heuristic can place it (so optimum and heuristic are comparable).
-func smallFeasibleInstance(rng *rand.Rand) (model.Instance, error) {
+func smallFeasibleInstance(ctx context.Context, rng *rand.Rand) (model.Instance, error) {
 	types := model.VMTypesByClass(model.ClassStandard)
 	srvTypes := model.ServerTypeCatalog()[:3]
 	for attempt := 0; attempt < 100; attempt++ {
@@ -106,7 +106,7 @@ func smallFeasibleInstance(rng *rand.Rand) (model.Instance, error) {
 			servers[i] = srvTypes[i].NewServer(i+1, 1)
 		}
 		inst := model.NewInstance(vms, servers)
-		if _, err := core.NewMinCost().Allocate(inst); err == nil {
+		if _, err := core.NewMinCost().Allocate(ctx, inst); err == nil {
 			return inst, nil
 		}
 	}
@@ -165,7 +165,7 @@ func (e *Ablation) Run(ctx context.Context, opts Options) (*Result, error) {
 			func(int64) core.Allocator { return core.NewMinCost(core.WithoutTransitionAwareness()) },
 			func(int64) core.Allocator { return baseline.NewFirstFitSorted(baseline.ByEfficiency) },
 			func(int64) core.Allocator { return baseline.NewBestFitCPU() },
-			func(seed int64) core.Allocator { return baseline.NewRandomFit(seed) },
+			func(seed int64) core.Allocator { return baseline.NewRandomFit(core.WithSeed(seed)) },
 			func(int64) core.Allocator { return baseline.NewMinBusyTime() },
 			func(int64) core.Allocator { return baseline.NewVectorFit() },
 			func(int64) core.Allocator { return baseline.NewWorstFit() },

@@ -71,7 +71,7 @@ func (e *Online) Run(ctx context.Context, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("online timeout=%d seed=%d: %w", timeout, seed, err)
 			}
-			off, err := core.NewMinCost().Allocate(inst)
+			off, err := core.NewMinCost().Allocate(ctx, inst)
 			if err != nil {
 				return nil, err
 			}
@@ -179,7 +179,7 @@ func (e *Consolidation) Run(ctx context.Context, opts Options) (*Result, error) 
 		name string
 		mk   func(seed int64) core.Allocator
 	}{
-		{"FFPS", func(seed int64) core.Allocator { return baseline.NewFFPS(seed) }},
+		{"FFPS", func(seed int64) core.Allocator { return baseline.NewFFPS(core.WithSeed(seed)) }},
 		{"MinCost", func(int64) core.Allocator { return core.NewMinCost() }},
 	}
 	var ffpsSavings []float64
@@ -199,7 +199,7 @@ func (e *Consolidation) Run(ctx context.Context, opts Options) (*Result, error) 
 				if err != nil {
 					return nil, err
 				}
-				placed, err := base.mk(seed).Allocate(inst)
+				placed, err := base.mk(seed).Allocate(ctx, inst)
 				if err != nil {
 					return nil, err
 				}

@@ -145,14 +145,14 @@ func (e *Scaling) Run(ctx context.Context, opts Options) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		ours, err := core.NewMinCost().Allocate(inst)
+		ours, err := core.NewMinCost().Allocate(ctx, inst)
 		if err != nil {
 			return nil, fmt.Errorf("scaling m=%d: %w", m, err)
 		}
 		oursTime := time.Since(start)
 
 		start = time.Now()
-		ffps, err := baseline.NewFFPS(1).Allocate(inst)
+		ffps, err := baseline.NewFFPS(core.WithSeed(1)).Allocate(ctx, inst)
 		if err != nil {
 			return nil, fmt.Errorf("scaling m=%d ffps: %w", m, err)
 		}

@@ -53,11 +53,11 @@ func (e *Proportionality) Run(ctx context.Context, opts Options) (*Result, error
 		if err != nil {
 			return nil, err
 		}
-		ours, err := core.NewMinCost().Allocate(inst)
+		ours, err := core.NewMinCost().Allocate(ctx, inst)
 		if err != nil {
 			return nil, err
 		}
-		ffps, err := baseline.NewFFPS(seed).Allocate(inst)
+		ffps, err := baseline.NewFFPS(core.WithSeed(seed)).Allocate(ctx, inst)
 		if err != nil {
 			return nil, err
 		}

@@ -60,8 +60,8 @@ func (e *Diurnal) Run(ctx context.Context, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ours, err1 := core.NewMinCost().Allocate(inst)
-			ffps, err2 := baseline.NewFFPS(seed).Allocate(inst)
+			ours, err1 := core.NewMinCost().Allocate(ctx, inst)
+			ffps, err2 := baseline.NewFFPS(core.WithSeed(seed)).Allocate(ctx, inst)
 			if err1 != nil || err2 != nil {
 				continue // the peakiest draws can exceed fleet capacity
 			}
@@ -117,8 +117,8 @@ func (e *Diurnal) activityChart(ctx context.Context) (*report.Chart, error) {
 		XLabel: "time (min)",
 		YLabel: "active servers",
 	}
-	for _, a := range []core.Allocator{core.NewMinCost(), baseline.NewFFPS(1)} {
-		res, err := a.Allocate(inst)
+	for _, a := range []core.Allocator{core.NewMinCost(), baseline.NewFFPS(core.WithSeed(1))} {
+		res, err := a.Allocate(ctx, inst)
 		if err != nil {
 			return nil, fmt.Errorf("diurnal activity chart: %w", err)
 		}

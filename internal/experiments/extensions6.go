@@ -41,7 +41,7 @@ func (e *LocalSearch) Run(ctx context.Context, opts Options) (*Result, error) {
 		name string
 		mk   func(seed int64) core.Allocator
 	}{
-		{"FFPS", func(seed int64) core.Allocator { return baseline.NewFFPS(seed) }},
+		{"FFPS", func(seed int64) core.Allocator { return baseline.NewFFPS(core.WithSeed(seed)) }},
 		{"BestFit/cpu", func(int64) core.Allocator { return baseline.NewBestFitCPU() }},
 		{"MinCost", func(int64) core.Allocator { return core.NewMinCost() }},
 	}
@@ -60,7 +60,7 @@ func (e *LocalSearch) Run(ctx context.Context, opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			placed, err := base.mk(seed).Allocate(inst)
+			placed, err := base.mk(seed).Allocate(ctx, inst)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +99,7 @@ func (e *LocalSearch) Run(ctx context.Context, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(2))
 	var heurGaps, searchGaps []float64
 	for trial := 0; trial < trials; trial++ {
-		inst, err := smallFeasibleInstance(rng)
+		inst, err := smallFeasibleInstance(ctx, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +107,7 @@ func (e *LocalSearch) Run(ctx context.Context, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		heur, err := core.NewMinCost().Allocate(inst)
+		heur, err := core.NewMinCost().Allocate(ctx, inst)
 		if err != nil {
 			return nil, err
 		}

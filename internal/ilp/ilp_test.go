@@ -44,7 +44,7 @@ func tinyInstance() model.Instance {
 
 func TestCheckPlacementAcceptsValid(t *testing.T) {
 	inst := tinyInstance()
-	res, err := core.NewMinCost().Allocate(inst)
+	res, err := core.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestBranchAndBoundOptimalOnTiny(t *testing.T) {
 		t.Errorf("cost %g != evaluator %g", cost, got.Total())
 	}
 	// The heuristic can never beat the optimum.
-	heur, err := core.NewMinCost().Allocate(inst)
+	heur, err := core.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestReproUnboundedRelaxation(t *testing.T) {
 				servers[i] = srvTypes[i].NewServer(i+1, 1)
 			}
 			inst := model.NewInstance(vms, servers)
-			if _, err := core.NewMinCost().Allocate(inst); err == nil {
+			if _, err := core.NewMinCost().Allocate(context.Background(), inst); err == nil {
 				return inst
 			}
 		}

@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -159,7 +160,7 @@ func TestConsolidatorImprovesFFPS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ffps, err := baseline.NewFFPS(4).Allocate(inst)
+	ffps, err := baseline.NewFFPS(core.WithSeed(4)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestConsolidatorOnMinCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ours, err := core.NewMinCost().Allocate(inst)
+	ours, err := core.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestConsolidatorMoveCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ffps, err := baseline.NewFFPS(8).Allocate(inst)
+	ffps, err := baseline.NewFFPS(core.WithSeed(8)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func genInstance(t *testing.T, seed int64, n, k int) model.Instance {
 func TestImproveNeverWorsensAndStaysFeasible(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		inst := genInstance(t, seed, 60, 30)
-		base, err := baseline.NewFFPS(seed).Allocate(inst)
+		base, err := baseline.NewFFPS(core.WithSeed(seed)).Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func TestImproveNeverWorsensAndStaysFeasible(t *testing.T) {
 
 func TestImproveFFPSSubstantially(t *testing.T) {
 	inst := genInstance(t, 3, 80, 40)
-	base, err := baseline.NewFFPS(3).Allocate(inst)
+	base, err := baseline.NewFFPS(core.WithSeed(3)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestImproveFFPSSubstantially(t *testing.T) {
 
 func TestImproveMinCostFindsLittle(t *testing.T) {
 	inst := genInstance(t, 4, 80, 40)
-	base, err := core.NewMinCost().Allocate(inst)
+	base, err := core.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestImproveTowardOptimumOnTiny(t *testing.T) {
 	// MinCost and the optimum.
 	for seed := int64(10); seed < 16; seed++ {
 		inst := genInstance(t, seed, 6, 3)
-		heur, err := core.NewMinCost().Allocate(inst)
+		heur, err := core.NewMinCost().Allocate(context.Background(), inst)
 		if err != nil {
 			continue
 		}
@@ -118,7 +118,7 @@ func TestImproveTowardOptimumOnTiny(t *testing.T) {
 
 func TestImproveDeterministic(t *testing.T) {
 	inst := genInstance(t, 5, 50, 25)
-	base, err := baseline.NewFFPS(5).Allocate(inst)
+	base, err := baseline.NewFFPS(core.WithSeed(5)).Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}

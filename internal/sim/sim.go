@@ -99,7 +99,7 @@ type Runner struct {
 func NewRunner() *Runner {
 	return &Runner{
 		Ours:     func(int64) core.Allocator { return core.NewMinCost() },
-		Baseline: func(seed int64) core.Allocator { return baseline.NewFFPS(seed) },
+		Baseline: func(seed int64) core.Allocator { return baseline.NewFFPS(core.WithSeed(seed)) },
 	}
 }
 
@@ -141,7 +141,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				out, err := r.runSeed(cfg, cfg.Seeds[idx])
+				out, err := r.runSeed(ctx, cfg, cfg.Seeds[idx])
 				var ue *core.UnplaceableError
 				if cfg.SkipInfeasible && errors.As(err, &ue) {
 					continue // leave outcomes[idx] nil
@@ -188,16 +188,16 @@ feed:
 }
 
 // runSeed generates the seeded instance and runs every allocator on it.
-func (r *Runner) runSeed(cfg Config, seed int64) (*SeedOutcome, error) {
+func (r *Runner) runSeed(ctx context.Context, cfg Config, seed int64) (*SeedOutcome, error) {
 	inst, err := workload.Generate(cfg.Workload, cfg.Fleet, seed)
 	if err != nil {
 		return nil, err
 	}
-	ours, err := r.evaluate(r.Ours(seed), inst, seed)
+	ours, err := r.evaluate(ctx, r.Ours(seed), inst, seed)
 	if err != nil {
 		return nil, err
 	}
-	ffps, err := r.evaluate(r.Baseline(seed), inst, seed)
+	ffps, err := r.evaluate(ctx, r.Baseline(seed), inst, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +211,7 @@ func (r *Runner) runSeed(cfg Config, seed int64) (*SeedOutcome, error) {
 		out.ReductionRatio = (ffps.Energy - ours.Energy) / ffps.Energy
 	}
 	for _, mk := range r.Extra {
-		res, err := r.evaluate(mk(seed), inst, seed)
+		res, err := r.evaluate(ctx, mk(seed), inst, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -220,8 +220,8 @@ func (r *Runner) runSeed(cfg Config, seed int64) (*SeedOutcome, error) {
 	return out, nil
 }
 
-func (r *Runner) evaluate(a core.Allocator, inst model.Instance, seed int64) (*RunResult, error) {
-	res, err := a.Allocate(inst)
+func (r *Runner) evaluate(ctx context.Context, a core.Allocator, inst model.Instance, seed int64) (*RunResult, error) {
+	res, err := a.Allocate(ctx, inst)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name(), err)
 	}

@@ -86,7 +86,7 @@ func TestRunnerExtraAllocators(t *testing.T) {
 	r := NewRunner()
 	r.Extra = []func(int64) core.Allocator{
 		func(int64) core.Allocator { return baseline.NewBestFitCPU() },
-		func(seed int64) core.Allocator { return baseline.NewRandomFit(seed) },
+		func(seed int64) core.Allocator { return baseline.NewRandomFit(core.WithSeed(seed)) },
 	}
 	sum, err := r.Run(context.Background(), paperConfig(2))
 	if err != nil {

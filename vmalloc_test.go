@@ -23,14 +23,14 @@ func TestFacadeEndToEnd(t *testing.T) {
 	allocators := []vmalloc.Allocator{
 		vmalloc.NewMinCost(),
 		vmalloc.NewMinCost(vmalloc.WithoutTransitionAwareness()),
-		vmalloc.NewFFPS(11),
+		vmalloc.NewFFPS(vmalloc.WithSeed(11)),
 		vmalloc.NewBestFit(),
 		vmalloc.NewFirstFitByEfficiency(),
-		vmalloc.NewRandomFit(11),
+		vmalloc.NewRandomFit(vmalloc.WithSeed(11)),
 	}
 	energies := make(map[string]float64, len(allocators))
 	for _, a := range allocators {
-		res, err := a.Allocate(inst)
+		res, err := a.Allocate(context.Background(), inst)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
@@ -90,7 +90,7 @@ func TestFacadeSolveOptimal(t *testing.T) {
 	if placement[1] != placement[2] {
 		t.Errorf("optimum did not consolidate: %v", placement)
 	}
-	heur, err := vmalloc.NewMinCost().Allocate(inst)
+	heur, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFacadeUnplaceable(t *testing.T) {
 		[]vmalloc.VM{{ID: 1, Demand: vmalloc.Resources{CPU: 999, Mem: 1}, Start: 1, End: 2}},
 		[]vmalloc.Server{st.NewServer(1, 1)},
 	)
-	_, err := vmalloc.NewMinCost().Allocate(inst)
+	_, err := vmalloc.NewMinCost().Allocate(context.Background(), inst)
 	var ue *vmalloc.UnplaceableError
 	if !errors.As(err, &ue) || ue.VM.ID != 1 {
 		t.Errorf("err = %v, want UnplaceableError for vm 1", err)
