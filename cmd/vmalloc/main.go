@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vmalloc/internal/baseline"
+	"vmalloc/internal/config"
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/ilp"
@@ -55,9 +56,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "candidate-scan workers (0 = min(GOMAXPROCS, shards), 1 = sequential)")
 		onlineF  = fs.Bool("online", false, "run the event-driven simulator instead of offline allocation")
 		timeout  = fs.Int("idle-timeout", 2, "online mode: minutes an empty server stays active before sleeping (-1 = never)")
+		version  = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, config.Version())
+		return nil
 	}
 	var (
 		data []byte

@@ -1,0 +1,275 @@
+// Command vmserve runs the cluster allocation service as a long-running
+// HTTP daemon: VM requests are admitted (singly or batched) against a
+// live fleet, state survives restarts through the journal + snapshot
+// directory, and Prometheus metrics are exposed on /metrics.
+//
+// Endpoints:
+//
+//	POST   /v1/vms      admit one VMRequest object or an array of them;
+//	                    responds with the array of Admissions
+//	DELETE /v1/vms/{id} release a resident VM early
+//	GET    /v1/state    consistent cluster state (deterministic JSON)
+//	GET    /healthz     liveness probe
+//	GET    /metrics     Prometheus text exposition
+//
+// Usage:
+//
+//	vmserve -servers 50 -transition 2 -journal /var/lib/vmserve
+//	vmserve -fleet fleet.json -policy delay-aware -batch-window 2ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/config"
+	"vmalloc/internal/model"
+	"vmalloc/internal/online"
+	"vmalloc/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		fleetFile  = fs.String("fleet", "", "fleet JSON file: an instance or a bare server array (overrides -servers)")
+		servers    = fs.Int("servers", 50, "generated fleet size (Table II catalog)")
+		transition = fs.Float64("transition", 2, "generated fleet transition time (minutes)")
+		seed       = fs.Int64("seed", 1, "seed for the generated fleet and the ffps policy")
+		policy     = fs.String("policy", "mincost", "placement policy: mincost, delay-aware, prefer-active, ffps")
+		penalty    = fs.Float64("delay-penalty", 50, "delay-aware policy: watt-minutes per minute of start delay")
+		idle       = fs.Int("idle-timeout", 2, "minutes an empty server stays active before sleeping (-1 = never)")
+		window     = fs.Duration("batch-window", time.Millisecond, "admission micro-batch collection window (0 = opportunistic)")
+		parallel   = fs.Int("parallel", 0, "candidate-scan workers (0 = automatic, 1 = sequential)")
+		journalDir = fs.String("journal", "", "journal + snapshot directory (empty = volatile state)")
+		snapEvery  = fs.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default, <0 = only on shutdown)")
+		version    = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(w, config.Version())
+		return nil
+	}
+
+	fleet, err := loadFleet(*fleetFile, *servers, *transition, *seed)
+	if err != nil {
+		return err
+	}
+	pol, err := pickPolicy(*policy, *penalty, *seed)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.Open(cluster.Config{
+		Servers:       fleet,
+		Policy:        pol,
+		IdleTimeout:   *idle,
+		BatchWindow:   *window,
+		Parallelism:   *parallel,
+		Dir:           *journalDir,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(w, "vmserve: ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(c),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d servers (policy %s) on %s", len(fleet), pol.Name(), *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		c.Close()
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	if err := c.Close(); err != nil {
+		return err
+	}
+	logger.Printf("state persisted, bye")
+	return shutErr
+}
+
+// loadFleet reads the server list from a JSON file — either a full
+// instance ({"servers": [...]}) or a bare array — or generates a
+// catalog fleet.
+func loadFleet(path string, n int, transition float64, seed int64) ([]model.Server, error) {
+	if path == "" {
+		spec := workload.FleetSpec{NumServers: n, TransitionTime: transition}
+		inst, err := workload.Generate(workload.Spec{NumVMs: 1, MeanInterArrival: 1, MeanLength: 1}, spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		return inst.Servers, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var servers []model.Server
+		if err := json.Unmarshal(data, &servers); err != nil {
+			return nil, fmt.Errorf("parse fleet %s: %w", path, err)
+		}
+		return servers, nil
+	}
+	var inst model.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return nil, fmt.Errorf("parse fleet %s: %w", path, err)
+	}
+	if len(inst.Servers) == 0 {
+		return nil, fmt.Errorf("fleet %s has no servers", path)
+	}
+	return inst.Servers, nil
+}
+
+func pickPolicy(name string, penalty float64, seed int64) (online.Policy, error) {
+	switch name {
+	case "mincost":
+		return &online.MinCostPolicy{}, nil
+	case "delay-aware":
+		return &online.DelayAwareMinCostPolicy{PenaltyPerMinute: penalty}, nil
+	case "prefer-active":
+		return &online.PreferActivePolicy{}, nil
+	case "ffps":
+		return online.NewFirstFitPolicy(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want mincost, delay-aware, prefer-active or ffps)", name)
+	}
+}
+
+// newHandler builds the daemon's HTTP API around a cluster.
+func newHandler(c *cluster.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
+		reqs, err := decodeRequests(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		adms, err := c.Admit(r.Context(), reqs)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, cluster.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adms)
+	})
+	mux.HandleFunc("DELETE /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad vm id %q", r.PathValue("id")))
+			return
+		}
+		p, err := c.Release(id)
+		switch {
+		case errors.As(err, new(*cluster.NotResidentError)):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, cluster.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, p)
+		}
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		b, err := c.StateJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.WriteMetrics(w); err != nil {
+			// Headers are gone; nothing better than logging via the
+			// connection error path.
+			return
+		}
+	})
+	return mux
+}
+
+// decodeRequests accepts a single VMRequest object or an array of them.
+func decodeRequests(r io.Reader) ([]cluster.VMRequest, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var reqs []cluster.VMRequest
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return nil, fmt.Errorf("parse request array: %w", err)
+		}
+		if len(reqs) == 0 {
+			return nil, errors.New("empty request array")
+		}
+		return reqs, nil
+	}
+	var req cluster.VMRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("parse request: %w", err)
+	}
+	return []cluster.VMRequest{req}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

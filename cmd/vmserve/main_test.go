@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/model"
+)
+
+func testConfig(dir string) cluster.Config {
+	servers := make([]model.Server, 8)
+	for i := range servers {
+		servers[i] = model.Server{
+			ID:             i + 1,
+			Capacity:       model.Resources{CPU: 10, Mem: 16},
+			PIdle:          100,
+			PPeak:          200,
+			TransitionTime: 1,
+		}
+	}
+	return cluster.Config{Servers: servers, IdleTimeout: 2, Dir: dir}
+}
+
+func do(t *testing.T, srv *httptest.Server, method, path, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestServeEndToEnd drives the full admit → metrics → release → snapshot
+// → restart cycle over HTTP and requires the restarted daemon to serve a
+// byte-identical /v1/state.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	c, err := cluster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(c))
+
+	// Health first.
+	if code, body := do(t, srv, "GET", "/healthz", ""); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Admit: one single-object request, then a batch array.
+	code, body := do(t, srv, "POST", "/v1/vms",
+		`{"demand":{"cpu":2,"mem":4},"durationMinutes":60}`)
+	if code != 200 {
+		t.Fatalf("single admit = %d %s", code, body)
+	}
+	var adms []cluster.Admission
+	if err := json.Unmarshal(body, &adms); err != nil {
+		t.Fatal(err)
+	}
+	if len(adms) != 1 || !adms[0].Accepted || adms[0].ID != 1 {
+		t.Fatalf("single admit outcome %+v", adms)
+	}
+	code, body = do(t, srv, "POST", "/v1/vms",
+		`[{"demand":{"cpu":1,"mem":1},"durationMinutes":30},
+		  {"demand":{"cpu":3,"mem":2},"durationMinutes":45,"start":5},
+		  {"demand":{"cpu":999,"mem":1},"durationMinutes":5}]`)
+	if code != 200 {
+		t.Fatalf("batch admit = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &adms); err != nil {
+		t.Fatal(err)
+	}
+	if len(adms) != 3 || !adms[0].Accepted || !adms[1].Accepted {
+		t.Fatalf("batch outcome %+v", adms)
+	}
+	if adms[2].Accepted || adms[2].Reason == "" {
+		t.Fatalf("oversized vm not rejected gracefully: %+v", adms[2])
+	}
+
+	// Bad input is a 400, not a crash.
+	if code, _ := do(t, srv, "POST", "/v1/vms", `{"nope`); code != 400 {
+		t.Fatalf("malformed body = %d", code)
+	}
+
+	// Metrics reflect the admissions and the rejection.
+	code, body = do(t, srv, "GET", "/metrics", "")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"vmalloc_cluster_admissions_total 3",
+		"vmalloc_cluster_rejections_total 1",
+		"vmalloc_cluster_batch_size_bucket",
+		"vmalloc_cluster_scan_seconds_bucket",
+		"vmalloc_cluster_energy_watt_minutes{component=\"run\"}",
+		"vmalloc_cluster_server_state{server=\"1\"}",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Release VM 2; a second release of it is a 404.
+	if code, body := do(t, srv, "DELETE", "/v1/vms/2", ""); code != 200 {
+		t.Fatalf("release = %d %s", code, body)
+	}
+	if code, _ := do(t, srv, "DELETE", "/v1/vms/2", ""); code != 404 {
+		t.Fatalf("double release = %d, want 404", code)
+	}
+	if code, _ := do(t, srv, "DELETE", "/v1/vms/abc", ""); code != 400 {
+		t.Fatalf("non-numeric id = %d, want 400", code)
+	}
+
+	// Snapshot, capture the state, and "restart the daemon".
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	code, before := do(t, srv, "GET", "/v1/state", "")
+	if code != 200 {
+		t.Fatalf("/v1/state = %d", code)
+	}
+	srv.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := cluster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	srv2 := httptest.NewServer(newHandler(c2))
+	defer srv2.Close()
+	code, after := do(t, srv2, "GET", "/v1/state", "")
+	if code != 200 {
+		t.Fatalf("restarted /v1/state = %d", code)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("restarted state differs:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+
+	// The restarted daemon still admits.
+	code, body = do(t, srv2, "POST", "/v1/vms", `{"demand":{"cpu":1,"mem":1},"durationMinutes":10}`)
+	if code != 200 {
+		t.Fatalf("admit after restart = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &adms); err != nil {
+		t.Fatal(err)
+	}
+	// The rejected oversized request consumed ID 4, so the next free ID
+	// (persisted through the snapshot) is 5.
+	if !adms[0].Accepted || adms[0].ID != 5 {
+		t.Fatalf("post-restart admission %+v, want accepted with id 5", adms[0])
+	}
+}
+
+// TestRunStartupShutdown boots the real daemon on an ephemeral port and
+// shuts it down via context cancellation, the signal path's plumbing.
+func TestRunStartupShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-servers", "4",
+			"-journal", t.TempDir(),
+			"-batch-window", "0s",
+		}, &out)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v (output: %s)", err, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestRunVersion covers the -version flag shared by every CLI.
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "vmalloc ") {
+		t.Errorf("-version printed %q", out.String())
+	}
+}

@@ -34,17 +34,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vmsim", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment ID to run, or \"all\"")
-		quick = fs.Bool("quick", false, "scaled-down sweeps (fewer points and seeds)")
-		seeds = fs.Int("seeds", 0, "random runs per data point (0 = paper default of 5)")
-		csv   = fs.String("csv", "", "directory to write per-table CSV files into")
-		svg   = fs.String("svg", "", "directory to write per-figure SVG charts into")
-		ascii = fs.Bool("ascii", false, "also print ASCII plots of each figure")
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		cfgIn = fs.String("config", "", "run a custom JSON campaign (see internal/config) instead of paper experiments")
+		exp     = fs.String("exp", "all", "experiment ID to run, or \"all\"")
+		quick   = fs.Bool("quick", false, "scaled-down sweeps (fewer points and seeds)")
+		seeds   = fs.Int("seeds", 0, "random runs per data point (0 = paper default of 5)")
+		csv     = fs.String("csv", "", "directory to write per-table CSV files into")
+		svg     = fs.String("svg", "", "directory to write per-figure SVG charts into")
+		ascii   = fs.Bool("ascii", false, "also print ASCII plots of each figure")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		cfgIn   = fs.String("config", "", "run a custom JSON campaign (see internal/config) instead of paper experiments")
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(config.Version())
+		return nil
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"vmalloc/internal/config"
 	"vmalloc/internal/model"
 	"vmalloc/internal/trace"
 )
@@ -31,7 +32,11 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: vmtrace <stats|convert|fit> [flags]")
+		return fmt.Errorf("usage: vmtrace <stats|convert|fit> [flags], or vmtrace -version")
+	}
+	if args[0] == "-version" || args[0] == "--version" {
+		fmt.Fprintln(w, config.Version())
+		return nil
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("vmtrace "+cmd, flag.ContinueOnError)

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"vmalloc/internal/config"
 	"vmalloc/internal/model"
 	"vmalloc/internal/workload"
 )
@@ -39,9 +40,14 @@ func run(args []string) error {
 		period       = fs.Float64("period", 1440, "diurnal cycle length in minutes")
 		seed         = fs.Int64("seed", 1, "random seed")
 		out          = fs.String("o", "", "output file (default stdout)")
+		version      = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(config.Version())
+		return nil
 	}
 	var vmClasses []model.VMClass
 	for _, c := range splitList(*classes) {

@@ -3,6 +3,7 @@ package vmalloc
 import (
 	"io"
 
+	"vmalloc/internal/cluster"
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/migration"
@@ -35,6 +36,36 @@ type (
 func NewOnlineFirstFit(opts ...Option) OnlinePolicy {
 	return online.NewFirstFitPolicy(core.NewConfig(opts...).Seed)
 }
+
+// OnlineArrivalOrder returns a copy of vms sorted by start time (stable)
+// — the order the replay engine delivers arrivals in.
+func OnlineArrivalOrder(vms []VM) []VM { return online.ArrivalOrder(vms) }
+
+// Long-running allocation service — see internal/cluster. A Cluster wraps
+// a live fleet and an online policy behind a concurrency-safe API with
+// micro-batched admission, a journal + snapshot durability layer, and
+// Prometheus metrics; cmd/vmserve serves it over HTTP.
+type (
+	// Cluster is the long-running allocation service.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures OpenCluster (fleet, policy, batching
+	// window, journal directory).
+	ClusterConfig = cluster.Config
+	// VMRequest is one admission request (ID 0 = assign, Start 0 = now).
+	VMRequest = cluster.VMRequest
+	// Admission is the per-request outcome, including structured
+	// rejections when no server can host the VM.
+	Admission = cluster.Admission
+	// ClusterState is a consistent, journal-durable snapshot of the
+	// cluster.
+	ClusterState = cluster.State
+	// PlacedVM is an admitted VM with its hosting server and actual start.
+	PlacedVM = online.PlacedVM
+)
+
+// OpenCluster builds (or, when the config names a journal directory that
+// holds a previous incarnation's state, restores) a cluster.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.Open(cfg) }
 
 // Migration-based consolidation — see internal/migration.
 type (

@@ -1,0 +1,663 @@
+// Package cluster turns the event-driven fleet simulator into a
+// long-running allocation service. A Cluster owns an online.Fleet and a
+// placement policy behind a concurrency-safe API: callers admit VM
+// requests (singly or in batches), release them early, advance the fleet
+// clock, and read a consistent state snapshot at any moment.
+//
+// Admissions are micro-batched: concurrent Admit calls landing within the
+// configured window are collected, ordered deterministically by
+// (start, ID), and placed one VM at a time through the same candidate
+// scan the engines use — scored policies fan the scan out over the
+// parallel scan engine, preserving the lowest-index tie-break, so a
+// batch's placements are byte-identical to admitting its requests
+// sequentially in that order.
+//
+// Durability is an append-only JSON journal plus periodic snapshots
+// (see journal.go). Reopening a journal directory replays the log on top
+// of the snapshot and reconstructs the exact pre-crash state, tolerating
+// a torn final record. Overload degrades gracefully: a VM no server can
+// host yields a structured rejection in the Admission result, never an
+// error path that kills the service.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/online"
+)
+
+// DefaultSnapshotEvery is the number of journaled mutations between
+// automatic snapshots when Config.SnapshotEvery is 0.
+const DefaultSnapshotEvery = 256
+
+// ErrClosed is returned by mutating calls after Close.
+var ErrClosed = errors.New("cluster: closed")
+
+// NotResidentError reports a release of a VM that is not currently
+// admitted (it never was, already departed, or was already released).
+type NotResidentError struct {
+	ID int
+}
+
+func (e *NotResidentError) Error() string {
+	return fmt.Sprintf("cluster: vm %d is not resident", e.ID)
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Servers is the fleet; required, validated on Open. A journal
+	// directory must always be reopened with the server list it was
+	// created with.
+	Servers []model.Server
+	// Policy places VMs; nil means online.MinCostPolicy. Policies
+	// implementing online.ScoredPolicy are scanned through the parallel
+	// scan engine.
+	Policy online.Policy
+	// IdleTimeout follows online.Engine.IdleTimeout: minutes an empty
+	// active server waits before sleeping; negative never, 0 immediately.
+	IdleTimeout int
+	// BatchWindow is how long the dispatcher keeps collecting concurrent
+	// Admit calls after the first one before placing the batch. Zero
+	// batches opportunistically: whatever is already queued is taken, with
+	// no added latency.
+	BatchWindow time.Duration
+	// Parallelism sizes the candidate-scan worker pool as in
+	// core.Config.Parallelism: 0 picks an automatic size, 1 forces
+	// sequential scans.
+	Parallelism int
+	// Dir is the journal directory. Empty means volatile: no journal, no
+	// snapshots, state dies with the process.
+	Dir string
+	// SnapshotEvery is the number of journaled mutations between automatic
+	// snapshots; 0 means DefaultSnapshotEvery, negative snapshots only on
+	// Close. Ignored when Dir is empty.
+	SnapshotEvery int
+}
+
+// VMRequest is one admission request.
+type VMRequest struct {
+	// ID identifies the VM; 0 lets the cluster assign the next free ID.
+	ID int `json:"id,omitempty"`
+	// Type is an optional free-form label.
+	Type string `json:"type,omitempty"`
+	// Demand is the VM's stable resource demand.
+	Demand model.Resources `json:"demand"`
+	// Start is the requested start minute; 0 means "now", and a start in
+	// the past is clamped to the current clock.
+	Start int `json:"start,omitempty"`
+	// DurationMinutes is how long the VM runs; must be ≥ 1.
+	DurationMinutes int `json:"durationMinutes"`
+}
+
+// Admission is the per-request outcome of an Admit call.
+type Admission struct {
+	// ID is the VM's identity (assigned by the cluster when the request
+	// left it 0).
+	ID int `json:"id"`
+	// Accepted reports whether the VM was placed. A false value is the
+	// graceful-degradation path: the cluster stays up and Reason says why.
+	Accepted bool `json:"accepted"`
+	// Server is the hosting server's ID (not index) when accepted.
+	Server int `json:"server,omitempty"`
+	// Start and End bound the minutes the VM will occupy; Start includes
+	// any wake-up delay beyond the requested start.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+	// Reason explains a rejection.
+	Reason string `json:"reason,omitempty"`
+}
+
+// admitCall is one Admit call in flight to the dispatcher.
+type admitCall struct {
+	reqs  []VMRequest
+	adms  []Admission
+	reply chan admitReply
+}
+
+type admitReply struct {
+	adms []Admission
+	err  error
+}
+
+// Cluster is the long-running allocation service. All methods are safe
+// for concurrent use.
+type Cluster struct {
+	cfg    Config
+	policy online.Policy
+	scored online.ScoredPolicy // non-nil when policy implements it
+	scan   *core.ScanEngine
+
+	mu            sync.Mutex
+	fleet         *online.Fleet
+	jr            *journal // nil when volatile
+	nextID        int
+	sinceSnapshot int
+	closed        bool
+	met           metrics
+
+	admitCh   chan *admitCall
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open builds a cluster. When cfg.Dir holds a previous incarnation's
+// journal, the durable state is restored first: the snapshot is loaded,
+// then every journal record past it is replayed, so the returned cluster
+// is byte-identical (in its State) to the one that wrote the log.
+func Open(cfg Config) (*Cluster, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("cluster: no servers configured")
+	}
+	for _, s := range cfg.Servers {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = &online.MinCostPolicy{}
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		policy:  cfg.Policy,
+		scan:    core.NewScanEngine(cfg.Parallelism, len(cfg.Servers)),
+		nextID:  1,
+		admitCh: make(chan *admitCall),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		met:     newMetrics(),
+	}
+	c.scored, _ = cfg.Policy.(online.ScoredPolicy)
+	if cfg.Dir == "" {
+		c.fleet = online.NewFleet(cfg.Servers, cfg.IdleTimeout)
+	} else if err := c.restore(); err != nil {
+		c.scan.Close()
+		return nil, err
+	}
+	go c.dispatch()
+	return c, nil
+}
+
+// restore loads snapshot + journal from cfg.Dir and replays.
+func (c *Cluster) restore() error {
+	jr, snap, recs, err := openJournal(c.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	lastSeq := int64(0)
+	if snap != nil {
+		c.fleet, err = online.RestoreFleet(c.cfg.Servers, c.cfg.IdleTimeout, snap.Fleet)
+		if err != nil {
+			jr.close()
+			return err
+		}
+		c.nextID = snap.NextID
+		lastSeq = snap.LastSeq
+	} else {
+		c.fleet = online.NewFleet(c.cfg.Servers, c.cfg.IdleTimeout)
+	}
+	for _, r := range recs {
+		if r.Seq <= lastSeq {
+			continue // covered by the snapshot (compaction was interrupted)
+		}
+		if err := c.apply(r); err != nil {
+			jr.close()
+			return err
+		}
+		lastSeq = r.Seq
+	}
+	jr.seq = lastSeq
+	c.jr = jr
+	return nil
+}
+
+// apply replays one journal record against the fleet.
+func (c *Cluster) apply(r record) error {
+	switch r.Op {
+	case opAdmit:
+		if r.VM == nil {
+			return fmt.Errorf("cluster: journal seq %d: admit without vm", r.Seq)
+		}
+		c.fleet.AdvanceTo(r.T)
+		start, err := c.fleet.Commit(r.Server, *r.VM)
+		if err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
+		}
+		if start != r.Start {
+			return fmt.Errorf("cluster: journal seq %d: replayed start %d, recorded %d", r.Seq, start, r.Start)
+		}
+		if r.VM.ID >= c.nextID {
+			c.nextID = r.VM.ID + 1
+		}
+	case opRelease:
+		c.fleet.AdvanceTo(r.T)
+		if _, err := c.fleet.Release(r.ID); err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
+		}
+	case opTick:
+		c.fleet.AdvanceTo(r.T)
+	default:
+		return fmt.Errorf("cluster: journal seq %d: unknown op %q", r.Seq, r.Op)
+	}
+	return nil
+}
+
+// Admit submits requests for placement and blocks until the batch holding
+// them is processed. Per-request outcomes — including structured
+// rejections for VMs no server can host — come back in the same order as
+// reqs. The error is nil unless the cluster is closed, the context ends,
+// or the journal fails (in which case the admissions already took effect
+// in memory and are reported alongside the error).
+func (c *Cluster) Admit(ctx context.Context, reqs []VMRequest) ([]Admission, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	call := &admitCall{reqs: reqs, reply: make(chan admitReply, 1)}
+	select {
+	case c.admitCh <- call:
+	case <-c.stopCh:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case rep := <-call.reply:
+		return rep.adms, rep.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch is the micro-batching loop: the first queued Admit call opens
+// a batch, the window (or an opportunistic drain) fills it, and the batch
+// is placed as one unit.
+func (c *Cluster) dispatch() {
+	defer close(c.doneCh)
+	for {
+		var first *admitCall
+		select {
+		case first = <-c.admitCh:
+		case <-c.stopCh:
+			c.rejectPending()
+			return
+		}
+		batch := []*admitCall{first}
+		if c.cfg.BatchWindow > 0 {
+			timer := time.NewTimer(c.cfg.BatchWindow)
+		collect:
+			for {
+				select {
+				case call := <-c.admitCh:
+					batch = append(batch, call)
+				case <-timer.C:
+					break collect
+				case <-c.stopCh:
+					timer.Stop()
+					break collect
+				}
+			}
+		} else {
+		drain:
+			for {
+				select {
+				case call := <-c.admitCh:
+					batch = append(batch, call)
+				default:
+					break drain
+				}
+			}
+		}
+		c.processBatch(batch)
+	}
+}
+
+// rejectPending answers Admit calls that were queued when Close won the
+// race.
+func (c *Cluster) rejectPending() {
+	for {
+		select {
+		case call := <-c.admitCh:
+			call.reply <- admitReply{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// batchItem is one normalised, not-yet-placed request within a batch.
+type batchItem struct {
+	call *admitCall
+	pos  int
+	vm   model.VM
+}
+
+// processBatch normalises, orders and places one batch under the lock.
+func (c *Cluster) processBatch(batch []*admitCall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	now := c.fleet.Now()
+	if now < 1 {
+		now = 1 // the model's horizon starts at minute 1
+	}
+	var items []batchItem
+	total := 0
+	for _, call := range batch {
+		call.adms = make([]Admission, len(call.reqs))
+		total += len(call.reqs)
+		for k, req := range call.reqs {
+			vm, adm, ok := c.normalize(req, now)
+			call.adms[k] = adm
+			if ok {
+				items = append(items, batchItem{call: call, pos: k, vm: vm})
+			}
+		}
+	}
+	// Deterministic batch order: by start minute, then VM ID. Placing the
+	// batch is then identical to sequential admission in this order,
+	// regardless of how the requests raced into the window.
+	sort.SliceStable(items, func(a, b int) bool {
+		if items[a].vm.Start != items[b].vm.Start {
+			return items[a].vm.Start < items[b].vm.Start
+		}
+		return items[a].vm.ID < items[b].vm.ID
+	})
+	stats := c.scan.NewStats()
+	var jerr error
+	for _, it := range items {
+		adm := &it.call.adms[it.pos]
+		c.fleet.AdvanceTo(it.vm.Start)
+		i, err := c.place(it.vm, stats)
+		if err != nil {
+			c.met.rejections++
+			adm.Reason = err.Error()
+			continue
+		}
+		start, err := c.fleet.Commit(i, it.vm)
+		if err != nil {
+			c.met.rejections++
+			adm.Reason = err.Error()
+			continue
+		}
+		if c.jr != nil && jerr == nil {
+			vm := it.vm
+			jerr = c.jr.append(record{Op: opAdmit, T: c.fleet.Now(), VM: &vm, Server: i, Start: start})
+		}
+		adm.Accepted = true
+		adm.Server = c.fleet.View().Server(i).ID
+		adm.Start = start
+		adm.End = start + it.vm.Duration() - 1
+		c.met.admissions++
+		c.sinceSnapshot++
+	}
+	c.met.batches++
+	c.met.batchSize.observe(float64(total))
+	c.met.scanSeconds.observe(stats.ScanWall.Seconds())
+	c.met.candidates += stats.CandidatesEvaluated
+	c.met.infeasible += stats.FeasibilityRejections
+	c.maybeSnapshotLocked()
+	for _, call := range batch {
+		call.reply <- admitReply{adms: call.adms, err: jerr}
+	}
+}
+
+// normalize turns a request into a model VM at the current clock, or a
+// structured rejection.
+func (c *Cluster) normalize(req VMRequest, now int) (model.VM, Admission, bool) {
+	adm := Admission{ID: req.ID}
+	if req.ID < 0 {
+		adm.Reason = fmt.Sprintf("negative vm id %d", req.ID)
+		return model.VM{}, adm, false
+	}
+	if req.DurationMinutes < 1 {
+		adm.Reason = fmt.Sprintf("duration %d minutes, want ≥ 1", req.DurationMinutes)
+		return model.VM{}, adm, false
+	}
+	id := req.ID
+	if id == 0 {
+		id = c.nextID
+		c.nextID++
+	} else if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	adm.ID = id
+	start := req.Start
+	if start < now {
+		start = now // 0 means "now"; past starts are clamped
+	}
+	vm := model.VM{
+		ID:     id,
+		Type:   req.Type,
+		Demand: req.Demand,
+		Start:  start,
+		End:    start + req.DurationMinutes - 1,
+	}
+	if err := vm.Validate(); err != nil {
+		adm.Reason = err.Error()
+		return model.VM{}, adm, false
+	}
+	if _, resident := c.fleet.Resident(id); resident {
+		adm.Reason = fmt.Sprintf("vm %d is already resident", id)
+		return model.VM{}, adm, false
+	}
+	return vm, adm, true
+}
+
+// place runs the candidate scan for one VM: scored policies go through
+// the parallel scan engine (same argmin, same lowest-index tie-break),
+// everything else through the policy's own Place.
+func (c *Cluster) place(v model.VM, stats *core.AllocStats) (int, error) {
+	fv := c.fleet.View()
+	if c.scored == nil {
+		return c.policy.Place(fv, v)
+	}
+	i, err := c.scan.ArgMin(context.Background(), stats, fv.NumServers(), func(i int) (float64, bool) {
+		return c.scored.Score(fv, v, i)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 {
+		return 0, &online.NoCapacityError{VM: v}
+	}
+	return i, nil
+}
+
+// Release removes a resident VM at the current clock, refunding the run
+// cost of its unused minutes (see online.Fleet.Release). A VM that is not
+// resident yields a *NotResidentError.
+func (c *Cluster) Release(id int) (online.PlacedVM, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return online.PlacedVM{}, ErrClosed
+	}
+	if _, ok := c.fleet.Resident(id); !ok {
+		return online.PlacedVM{}, &NotResidentError{ID: id}
+	}
+	p, err := c.fleet.Release(id)
+	if err != nil {
+		return p, err
+	}
+	c.met.releases++
+	c.sinceSnapshot++
+	var jerr error
+	if c.jr != nil {
+		jerr = c.jr.append(record{Op: opRelease, T: c.fleet.Now(), ID: id})
+	}
+	c.maybeSnapshotLocked()
+	return p, jerr
+}
+
+// AdvanceTo moves the fleet clock forward to minute t, processing
+// departures, wake-ups and idle checks on the way. Earlier times are a
+// no-op (the clock is monotonic).
+func (c *Cluster) AdvanceTo(t int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if t <= c.fleet.Now() {
+		return nil
+	}
+	c.fleet.AdvanceTo(t)
+	if c.jr == nil {
+		return nil
+	}
+	c.sinceSnapshot++
+	err := c.jr.append(record{Op: opTick, T: t})
+	c.maybeSnapshotLocked()
+	return err
+}
+
+// ServerState is one server's externally visible state.
+type ServerState struct {
+	ID    int    `json:"id"`
+	Type  string `json:"type,omitempty"`
+	State string `json:"state"`
+	VMs   int    `json:"vms"`
+}
+
+// State is a consistent snapshot of the cluster, exactly the durable
+// state: a cluster restored from its journal serves a byte-identical
+// State to the one that wrote it. Rejection counts are deliberately
+// absent (rejections are not journaled); they live in the metrics.
+type State struct {
+	Now             int              `json:"now"`
+	Policy          string           `json:"policy"`
+	IdleTimeout     int              `json:"idleTimeoutMinutes"`
+	Admitted        int              `json:"admitted"`
+	Released        int              `json:"released"`
+	Transitions     int              `json:"transitions"`
+	ServersUsed     int              `json:"serversUsed"`
+	Energy          energy.Breakdown `json:"energy"`
+	TotalEnergy     float64          `json:"totalEnergyWattMinutes"`
+	TotalStartDelay int              `json:"totalStartDelayMinutes"`
+	MaxStartDelay   int              `json:"maxStartDelayMinutes"`
+	Servers         []ServerState    `json:"servers"`
+	// VMs lists the resident VMs sorted by ID; PlacedVM.Server is the
+	// server *index* in the configured list.
+	VMs []online.PlacedVM `json:"vms"`
+}
+
+// State returns a consistent snapshot of the cluster.
+func (c *Cluster) State() *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked()
+}
+
+func (c *Cluster) stateLocked() *State {
+	fv := c.fleet.View()
+	st := &State{
+		Now:             c.fleet.Now(),
+		Policy:          c.policy.Name(),
+		IdleTimeout:     c.cfg.IdleTimeout,
+		Admitted:        c.fleet.Admitted(),
+		Released:        c.fleet.Released(),
+		Transitions:     c.fleet.Transitions(),
+		ServersUsed:     c.fleet.ServersUsed(),
+		Energy:          c.fleet.EnergyAt(c.fleet.Now()),
+		TotalStartDelay: c.fleet.StartDelayTotal(),
+		MaxStartDelay:   c.fleet.MaxStartDelay(),
+		Servers:         make([]ServerState, fv.NumServers()),
+		VMs:             c.fleet.Residents(),
+	}
+	st.TotalEnergy = st.Energy.Total()
+	for i := range st.Servers {
+		s := fv.Server(i)
+		st.Servers[i] = ServerState{
+			ID:    s.ID,
+			Type:  s.Type,
+			State: fv.StateOf(i).String(),
+			VMs:   fv.Running(i),
+		}
+	}
+	return st
+}
+
+// StateJSON returns the State as deterministic, indented JSON.
+func (c *Cluster) StateJSON() ([]byte, error) {
+	return marshalStateJSON(c.State())
+}
+
+func marshalStateJSON(st *State) ([]byte, error) {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Snapshot forces a snapshot + journal compaction now. It is a no-op for
+// a volatile cluster.
+func (c *Cluster) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.snapshotLocked()
+}
+
+func (c *Cluster) snapshotLocked() error {
+	if c.jr == nil {
+		return nil
+	}
+	err := c.jr.snapshot(&snapshotFile{NextID: c.nextID, Fleet: c.fleet.Snapshot()})
+	if err != nil {
+		c.met.snapshotErrors++
+		return err
+	}
+	c.met.snapshots++
+	c.sinceSnapshot = 0
+	return nil
+}
+
+// maybeSnapshotLocked runs the periodic snapshot policy. A failed
+// snapshot is counted and retried at the next trigger; the cluster keeps
+// serving from memory + journal.
+func (c *Cluster) maybeSnapshotLocked() {
+	if c.jr == nil || c.cfg.SnapshotEvery <= 0 || c.sinceSnapshot < c.cfg.SnapshotEvery {
+		return
+	}
+	c.snapshotLocked() //nolint:errcheck // counted in snapshotErrors
+}
+
+// Close stops the dispatcher, takes a final snapshot, and closes the
+// journal. It is idempotent; concurrent Admit calls receive ErrClosed.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.stopCh)
+		<-c.doneCh
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.closed = true
+		var errs []error
+		if c.jr != nil {
+			if err := c.snapshotLocked(); err != nil {
+				errs = append(errs, err)
+			}
+			if err := c.jr.close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		c.scan.Close()
+		c.closeErr = errors.Join(errs...)
+	})
+	return c.closeErr
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/online"
+)
+
+// On-disk layout under Config.Dir:
+//
+//	snapshot.json  — the last full FleetSnapshot plus the journal sequence
+//	                 number it covers (LastSeq)
+//	journal.jsonl  — one JSON record per line for every mutation since;
+//	                 records with seq ≤ LastSeq are stale survivors of a
+//	                 crash between snapshot rename and journal truncation
+//	                 and are skipped on replay
+//
+// A record is durable once its terminating newline reaches the file; a
+// torn tail (truncated final record, or a final line with no newline) is
+// dropped on open and the file is truncated back to the last clean record.
+// Corruption anywhere before the tail is an error — it means lost history,
+// not an interrupted write — and open refuses the directory.
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// Journal operations.
+const (
+	opAdmit   = "admit"
+	opRelease = "release"
+	opTick    = "tick"
+)
+
+// record is one journaled mutation. T is the fleet clock the mutation was
+// applied at; replay advances to T before re-applying, which reproduces
+// the exact post-mutation state (Commit re-derives the actual start, and
+// the recorded Start cross-checks it).
+type record struct {
+	Seq    int64     `json:"seq"`
+	Op     string    `json:"op"`
+	T      int       `json:"t"`
+	VM     *model.VM `json:"vm,omitempty"`
+	Server int       `json:"server,omitempty"`
+	Start  int       `json:"start,omitempty"`
+	ID     int       `json:"id,omitempty"`
+}
+
+// snapshotFile is the serialised snapshot.json.
+type snapshotFile struct {
+	LastSeq int64                 `json:"lastSeq"`
+	NextID  int                   `json:"nextID"`
+	Fleet   *online.FleetSnapshot `json:"fleet"`
+}
+
+// journal is the append side of the log. All methods are called under the
+// cluster mutex.
+type journal struct {
+	dir string
+	f   *os.File
+	seq int64
+}
+
+// openJournal loads the durable state under dir: the snapshot (if any),
+// every clean journal record, and an append handle positioned after the
+// last clean record (a torn tail is truncated away first).
+func openJournal(dir string) (*journal, *snapshotFile, []record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("cluster: journal dir: %w", err)
+	}
+	var snap *snapshotFile
+	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	switch {
+	case err == nil:
+		snap = new(snapshotFile)
+		if err := json.Unmarshal(b, snap); err != nil {
+			return nil, nil, nil, fmt.Errorf("cluster: corrupt snapshot: %w", err)
+		}
+		if snap.Fleet == nil {
+			return nil, nil, nil, errors.New("cluster: snapshot has no fleet state")
+		}
+	case !errors.Is(err, fs.ErrNotExist):
+		return nil, nil, nil, err
+	}
+	path := filepath.Join(dir, journalName)
+	recs, clean, err := readRecords(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() > clean {
+		if err := os.Truncate(path, clean); err != nil {
+			return nil, nil, nil, fmt.Errorf("cluster: dropping torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &journal{dir: dir, f: f}, snap, recs, nil
+}
+
+// readRecords parses the journal, returning every clean record and the
+// byte offset up to which the file is clean. A final record that fails to
+// parse or lacks its newline is an interrupted write and is excluded;
+// invalid records with history after them are corruption and an error.
+func readRecords(path string) ([]record, int64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var recs []record
+	var clean int64
+	off := 0
+	for off < len(b) {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: the write was interrupted
+		}
+		line := b[off : off+nl]
+		next := off + nl + 1
+		if len(bytes.TrimSpace(line)) > 0 {
+			var r record
+			if err := json.Unmarshal(line, &r); err != nil {
+				if len(bytes.TrimSpace(b[next:])) == 0 {
+					break // torn final record
+				}
+				return nil, 0, fmt.Errorf("cluster: corrupt journal record at byte %d: %w", off, err)
+			}
+			recs = append(recs, r)
+		}
+		off = next
+		clean = int64(off)
+	}
+	return recs, clean, nil
+}
+
+// append journals one mutation, assigning it the next sequence number.
+func (j *journal) append(r record) error {
+	r.Seq = j.seq + 1
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	j.seq = r.Seq
+	return nil
+}
+
+// snapshot atomically replaces snapshot.json (write to a temp file, sync,
+// rename) and then truncates the journal: every record it held is covered
+// by the snapshot's LastSeq. A crash between the rename and the truncation
+// leaves stale records behind, which replay skips by sequence number.
+func (j *journal) snapshot(s *snapshotFile) error {
+	s.LastSeq = j.seq
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(j.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotName)); err != nil {
+		return err
+	}
+	// Compaction: the journal's records are all ≤ LastSeq now. The handle
+	// is in append mode, so subsequent writes land at the new end.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: journal compaction: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"vmalloc/internal/online"
+)
+
+// metricsPrefix namespaces every exported series.
+const metricsPrefix = "vmalloc_cluster"
+
+// metrics is the cluster's runtime-only instrumentation: counters and
+// histograms that are deliberately not journaled (a restart starts them
+// from zero; durable facts live in State).
+type metrics struct {
+	admissions     uint64
+	rejections     uint64
+	releases       uint64
+	batches        uint64
+	snapshots      uint64
+	snapshotErrors uint64
+	candidates     int64
+	infeasible     int64
+	batchSize      *histogram
+	scanSeconds    *histogram
+}
+
+func newMetrics() metrics {
+	return metrics{
+		batchSize:   newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		scanSeconds: newHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+	}
+}
+
+// histogram is a fixed-bucket Prometheus histogram. counts[i] holds
+// observations in (bounds[i-1], bounds[i]]; the final slot is +Inf.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.sum += v
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics writes the cluster's metrics in Prometheus text exposition
+// format: admission/rejection/release/batch counters, batch-size and
+// scan-time histograms (fed from the scan engine's AllocStats), the
+// cumulative energy components in watt-minutes, and each server's power
+// state.
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	var buf bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		full := metricsPrefix + "_" + name
+		fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", full, help, full, full, v)
+	}
+	gauge := func(name, help, value string) {
+		full := metricsPrefix + "_" + name
+		fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", full, help, full, full, value)
+	}
+	counter("admissions_total", "VMs admitted over the cluster's lifetime.", c.met.admissions)
+	counter("rejections_total", "Admission requests rejected (no capacity or invalid).", c.met.rejections)
+	counter("releases_total", "VMs released before their scheduled end.", c.met.releases)
+	counter("batches_total", "Admission batches processed.", c.met.batches)
+	counter("snapshots_total", "Snapshots written.", c.met.snapshots)
+	counter("snapshot_errors_total", "Snapshot attempts that failed.", c.met.snapshotErrors)
+	counter("scan_candidates_total", "Candidate (VM, server) pairs evaluated.", uint64(c.met.candidates))
+	counter("scan_infeasible_total", "Candidate pairs rejected as infeasible.", uint64(c.met.infeasible))
+
+	c.met.batchSize.write(&buf, metricsPrefix+"_batch_size", "VM requests per admission batch.")
+	c.met.scanSeconds.write(&buf, metricsPrefix+"_scan_seconds", "Candidate-scan wall time per batch, in seconds.")
+
+	now := c.fleet.Now()
+	gauge("clock_minutes", "The fleet clock, in minutes.", strconv.Itoa(now))
+	gauge("resident_vms", "VMs currently admitted.", strconv.Itoa(len(c.fleet.Residents())))
+	gauge("servers_used", "Servers that hosted at least one VM.", strconv.Itoa(c.fleet.ServersUsed()))
+	gauge("transitions", "Power-saving to active wake-ups.", strconv.Itoa(c.fleet.Transitions()))
+	gauge("start_delay_minutes_total", "Summed VM start delay, in minutes.", strconv.Itoa(c.fleet.StartDelayTotal()))
+	gauge("start_delay_minutes_max", "Worst single VM start delay, in minutes.", strconv.Itoa(c.fleet.MaxStartDelay()))
+	gauge("scan_workers", "Candidate-scan worker pool size.", strconv.Itoa(c.scan.Workers()))
+
+	b := c.fleet.EnergyAt(now)
+	full := metricsPrefix + "_energy_watt_minutes"
+	fmt.Fprintf(&buf, "# HELP %s Cumulative energy by component, in watt-minutes.\n# TYPE %s gauge\n", full, full)
+	fmt.Fprintf(&buf, "%s{component=\"run\"} %s\n", full, formatFloat(b.Run))
+	fmt.Fprintf(&buf, "%s{component=\"idle\"} %s\n", full, formatFloat(b.Idle))
+	fmt.Fprintf(&buf, "%s{component=\"transition\"} %s\n", full, formatFloat(b.Transition))
+	fmt.Fprintf(&buf, "%s{component=\"total\"} %s\n", full, formatFloat(b.Total()))
+
+	fv := c.fleet.View()
+	perState := map[online.State]int{}
+	full = metricsPrefix + "_server_state"
+	fmt.Fprintf(&buf, "# HELP %s Per-server power state (1 power-saving, 2 waking, 3 active).\n# TYPE %s gauge\n", full, full)
+	for i := 0; i < fv.NumServers(); i++ {
+		st := fv.StateOf(i)
+		perState[st]++
+		fmt.Fprintf(&buf, "%s{server=\"%d\"} %d\n", full, fv.Server(i).ID, int(st))
+	}
+	full = metricsPrefix + "_servers"
+	fmt.Fprintf(&buf, "# HELP %s Servers by power state.\n# TYPE %s gauge\n", full, full)
+	for _, st := range []online.State{online.PowerSaving, online.Waking, online.Active} {
+		fmt.Fprintf(&buf, "%s{state=%q} %d\n", full, st.String(), perState[st])
+	}
+	c.mu.Unlock()
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,48 @@
+package config
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns a human-readable build identity shared by every CLI's
+// -version flag: the main module's version plus, when the binary was
+// built from a checkout, the VCS revision and a "-dirty" marker for
+// modified trees. It degrades to "vmalloc (devel)" when build info is
+// unavailable (e.g. some test binaries).
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "vmalloc (devel)"
+	}
+	var sb strings.Builder
+	sb.WriteString("vmalloc ")
+	if v := info.Main.Version; v != "" {
+		sb.WriteString(v)
+	} else {
+		sb.WriteString("(devel)")
+	}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		sb.WriteString(" (")
+		sb.WriteString(revision)
+		if modified == "true" {
+			sb.WriteString("-dirty")
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString(" ")
+	sb.WriteString(info.GoVersion)
+	return sb.String()
+}

@@ -1,0 +1,16 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersion(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, "vmalloc ") {
+		t.Errorf("Version() = %q, want a 'vmalloc ' prefix", v)
+	}
+	if strings.ContainsAny(v, "\n\r") {
+		t.Errorf("Version() = %q contains a newline", v)
+	}
+}

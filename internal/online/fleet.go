@@ -1,0 +1,400 @@
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/timeline"
+)
+
+// PlacedVM is one admitted VM: the request, the hosting server index and
+// the minute it actually starts (its requested start plus any wake-up
+// delay).
+type PlacedVM struct {
+	VM     model.VM `json:"vm"`
+	Server int      `json:"server"`
+	Start  int      `json:"start"`
+}
+
+// End returns the last minute the VM occupies given its actual start.
+func (p PlacedVM) End() int { return p.Start + p.VM.Duration() - 1 }
+
+// Fleet is a live, externally clocked fleet state machine — the mutable
+// core of both the event-driven replay engine and the long-running
+// allocation service. Servers follow the power-saving → waking → active
+// cycle, wake-ups take the server's real transition time, and empty active
+// servers sleep after the configured idle timeout, exactly as in
+// Engine.Run (which is implemented on top of this type).
+//
+// The clock only moves forward: AdvanceTo processes every internal event
+// (departures, wake-up completions, idle checks) up to the target minute.
+// Callers admit VMs with Commit — at a time not before the clock — and may
+// remove them early with Release, which truncates the reservation and
+// refunds the run cost of the unused minutes.
+//
+// A Fleet is not safe for concurrent mutation; the cluster layer
+// serialises access. The read path (View's query methods, EnergyAt,
+// Residents) is safe for concurrent use between mutations, which is what
+// lets the parallel candidate-scan engine evaluate servers concurrently.
+type Fleet struct {
+	view        FleetView
+	idleTimeout int
+	events      eventQueue
+	seq         int
+	resident    map[int]PlacedVM
+
+	// energy accrues the Run and Transition components; the Idle
+	// component lives in per-unit idleEnergy until EnergyAt sums it.
+	energy     energy.Breakdown
+	totalDelay int
+	maxDelay   int
+	admitted   int
+	released   int
+}
+
+// NewFleet returns an all-sleeping fleet with the clock at 0. idleTimeout
+// follows Engine.IdleTimeout: minutes an empty active server waits before
+// sleeping; negative means never sleep, 0 means sleep immediately.
+func NewFleet(servers []model.Server, idleTimeout int) *Fleet {
+	fl := &Fleet{
+		view:        FleetView{units: make([]*unit, len(servers))},
+		idleTimeout: idleTimeout,
+		resident:    make(map[int]PlacedVM),
+	}
+	for i, s := range servers {
+		fl.view.units[i] = &unit{srv: s, state: PowerSaving, res: timeline.NewLedger()}
+	}
+	return fl
+}
+
+// View returns the policy-visible state of the fleet.
+func (fl *Fleet) View() *FleetView { return &fl.view }
+
+// Now returns the fleet clock.
+func (fl *Fleet) Now() int { return fl.view.now }
+
+// IdleTimeout returns the configured idle timeout.
+func (fl *Fleet) IdleTimeout() int { return fl.idleTimeout }
+
+// Admitted returns the number of VMs committed over the fleet's lifetime.
+func (fl *Fleet) Admitted() int { return fl.admitted }
+
+// Released returns the number of VMs removed early via Release.
+func (fl *Fleet) Released() int { return fl.released }
+
+// StartDelayTotal returns the summed minutes admitted VMs waited for a
+// wake-up beyond their requested start.
+func (fl *Fleet) StartDelayTotal() int { return fl.totalDelay }
+
+// MaxStartDelay returns the worst single VM wait.
+func (fl *Fleet) MaxStartDelay() int { return fl.maxDelay }
+
+// Transitions returns the fleet-wide count of power-saving→active
+// wake-ups.
+func (fl *Fleet) Transitions() int {
+	var n int
+	for _, u := range fl.view.units {
+		n += u.transitions
+	}
+	return n
+}
+
+// ServersUsed returns the number of servers that hosted at least one VM.
+func (fl *Fleet) ServersUsed() int {
+	var n int
+	for _, u := range fl.view.units {
+		if u.used {
+			n++
+		}
+	}
+	return n
+}
+
+// Resident returns the placed VM with the given ID, if it is currently
+// admitted (neither departed nor released).
+func (fl *Fleet) Resident(id int) (PlacedVM, bool) {
+	p, ok := fl.resident[id]
+	return p, ok
+}
+
+// Residents returns every currently admitted VM, sorted by VM ID.
+func (fl *Fleet) Residents() []PlacedVM {
+	out := make([]PlacedVM, 0, len(fl.resident))
+	for _, p := range fl.resident {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].VM.ID < out[b].VM.ID })
+	return out
+}
+
+// EnergyAt returns the cumulative energy as of minute t ≥ the clock:
+// accrued run and transition costs plus the idle cost of completed active
+// stretches and of stretches still open at t. It is a pure read.
+func (fl *Fleet) EnergyAt(t int) energy.Breakdown {
+	b := fl.energy
+	for _, u := range fl.view.units {
+		b.Idle += u.idleEnergy
+		if u.state == Active && t > u.activeSince {
+			b.Idle += u.srv.PIdle * float64(t-u.activeSince)
+		}
+	}
+	return b
+}
+
+// AdvanceTo moves the clock to minute t, processing every departure,
+// wake-up completion and idle check scheduled at or before t in
+// deterministic event order. Moving backwards is a no-op: the clock is
+// monotonic.
+func (fl *Fleet) AdvanceTo(t int) {
+	if t <= fl.view.now {
+		return
+	}
+	fl.drainUntil(t)
+	fl.view.now = t
+}
+
+// Drain processes every remaining internal event, leaving the clock at the
+// time of the last one — the replay engine's end-of-run state.
+func (fl *Fleet) Drain() {
+	fl.drainUntil(math.MaxInt)
+}
+
+func (fl *Fleet) drainUntil(t int) {
+	for fl.events.Len() > 0 && fl.events[0].time <= t {
+		ev := heap.Pop(&fl.events).(event)
+		fl.view.now = ev.time
+		fl.handle(ev)
+	}
+}
+
+// Commit places v on server index i at the earliest feasible start
+// (waking the server if it sleeps) and returns that start. The VM's
+// requested start must not precede the clock; callers advance the clock to
+// the arrival minute first. Feasibility is re-checked: a policy that
+// selects a full server gets an error, never a corrupted fleet.
+func (fl *Fleet) Commit(i int, v model.VM) (int, error) {
+	if i < 0 || i >= len(fl.view.units) {
+		return 0, fmt.Errorf("online: server index %d out of range", i)
+	}
+	u := fl.view.units[i]
+	if v.Start < fl.view.now {
+		return 0, fmt.Errorf("online: vm %d starts at %d, before the fleet clock %d", v.ID, v.Start, fl.view.now)
+	}
+	if _, dup := fl.resident[v.ID]; dup {
+		return 0, fmt.Errorf("online: vm %d is already resident", v.ID)
+	}
+	start := fl.view.StartTime(i, v)
+	if !fl.view.Fits(i, v, start) {
+		return 0, fmt.Errorf("online: vm %d does not fit server %d", v.ID, u.srv.ID)
+	}
+	delay := start - v.Start
+	fl.totalDelay += delay
+	if delay > fl.maxDelay {
+		fl.maxDelay = delay
+	}
+	end := start + v.Duration() - 1
+	u.res.Add(v.ID, timeline.Reservation{
+		Interval: timeline.Interval{Start: start, End: end},
+		CPU:      v.Demand.CPU,
+		Mem:      v.Demand.Mem,
+	})
+	u.vms++
+	u.used = true
+	fl.admitted++
+	fl.resident[v.ID] = PlacedVM{VM: v, Server: i, Start: start}
+	fl.energy.Run += energy.RunCost(u.srv, v)
+	if u.state == PowerSaving {
+		u.state = Waking
+		u.wakeDone = fl.view.now + int(math.Ceil(u.srv.TransitionTime))
+		u.transitions++
+		fl.energy.Transition += u.srv.TransitionCost()
+		fl.push(event{time: u.wakeDone, kind: evWakeDone, srv: i})
+	}
+	fl.push(event{time: end + 1, kind: evDeparture, srv: i, vmID: v.ID})
+	return start, nil
+}
+
+// Release removes a resident VM at the current clock minute, before its
+// scheduled end. The VM keeps the minutes it already consumed (through the
+// current minute, if it started); the run cost of the unused remainder is
+// refunded, and the reservation is truncated so the capacity frees
+// immediately. Releasing the last VM of an active server starts its idle
+// countdown, exactly as a natural departure would.
+func (fl *Fleet) Release(id int) (PlacedVM, error) {
+	p, ok := fl.resident[id]
+	if !ok {
+		return PlacedVM{}, fmt.Errorf("online: vm %d is not resident", id)
+	}
+	now := fl.view.now
+	u := fl.view.units[p.Server]
+	dur := p.VM.Duration()
+	used := 0
+	if now >= p.Start {
+		used = now - p.Start + 1
+		if used > dur {
+			used = dur
+		}
+	}
+	fl.energy.Run -= u.srv.UnitCPUPower() * p.VM.Demand.CPU * float64(dur-used)
+	u.res.Truncate(id, now)
+	delete(fl.resident, id)
+	fl.released++
+	fl.vacate(p.Server, now)
+	return p, nil
+}
+
+// vacate decrements a unit's VM count and, when it empties while active,
+// starts the idle countdown.
+func (fl *Fleet) vacate(i, now int) {
+	u := fl.view.units[i]
+	u.vms--
+	if u.vms == 0 && u.state == Active {
+		u.idleSince = now
+		if fl.idleTimeout >= 0 {
+			fl.push(event{time: now + fl.idleTimeout, kind: evIdleCheck, srv: i})
+		}
+	}
+}
+
+func (fl *Fleet) push(ev event) {
+	ev.seq = fl.seq
+	fl.seq++
+	heap.Push(&fl.events, ev)
+}
+
+func (fl *Fleet) handle(ev event) {
+	u := fl.view.units[ev.srv]
+	switch ev.kind {
+	case evWakeDone:
+		if u.state == Waking && u.wakeDone == ev.time {
+			u.state = Active
+			u.activeSince = ev.time
+			u.idleSince = ev.time // re-evaluated by departures
+			if u.vms == 0 && fl.idleTimeout >= 0 {
+				// Every VM that triggered this wake was released before it
+				// completed: start the idle countdown immediately.
+				fl.push(event{time: ev.time + fl.idleTimeout, kind: evIdleCheck, srv: ev.srv})
+			}
+		}
+	case evDeparture:
+		if _, stillHere := fl.resident[ev.vmID]; !stillHere {
+			return // released early; the departure is stale
+		}
+		delete(fl.resident, ev.vmID)
+		u.res.Remove(ev.vmID)
+		fl.vacate(ev.srv, ev.time)
+	case evIdleCheck:
+		if u.state == Active && u.vms == 0 && u.idleSince+fl.idleTimeout <= ev.time {
+			// Sleep: account the active stretch.
+			u.idleEnergy += u.srv.PIdle * float64(ev.time-u.activeSince)
+			u.state = PowerSaving
+		}
+	}
+}
+
+// FleetSnapshot is the serialisable durable state of a Fleet. Together
+// with the server list and idle timeout it reconstructs an equivalent
+// fleet: resource reservations and pending departures are rebuilt from the
+// resident VMs, wake-up completions from the per-unit wake deadlines, and
+// idle countdowns from the per-unit idle marks.
+type FleetSnapshot struct {
+	Now        int              `json:"now"`
+	Energy     energy.Breakdown `json:"energy"` // accrued run + transition
+	TotalDelay int              `json:"totalDelayMinutes"`
+	MaxDelay   int              `json:"maxDelayMinutes"`
+	Admitted   int              `json:"admitted"`
+	Released   int              `json:"released"`
+	Units      []UnitSnapshot   `json:"units"`
+	Residents  []PlacedVM       `json:"residents"`
+}
+
+// UnitSnapshot is one server's durable state.
+type UnitSnapshot struct {
+	State       State   `json:"state"`
+	WakeDone    int     `json:"wakeDone,omitempty"`
+	ActiveSince int     `json:"activeSince,omitempty"`
+	IdleSince   int     `json:"idleSince,omitempty"`
+	IdleEnergy  float64 `json:"idleEnergyWattMinutes,omitempty"`
+	Transitions int     `json:"transitions,omitempty"`
+	Used        bool    `json:"used,omitempty"`
+}
+
+// Snapshot captures the fleet's durable state.
+func (fl *Fleet) Snapshot() *FleetSnapshot {
+	snap := &FleetSnapshot{
+		Now:        fl.view.now,
+		Energy:     fl.energy,
+		TotalDelay: fl.totalDelay,
+		MaxDelay:   fl.maxDelay,
+		Admitted:   fl.admitted,
+		Released:   fl.released,
+		Units:      make([]UnitSnapshot, len(fl.view.units)),
+		Residents:  fl.Residents(),
+	}
+	for i, u := range fl.view.units {
+		snap.Units[i] = UnitSnapshot{
+			State:       u.state,
+			WakeDone:    u.wakeDone,
+			ActiveSince: u.activeSince,
+			IdleSince:   u.idleSince,
+			IdleEnergy:  u.idleEnergy,
+			Transitions: u.transitions,
+			Used:        u.used,
+		}
+	}
+	return snap
+}
+
+// RestoreFleet rebuilds a fleet from a snapshot taken on an identical
+// server list with the same idle timeout.
+func RestoreFleet(servers []model.Server, idleTimeout int, snap *FleetSnapshot) (*Fleet, error) {
+	if len(snap.Units) != len(servers) {
+		return nil, fmt.Errorf("online: snapshot has %d units for %d servers", len(snap.Units), len(servers))
+	}
+	fl := NewFleet(servers, idleTimeout)
+	fl.view.now = snap.Now
+	fl.energy = snap.Energy
+	fl.totalDelay = snap.TotalDelay
+	fl.maxDelay = snap.MaxDelay
+	fl.admitted = snap.Admitted
+	fl.released = snap.Released
+	for i, us := range snap.Units {
+		u := fl.view.units[i]
+		u.state = us.State
+		u.wakeDone = us.WakeDone
+		u.activeSince = us.ActiveSince
+		u.idleSince = us.IdleSince
+		u.idleEnergy = us.IdleEnergy
+		u.transitions = us.Transitions
+		u.used = us.Used
+		if u.state == Waking {
+			fl.push(event{time: u.wakeDone, kind: evWakeDone, srv: i})
+		}
+	}
+	for _, p := range snap.Residents {
+		if p.Server < 0 || p.Server >= len(fl.view.units) {
+			return nil, fmt.Errorf("online: resident vm %d on unknown server index %d", p.VM.ID, p.Server)
+		}
+		u := fl.view.units[p.Server]
+		end := p.End()
+		u.res.Add(p.VM.ID, timeline.Reservation{
+			Interval: timeline.Interval{Start: p.Start, End: end},
+			CPU:      p.VM.Demand.CPU,
+			Mem:      p.VM.Demand.Mem,
+		})
+		u.vms++
+		fl.resident[p.VM.ID] = p
+		fl.push(event{time: end + 1, kind: evDeparture, srv: p.Server, vmID: p.VM.ID})
+	}
+	// Re-arm idle countdowns on empty active servers.
+	for i, u := range fl.view.units {
+		if u.state == Active && u.vms == 0 && fl.idleTimeout >= 0 {
+			fl.push(event{time: u.idleSince + fl.idleTimeout, kind: evIdleCheck, srv: i})
+		}
+	}
+	return fl, nil
+}

@@ -13,15 +13,18 @@
 // wake, which surfaces a metric the offline model cannot express: start
 // delay.
 //
-// Comparing the event-driven energy against the offline evaluator on the
-// same placements quantifies how much of the paper's savings survives
-// without clairvoyance (experiment "online" in internal/experiments).
+// The fleet state machine itself is the exported Fleet type, which is
+// externally clocked and also powers the live allocation service in
+// internal/cluster; Engine.Run is a replay loop over it. Comparing the
+// event-driven energy against the offline evaluator on the same
+// placements quantifies how much of the paper's savings survives without
+// clairvoyance (experiment "online" in internal/experiments).
 package online
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"vmalloc/internal/energy"
 	"vmalloc/internal/model"
@@ -92,15 +95,8 @@ func (f *FleetView) Fits(i int, v model.VM, start int) bool {
 		return false
 	}
 	end := start + v.Duration() - 1
-	if end > u.cpu.Horizon() {
-		// Beyond the tracked horizon: capacity profiles are sized to the
-		// worst case, so this only trips on pathological inputs.
-		return false
-	}
-	if u.cpu.Max(start, end)+v.Demand.CPU > u.srv.Capacity.CPU {
-		return false
-	}
-	return u.mem.Max(start, end)+v.Demand.Mem <= u.srv.Capacity.Mem
+	cpu, mem := u.res.MaxUsage(start, end)
+	return cpu+v.Demand.CPU <= u.srv.Capacity.CPU && mem+v.Demand.Mem <= u.srv.Capacity.Mem
 }
 
 // StartTime returns the earliest time v could start on server i if chosen
@@ -118,45 +114,13 @@ func (f *FleetView) StartTime(i int, v model.VM) int {
 	}
 }
 
-// Report is the outcome of an event-driven run.
-type Report struct {
-	Policy string `json:"policy"`
-	// Energy uses the same three components as the offline model.
-	Energy energy.Breakdown `json:"energy"`
-	// Transitions counts power-saving→active wake-ups across the fleet.
-	Transitions int `json:"transitions"`
-	// MeanStartDelay is the average minutes VMs waited for a server
-	// wake-up beyond their requested start time.
-	MeanStartDelay float64 `json:"meanStartDelayMinutes"`
-	// MaxStartDelay is the worst single VM wait.
-	MaxStartDelay int `json:"maxStartDelayMinutes"`
-	// Placement maps VM ID to server ID (for cross-checking against the
-	// offline evaluator).
-	Placement map[int]int `json:"placement"`
-	// Starts maps VM ID to the minute the VM actually started (equal to
-	// its requested start plus any wake-up delay).
-	Starts map[int]int `json:"starts"`
-	// ServersUsed counts servers that hosted at least one VM.
-	ServersUsed int `json:"serversUsed"`
-}
-
-// Engine runs the event-driven simulation.
-type Engine struct {
-	// Policy places VMs; required.
-	Policy Policy
-	// IdleTimeout is the number of idle minutes after which an empty
-	// active server goes to power saving. Negative means never sleep
-	// (after the first wake); 0 means sleep immediately.
-	IdleTimeout int
-}
-
+// unit is one server's live state.
 type unit struct {
 	srv      model.Server
 	state    State
 	wakeDone int // valid when state == Waking
 	vms      int // committed VMs (running or waiting on wake)
-	cpu      timeline.Profile
-	mem      timeline.Profile
+	res      *timeline.Ledger
 
 	activeSince int // valid when state == Active or Waking (wake start)
 	idleSince   int // last time vms dropped to 0 while Active
@@ -165,21 +129,22 @@ type unit struct {
 	used        bool
 }
 
-// event kinds, processed in (time, kind, seq) order so departures free
-// capacity before same-minute arrivals claim it.
+// Internal event kinds, processed in (time, kind, seq) order so departures
+// free capacity before same-minute wake completions and idle checks run,
+// and all of them precede same-minute arrivals (which the caller delivers
+// after AdvanceTo).
 const (
 	evDeparture = iota + 1
 	evWakeDone
 	evIdleCheck
-	evArrival
 )
 
 type event struct {
 	time int
 	kind int
 	seq  int
-	vm   model.VM
 	srv  int
+	vmID int
 }
 
 type eventQueue []event
@@ -204,9 +169,52 @@ func (q *eventQueue) Pop() any {
 	return x
 }
 
-// Run simulates the instance under the engine's policy. Delayed starts
-// shift a VM's whole interval (it still runs for its full duration), so
-// the simulated horizon can exceed the instance's.
+// Report is the outcome of an event-driven run.
+type Report struct {
+	Policy string `json:"policy"`
+	// Energy uses the same three components as the offline model.
+	Energy energy.Breakdown `json:"energy"`
+	// Transitions counts power-saving→active wake-ups across the fleet.
+	Transitions int `json:"transitions"`
+	// MeanStartDelay is the average minutes VMs waited for a server
+	// wake-up beyond their requested start time.
+	MeanStartDelay float64 `json:"meanStartDelayMinutes"`
+	// MaxStartDelay is the worst single VM wait.
+	MaxStartDelay int `json:"maxStartDelayMinutes"`
+	// Placement maps VM ID to server ID (for cross-checking against the
+	// offline evaluator).
+	Placement map[int]int `json:"placement"`
+	// Starts maps VM ID to the minute the VM actually started (equal to
+	// its requested start plus any wake-up delay).
+	Starts map[int]int `json:"starts"`
+	// ServersUsed counts servers that hosted at least one VM.
+	ServersUsed int `json:"serversUsed"`
+}
+
+// ArrivalOrder returns a copy of vms sorted by start time, keeping the
+// given order among same-minute arrivals (a stable sort) — the order the
+// replay engine delivers them in.
+func ArrivalOrder(vms []model.VM) []model.VM {
+	out := make([]model.VM, len(vms))
+	copy(out, vms)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Engine runs the event-driven simulation.
+type Engine struct {
+	// Policy places VMs; required.
+	Policy Policy
+	// IdleTimeout is the number of idle minutes after which an empty
+	// active server goes to power saving. Negative means never sleep
+	// (after the first wake); 0 means sleep immediately.
+	IdleTimeout int
+}
+
+// Run simulates the instance under the engine's policy: a replay loop
+// that feeds the instance's VMs to a live Fleet in arrival order. Delayed
+// starts shift a VM's whole interval (it still runs for its full
+// duration), so the simulated horizon can exceed the instance's.
 func (e *Engine) Run(inst model.Instance) (*Report, error) {
 	if e.Policy == nil {
 		return nil, fmt.Errorf("online: no policy configured")
@@ -214,128 +222,33 @@ func (e *Engine) Run(inst model.Instance) (*Report, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	// Worst case every VM waits for a wake-up: pad the horizon.
-	maxWake := 0.0
-	for _, s := range inst.Servers {
-		if s.TransitionTime > maxWake {
-			maxWake = s.TransitionTime
-		}
+	fl := NewFleet(inst.Servers, e.IdleTimeout)
+	arrivals := ArrivalOrder(inst.VMs)
+	rep := Report{
+		Policy:    e.Policy.Name(),
+		Placement: make(map[int]int, len(inst.VMs)),
+		Starts:    make(map[int]int, len(inst.VMs)),
 	}
-	horizon := inst.Horizon + int(math.Ceil(maxWake)) + 1
-
-	view := &FleetView{units: make([]*unit, len(inst.Servers))}
-	for i, s := range inst.Servers {
-		view.units[i] = &unit{
-			srv:   s,
-			state: PowerSaving,
-			cpu:   timeline.NewTreeProfile(horizon),
-			mem:   timeline.NewTreeProfile(horizon),
+	for _, v := range arrivals {
+		fl.AdvanceTo(v.Start)
+		i, err := e.Policy.Place(fl.View(), v)
+		if err != nil {
+			return nil, fmt.Errorf("online: vm %d at t=%d: %w", v.ID, v.Start, err)
 		}
-	}
-	var (
-		q   eventQueue
-		seq int
-		rep = Report{
-			Policy:    e.Policy.Name(),
-			Placement: make(map[int]int, len(inst.VMs)),
-			Starts:    make(map[int]int, len(inst.VMs)),
+		start, err := fl.Commit(i, v)
+		if err != nil {
+			return nil, fmt.Errorf("online: policy %s: %w", e.Policy.Name(), err)
 		}
-		totalDelay int
-	)
-	push := func(ev event) {
-		ev.seq = seq
-		seq++
-		heap.Push(&q, ev)
+		rep.Placement[v.ID] = fl.View().Server(i).ID
+		rep.Starts[v.ID] = start
 	}
-	for _, v := range inst.VMs {
-		push(event{time: v.Start, kind: evArrival, vm: v})
-	}
-	heap.Init(&q)
-
-	for q.Len() > 0 {
-		ev := heap.Pop(&q).(event)
-		view.now = ev.time
-		switch ev.kind {
-		case evArrival:
-			i, err := e.Policy.Place(view, ev.vm)
-			if err != nil {
-				return nil, fmt.Errorf("online: vm %d at t=%d: %w", ev.vm.ID, ev.time, err)
-			}
-			u := view.units[i]
-			start := view.StartTime(i, ev.vm)
-			if !view.Fits(i, ev.vm, start) {
-				return nil, fmt.Errorf("online: policy %s placed vm %d on full server %d",
-					e.Policy.Name(), ev.vm.ID, u.srv.ID)
-			}
-			delay := start - ev.vm.Start
-			totalDelay += delay
-			if delay > rep.MaxStartDelay {
-				rep.MaxStartDelay = delay
-			}
-			end := start + ev.vm.Duration() - 1
-			u.cpu.Add(start, end, ev.vm.Demand.CPU)
-			u.mem.Add(start, end, ev.vm.Demand.Mem)
-			u.vms++
-			u.used = true
-			rep.Placement[ev.vm.ID] = u.srv.ID
-			rep.Starts[ev.vm.ID] = start
-			rep.Energy.Run += energy.RunCost(u.srv, ev.vm)
-			switch u.state {
-			case PowerSaving:
-				u.state = Waking
-				u.wakeDone = ev.time + int(math.Ceil(u.srv.TransitionTime))
-				u.transitions++
-				rep.Energy.Transition += u.srv.TransitionCost()
-				push(event{time: u.wakeDone, kind: evWakeDone, srv: i})
-			case Active:
-				// Hosting again: cancel any idle countdown implicitly
-				// (the idle check re-validates emptiness).
-			}
-			push(event{time: end + 1, kind: evDeparture, srv: i})
-
-		case evWakeDone:
-			u := view.units[ev.srv]
-			if u.state == Waking && u.wakeDone == ev.time {
-				u.state = Active
-				u.activeSince = ev.time
-				u.idleSince = ev.time // re-evaluated by departures
-			}
-
-		case evDeparture:
-			u := view.units[ev.srv]
-			u.vms--
-			if u.vms == 0 && u.state == Active {
-				u.idleSince = ev.time
-				if e.IdleTimeout >= 0 {
-					push(event{time: ev.time + e.IdleTimeout, kind: evIdleCheck, srv: ev.srv})
-				}
-			}
-
-		case evIdleCheck:
-			u := view.units[ev.srv]
-			if u.state == Active && u.vms == 0 && u.idleSince+e.IdleTimeout <= ev.time {
-				// Sleep: account the active stretch.
-				u.idleEnergy += u.srv.PIdle * float64(ev.time-u.activeSince)
-				u.state = PowerSaving
-			}
-		}
-	}
-	// Close out servers still active or waking at the end of the run.
-	for _, u := range view.units {
-		switch u.state {
-		case Active:
-			u.idleEnergy += u.srv.PIdle * float64(view.now-u.activeSince)
-		case Waking:
-			// Woke for nothing at the very end; α already accounted.
-		}
-		rep.Energy.Idle += u.idleEnergy
-		rep.Transitions += u.transitions
-		if u.used {
-			rep.ServersUsed++
-		}
-	}
+	fl.Drain()
+	rep.Energy = fl.EnergyAt(fl.Now())
+	rep.Transitions = fl.Transitions()
+	rep.ServersUsed = fl.ServersUsed()
+	rep.MaxStartDelay = fl.MaxStartDelay()
 	if len(inst.VMs) > 0 {
-		rep.MeanStartDelay = float64(totalDelay) / float64(len(inst.VMs))
+		rep.MeanStartDelay = float64(fl.StartDelayTotal()) / float64(len(inst.VMs))
 	}
 	return &rep, nil
 }

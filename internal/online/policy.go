@@ -9,35 +9,30 @@ import (
 	"vmalloc/internal/model"
 )
 
-// MinCostPolicy is the online counterpart of the paper's heuristic: each
-// VM goes to the feasible server with the least *estimated* incremental
-// energy, computed from the present only — run cost, plus the wake-up
-// cost if the server sleeps, plus the idle power for the stretch the
-// server would be newly kept active.
-type MinCostPolicy struct{}
+// ScoredPolicy is a Policy whose choice is the argmin of a per-server
+// score. Exposing the score lets callers parallelise the candidate scan
+// (the cluster layer fans Score out over the core scan engine) while
+// keeping the exact same selection: the chosen index is the feasible
+// server with the minimum score, ties broken toward the lowest index.
+type ScoredPolicy interface {
+	Policy
+	// Score returns the policy's cost of placing v on server index i, and
+	// false if i cannot host v. It must be a pure read of the fleet view:
+	// the scan engine calls it concurrently for distinct indices.
+	Score(f *FleetView, v model.VM, i int) (float64, bool)
+}
 
-var _ Policy = (*MinCostPolicy)(nil)
-
-// Name implements Policy.
-func (*MinCostPolicy) Name() string { return "online/mincost" }
-
-// Place implements Policy.
-func (*MinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
+// argminScored is the sequential scan shared by the scored policies: the
+// feasible server with the strictly smallest score wins, so equal-score
+// candidates resolve to the lowest server index — the same guarantee the
+// offline engine's deterministic argmin reduction provides.
+func argminScored(p ScoredPolicy, f *FleetView, v model.VM) (int, error) {
 	best := -1
 	var bestCost float64
 	for i := 0; i < f.NumServers(); i++ {
-		start := f.StartTime(i, v)
-		if !f.Fits(i, v, start) {
+		cost, ok := p.Score(f, v, i)
+		if !ok {
 			continue
-		}
-		s := f.Server(i)
-		cost := energy.RunCost(s, v)
-		if f.StateOf(i) == PowerSaving {
-			cost += s.TransitionCost()
-		}
-		if f.Running(i) == 0 {
-			// The server would be kept active for this VM alone.
-			cost += s.PIdle * float64(v.Duration())
 		}
 		if best < 0 || cost < bestCost {
 			best, bestCost = i, cost
@@ -49,46 +44,86 @@ func (*MinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
 	return best, nil
 }
 
+// MinCostPolicy is the online counterpart of the paper's heuristic: each
+// VM goes to the feasible server with the least *estimated* incremental
+// energy, computed from the present only — run cost, plus the wake-up
+// cost if the server sleeps, plus the idle power for the stretch the
+// server would be newly kept active.
+//
+// Determinism: equal-cost candidates resolve to the lowest server index,
+// matching the offline engine's tie-break guarantee, so placements are
+// byte-identical whether the scan runs sequentially or through the
+// parallel scan engine.
+type MinCostPolicy struct{}
+
+var _ ScoredPolicy = (*MinCostPolicy)(nil)
+
+// Name implements Policy.
+func (*MinCostPolicy) Name() string { return "online/mincost" }
+
+// Score implements ScoredPolicy.
+func (*MinCostPolicy) Score(f *FleetView, v model.VM, i int) (float64, bool) {
+	start := f.StartTime(i, v)
+	if !f.Fits(i, v, start) {
+		return 0, false
+	}
+	s := f.Server(i)
+	cost := energy.RunCost(s, v)
+	if f.StateOf(i) == PowerSaving {
+		cost += s.TransitionCost()
+	}
+	if f.Running(i) == 0 {
+		// The server would be kept active for this VM alone.
+		cost += s.PIdle * float64(v.Duration())
+	}
+	return cost, true
+}
+
+// Place implements Policy.
+func (p *MinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
+	return argminScored(p, f, v)
+}
+
 // DelayAwareMinCostPolicy extends MinCostPolicy with a latency penalty:
 // each minute of expected start delay costs the caller `PenaltyPerMinute`
 // watt-minutes, trading energy for responsiveness.
+//
+// Determinism: equal-cost candidates resolve to the lowest server index,
+// matching the offline engine's tie-break guarantee, so placements are
+// byte-identical whether the scan runs sequentially or through the
+// parallel scan engine.
 type DelayAwareMinCostPolicy struct {
 	// PenaltyPerMinute prices one minute of VM start delay, in
 	// watt-minutes.
 	PenaltyPerMinute float64
 }
 
-var _ Policy = (*DelayAwareMinCostPolicy)(nil)
+var _ ScoredPolicy = (*DelayAwareMinCostPolicy)(nil)
 
 // Name implements Policy.
 func (*DelayAwareMinCostPolicy) Name() string { return "online/delay-aware" }
 
+// Score implements ScoredPolicy.
+func (p *DelayAwareMinCostPolicy) Score(f *FleetView, v model.VM, i int) (float64, bool) {
+	start := f.StartTime(i, v)
+	if !f.Fits(i, v, start) {
+		return 0, false
+	}
+	s := f.Server(i)
+	cost := energy.RunCost(s, v)
+	if f.StateOf(i) == PowerSaving {
+		cost += s.TransitionCost()
+	}
+	if f.Running(i) == 0 {
+		cost += s.PIdle * float64(v.Duration())
+	}
+	cost += p.PenaltyPerMinute * float64(start-v.Start)
+	return cost, true
+}
+
 // Place implements Policy.
 func (p *DelayAwareMinCostPolicy) Place(f *FleetView, v model.VM) (int, error) {
-	best := -1
-	var bestCost float64
-	for i := 0; i < f.NumServers(); i++ {
-		start := f.StartTime(i, v)
-		if !f.Fits(i, v, start) {
-			continue
-		}
-		s := f.Server(i)
-		cost := energy.RunCost(s, v)
-		if f.StateOf(i) == PowerSaving {
-			cost += s.TransitionCost()
-		}
-		if f.Running(i) == 0 {
-			cost += s.PIdle * float64(v.Duration())
-		}
-		cost += p.PenaltyPerMinute * float64(start-v.Start)
-		if best < 0 || cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	if best < 0 {
-		return 0, &NoCapacityError{VM: v}
-	}
-	return best, nil
+	return argminScored(p, f, v)
 }
 
 // FirstFitPolicy is the online counterpart of FFPS: servers are searched

@@ -1,0 +1,134 @@
+package timeline
+
+import "sort"
+
+// Reservation is one live resource claim in a Ledger: a CPU/memory amount
+// held over a closed time interval.
+type Reservation struct {
+	Interval Interval
+	CPU      float64
+	Mem      float64
+}
+
+// Ledger tracks the live reservations of one server, keyed by VM ID, and
+// answers window-maximum queries by sweeping the reservations overlapping
+// the window.
+//
+// Unlike the horizon-bound Profile implementations, a Ledger has no
+// planning horizon: intervals may start and end at any positive minute,
+// which is what a long-running allocation service needs. Queries cost
+// O(k log k) in the number of overlapping reservations — small in live
+// fleets, where k is bounded by how many VMs fit on one server at once —
+// and reservations can be removed or truncated when a VM departs early.
+//
+// Concurrency: MaxUsage and Len are pure reads and safe for concurrent
+// use; Add, Remove and Truncate must not run concurrently with them. This
+// is the same alternating scan/commit contract the parallel candidate-scan
+// engine relies on elsewhere in the module.
+//
+// The zero value is not ready for use; call NewLedger.
+type Ledger struct {
+	entries map[int]Reservation
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[int]Reservation)}
+}
+
+// Len returns the number of live reservations.
+func (l *Ledger) Len() int { return len(l.entries) }
+
+// Add records a reservation under the given ID, replacing any existing
+// reservation with that ID.
+func (l *Ledger) Add(id int, r Reservation) {
+	l.entries[id] = r
+}
+
+// Get returns the reservation with the given ID.
+func (l *Ledger) Get(id int) (Reservation, bool) {
+	r, ok := l.entries[id]
+	return r, ok
+}
+
+// Remove deletes the reservation with the given ID, returning it and
+// whether it existed.
+func (l *Ledger) Remove(id int) (Reservation, bool) {
+	r, ok := l.entries[id]
+	if ok {
+		delete(l.entries, id)
+	}
+	return r, ok
+}
+
+// Truncate shortens the reservation with the given ID to end at newEnd.
+// If newEnd precedes the reservation's start the reservation is removed
+// entirely. It returns the original reservation and whether it existed.
+func (l *Ledger) Truncate(id, newEnd int) (Reservation, bool) {
+	r, ok := l.entries[id]
+	if !ok {
+		return Reservation{}, false
+	}
+	if newEnd < r.Interval.Start {
+		delete(l.entries, id)
+		return r, true
+	}
+	if newEnd < r.Interval.End {
+		shrunk := r
+		shrunk.Interval.End = newEnd
+		l.entries[id] = shrunk
+	}
+	return r, true
+}
+
+// MaxUsage returns the maximum total CPU and memory reserved at any single
+// minute of the closed window [start, end]. The two maxima are computed
+// independently (they may occur at different minutes), matching the
+// feasibility semantics of the per-resource Profile queries.
+func (l *Ledger) MaxUsage(start, end int) (cpu, mem float64) {
+	// Aggregate boundary deltas per minute so the sweep is deterministic
+	// regardless of map iteration order.
+	type delta struct{ cpu, mem float64 }
+	deltas := make(map[int]delta)
+	for _, r := range l.entries {
+		if r.Interval.End < start || r.Interval.Start > end {
+			continue
+		}
+		lo, hi := r.Interval.Start, r.Interval.End
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		d := deltas[lo]
+		d.cpu += r.CPU
+		d.mem += r.Mem
+		deltas[lo] = d
+		d = deltas[hi+1]
+		d.cpu -= r.CPU
+		d.mem -= r.Mem
+		deltas[hi+1] = d
+	}
+	if len(deltas) == 0 {
+		return 0, 0
+	}
+	times := make([]int, 0, len(deltas))
+	for t := range deltas {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	var curCPU, curMem float64
+	for _, t := range times {
+		d := deltas[t]
+		curCPU += d.cpu
+		curMem += d.mem
+		if curCPU > cpu {
+			cpu = curCPU
+		}
+		if curMem > mem {
+			mem = curMem
+		}
+	}
+	return cpu, mem
+}
