@@ -8,6 +8,13 @@
 //	POST   /v1/vms      admit one VMRequest object or an array of them;
 //	                    responds with the array of Admissions
 //	DELETE /v1/vms/{id} release a resident VM early
+//	POST   /v1/clock    {"now": t} advances the fleet clock to minute t,
+//	                    running departures, wake-ups and idle-sleeps on the
+//	                    way; earlier times are a no-op (the clock is
+//	                    monotonic). Admissions only move the clock to their
+//	                    start minute, so a deployment whose requests all
+//	                    start "now" must tick this (or send future starts)
+//	                    for VMs to ever depart
 //	GET    /v1/state    consistent cluster state (deterministic JSON)
 //	GET    /healthz     liveness probe
 //	GET    /metrics     Prometheus text exposition
@@ -213,6 +220,28 @@ func newHandler(c *cluster.Cluster) http.Handler {
 		default:
 			writeJSON(w, http.StatusOK, p)
 		}
+	})
+	mux.HandleFunc("POST /v1/clock", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Now *int `json:"now"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse clock request: %w", err))
+			return
+		}
+		if body.Now == nil {
+			writeError(w, http.StatusBadRequest, errors.New(`clock request wants {"now": <minute>}`))
+			return
+		}
+		if err := c.AdvanceTo(*body.Now); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, cluster.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"now": c.Now()})
 	})
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		b, err := c.StateJSON()

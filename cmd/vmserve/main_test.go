@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -173,6 +174,78 @@ func TestServeEndToEnd(t *testing.T) {
 	// (persisted through the snapshot) is 5.
 	if !adms[0].Accepted || adms[0].ID != 5 {
 		t.Fatalf("post-restart admission %+v, want accepted with id 5", adms[0])
+	}
+}
+
+// TestServeClock: POST /v1/clock advances the fleet clock, so a purely
+// HTTP-driven deployment (whose admissions all start "now") still runs
+// departures, wake-ups and idle-sleeps instead of accumulating VMs until
+// capacity runs out.
+func TestServeClock(t *testing.T) {
+	c, err := cluster.Open(testConfig("")) // volatile
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(newHandler(c))
+	defer srv.Close()
+
+	code, body := do(t, srv, "POST", "/v1/vms", `{"demand":{"cpu":2,"mem":4},"durationMinutes":10}`)
+	if code != 200 {
+		t.Fatalf("admit = %d %s", code, body)
+	}
+	var adms []cluster.Admission
+	if err := json.Unmarshal(body, &adms); err != nil {
+		t.Fatal(err)
+	}
+	end := adms[0].End
+
+	// Malformed or missing "now" is a 400, not a crash.
+	if code, _ := do(t, srv, "POST", "/v1/clock", `{"nope`); code != 400 {
+		t.Fatalf("malformed clock body = %d, want 400", code)
+	}
+	if code, _ := do(t, srv, "POST", "/v1/clock", `{}`); code != 400 {
+		t.Fatalf("clock body without now = %d, want 400", code)
+	}
+
+	code, body = do(t, srv, "POST", "/v1/clock", fmt.Sprintf(`{"now": %d}`, end+5))
+	if code != 200 {
+		t.Fatalf("clock advance = %d %s", code, body)
+	}
+	var clk map[string]int
+	if err := json.Unmarshal(body, &clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk["now"] != end+5 {
+		t.Errorf("clock = %d, want %d", clk["now"], end+5)
+	}
+
+	// The VM departed on the way.
+	code, body = do(t, srv, "GET", "/v1/state", "")
+	if code != 200 {
+		t.Fatalf("/v1/state = %d", code)
+	}
+	var st cluster.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Now != end+5 {
+		t.Errorf("state.Now = %d, want %d", st.Now, end+5)
+	}
+	if len(st.VMs) != 0 {
+		t.Errorf("%d residents after advancing past every end", len(st.VMs))
+	}
+
+	// The clock is monotonic: moving backwards is a no-op, not an error.
+	code, body = do(t, srv, "POST", "/v1/clock", `{"now": 1}`)
+	if code != 200 {
+		t.Fatalf("backwards clock = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk["now"] != end+5 {
+		t.Errorf("clock moved backwards to %d", clk["now"])
 	}
 }
 

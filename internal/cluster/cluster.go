@@ -13,11 +13,15 @@
 // sequentially in that order.
 //
 // Durability is an append-only JSON journal plus periodic snapshots
-// (see journal.go). Reopening a journal directory replays the log on top
-// of the snapshot and reconstructs the exact pre-crash state, tolerating
-// a torn final record. Overload degrades gracefully: a VM no server can
-// host yields a structured rejection in the Admission result, never an
-// error path that kills the service.
+// (see journal.go). Records are fsynced once per processed batch, and
+// reopening a journal directory replays the log on top of the snapshot
+// and reconstructs the exact pre-crash state, tolerating a torn final
+// record. A journal write failure is sticky (ErrJournalBroken): the
+// cluster refuses further mutations rather than journal past the hole,
+// until a successful Snapshot re-establishes durability. Overload
+// degrades gracefully: a VM no server can host yields a structured
+// rejection in the Admission result, never an error path that kills the
+// service.
 package cluster
 
 import (
@@ -41,6 +45,15 @@ const DefaultSnapshotEvery = 256
 
 // ErrClosed is returned by mutating calls after Close.
 var ErrClosed = errors.New("cluster: closed")
+
+// ErrJournalBroken is wrapped by every mutating call after a journal write
+// fails. The failure is sticky: at most the single mutation that broke the
+// journal is in memory but not on disk, and the cluster refuses further
+// mutations — so the log never grows past the hole and a restart always
+// recovers the journaled prefix exactly. A subsequent successful Snapshot
+// (which captures the full in-memory state and compacts the log) heals the
+// cluster and re-enables mutation.
+var ErrJournalBroken = errors.New("cluster: journal broken")
 
 // NotResidentError reports a release of a VM that is not currently
 // admitted (it never was, already departed, or was already released).
@@ -139,6 +152,7 @@ type Cluster struct {
 	mu            sync.Mutex
 	fleet         *online.Fleet
 	jr            *journal // nil when volatile
+	jfail         error    // sticky ErrJournalBroken wrap; nil when healthy
 	nextID        int
 	sinceSnapshot int
 	closed        bool
@@ -259,8 +273,11 @@ func (c *Cluster) apply(r record) error {
 // them is processed. Per-request outcomes — including structured
 // rejections for VMs no server can host — come back in the same order as
 // reqs. The error is nil unless the cluster is closed, the context ends,
-// or the journal fails (in which case the admissions already took effect
-// in memory and are reported alongside the error).
+// or the journal fails: then at most the admission that broke the journal
+// took effect in memory (reported alongside the error), the batch's
+// remaining requests are rejected unplaced, and the cluster refuses
+// further mutations with ErrJournalBroken until a successful Snapshot
+// restores durability.
 func (c *Cluster) Admit(ctx context.Context, reqs []VMRequest) ([]Admission, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -349,6 +366,12 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	if c.jfail != nil {
+		for _, call := range batch {
+			call.reply <- admitReply{err: c.jfail}
+		}
+		return
+	}
 	now := c.fleet.Now()
 	if now < 1 {
 		now = 1 // the model's horizon starts at minute 1
@@ -377,8 +400,17 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	})
 	stats := c.scan.NewStats()
 	var jerr error
+	appended := false
 	for _, it := range items {
 		adm := &it.call.adms[it.pos]
+		if jerr != nil {
+			// The journal broke earlier in this batch: stop mutating so
+			// memory never runs ahead of the log by more than the single
+			// admission that broke it.
+			c.met.rejections++
+			adm.Reason = "journal broken; admission not attempted"
+			continue
+		}
 		c.fleet.AdvanceTo(it.vm.Start)
 		i, err := c.place(it.vm, stats)
 		if err != nil {
@@ -392,9 +424,12 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			adm.Reason = err.Error()
 			continue
 		}
-		if c.jr != nil && jerr == nil {
+		if c.jr != nil {
 			vm := it.vm
 			jerr = c.jr.append(record{Op: opAdmit, T: c.fleet.Now(), VM: &vm, Server: i, Start: start})
+			if jerr == nil {
+				appended = true
+			}
 		}
 		adm.Accepted = true
 		adm.Server = c.fleet.View().Server(i).ID
@@ -402,6 +437,12 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		adm.End = start + it.vm.Duration() - 1
 		c.met.admissions++
 		c.sinceSnapshot++
+	}
+	if c.jr != nil && jerr == nil && appended {
+		jerr = c.jr.sync()
+	}
+	if jerr != nil {
+		jerr = c.journalFailedLocked(jerr)
 	}
 	c.met.batches++
 	c.met.batchSize.observe(float64(total))
@@ -485,6 +526,9 @@ func (c *Cluster) Release(id int) (online.PlacedVM, error) {
 	if c.closed {
 		return online.PlacedVM{}, ErrClosed
 	}
+	if c.jfail != nil {
+		return online.PlacedVM{}, c.jfail
+	}
 	if _, ok := c.fleet.Resident(id); !ok {
 		return online.PlacedVM{}, &NotResidentError{ID: id}
 	}
@@ -497,6 +541,12 @@ func (c *Cluster) Release(id int) (online.PlacedVM, error) {
 	var jerr error
 	if c.jr != nil {
 		jerr = c.jr.append(record{Op: opRelease, T: c.fleet.Now(), ID: id})
+		if jerr == nil {
+			jerr = c.jr.sync()
+		}
+		if jerr != nil {
+			jerr = c.journalFailedLocked(jerr)
+		}
 	}
 	c.maybeSnapshotLocked()
 	return p, jerr
@@ -511,6 +561,9 @@ func (c *Cluster) AdvanceTo(t int) error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.jfail != nil {
+		return c.jfail
+	}
 	if t <= c.fleet.Now() {
 		return nil
 	}
@@ -520,8 +573,21 @@ func (c *Cluster) AdvanceTo(t int) error {
 	}
 	c.sinceSnapshot++
 	err := c.jr.append(record{Op: opTick, T: t})
+	if err == nil {
+		err = c.jr.sync()
+	}
+	if err != nil {
+		err = c.journalFailedLocked(err)
+	}
 	c.maybeSnapshotLocked()
 	return err
+}
+
+// Now returns the current fleet clock, in minutes.
+func (c *Cluster) Now() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fleet.Now()
 }
 
 // ServerState is one server's externally visible state.
@@ -603,8 +669,22 @@ func marshalStateJSON(st *State) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// journalFailedLocked records a journal write failure. The failure is
+// sticky: every subsequent mutating call returns the same ErrJournalBroken
+// wrap, so the in-memory state never diverges from the log by more than
+// the mutation that broke it — replaying the journal after a restart then
+// recovers a consistent (journaled-prefix) state instead of one with a
+// hole in its history. A successful snapshot clears the failure.
+func (c *Cluster) journalFailedLocked(err error) error {
+	c.met.journalErrors++
+	c.jfail = fmt.Errorf("%w (mutations refused until a snapshot succeeds): %v", ErrJournalBroken, err)
+	return c.jfail
+}
+
 // Snapshot forces a snapshot + journal compaction now. It is a no-op for
-// a volatile cluster.
+// a volatile cluster. A successful snapshot also heals a broken journal
+// (see ErrJournalBroken): the snapshot captures the complete in-memory
+// state, so nothing depends on the records the journal failed to take.
 func (c *Cluster) Snapshot() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -625,6 +705,7 @@ func (c *Cluster) snapshotLocked() error {
 	}
 	c.met.snapshots++
 	c.sinceSnapshot = 0
+	c.jfail = nil // the snapshot covers all in-memory state; the hole is gone
 	return nil
 }
 

@@ -293,6 +293,92 @@ func TestClusterCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestClusterJournalFailureSticky: the first journal write failure
+// freezes the cluster — subsequent mutations return ErrJournalBroken and
+// never apply, so the log never grows past the hole and a restart
+// recovers exactly the journaled prefix.
+func TestClusterJournalFailureSticky(t *testing.T) {
+	dir := t.TempDir()
+	servers := testServers(4)
+	cfg := Config{Servers: servers, IdleTimeout: 2, Dir: dir, SnapshotEvery: -1}
+	req := func(id int) VMRequest {
+		return VMRequest{ID: id, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 30}
+	}
+	c := mustOpen(t, cfg)
+	mustAdmit(t, c, req(1), req(2), req(3))
+
+	// Break the journal out from under the cluster: every append fails.
+	c.mu.Lock()
+	c.jr.f.Close()
+	c.mu.Unlock()
+
+	ctx := context.Background()
+	adms, err := c.Admit(ctx, []VMRequest{req(4)})
+	if !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("admit after break: err = %v, want ErrJournalBroken", err)
+	}
+	// The admission that hit the failure took effect in memory and is
+	// reported alongside the error.
+	if len(adms) != 1 || !adms[0].Accepted {
+		t.Fatalf("breaking admission outcome %+v", adms)
+	}
+	// From here on nothing mutates: no admissions, releases or ticks.
+	if adms, err = c.Admit(ctx, []VMRequest{req(5)}); !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("second admit: err = %v (adms %+v), want ErrJournalBroken", err, adms)
+	}
+	if _, err := c.Release(1); !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("release: err = %v, want ErrJournalBroken", err)
+	}
+	if err := c.AdvanceTo(1000); !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("advance: err = %v, want ErrJournalBroken", err)
+	}
+	c.mu.Lock()
+	_, ok5 := c.fleet.Resident(5)
+	_, ok1 := c.fleet.Resident(1)
+	now := c.fleet.Now()
+	c.mu.Unlock()
+	if ok5 {
+		t.Error("vm 5 was admitted past a broken journal")
+	}
+	if !ok1 {
+		t.Error("vm 1 was released past a broken journal")
+	}
+	if now >= 1000 {
+		t.Error("clock advanced past a broken journal")
+	}
+	c.crash()
+
+	// The restart sees the journaled prefix: VMs 1–3, no trace of 4.
+	restored := mustOpen(t, cfg)
+	defer restored.Close()
+	ref := mustOpen(t, Config{Servers: servers, IdleTimeout: 2})
+	defer ref.Close()
+	mustAdmit(t, ref, req(1), req(2), req(3))
+	if got, want := stateJSON(t, restored), stateJSON(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("restored state diverged from the journaled prefix:\n--- restored\n%s\n--- reference\n%s", got, want)
+	}
+}
+
+// TestClusterJournalHeal: a successful snapshot clears the sticky journal
+// failure — it captures the complete in-memory state, so nothing depends
+// on the records the journal failed to take — and mutation resumes.
+func TestClusterJournalHeal(t *testing.T) {
+	c := mustOpen(t, Config{Servers: testServers(4), IdleTimeout: 2, Dir: t.TempDir(), SnapshotEvery: -1})
+	defer c.Close()
+	small := VMRequest{Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 30}
+	mustAdmit(t, c, small)
+	c.mu.Lock()
+	c.jfail = ErrJournalBroken // simulate a recorded write failure
+	c.mu.Unlock()
+	if _, err := c.Admit(context.Background(), []VMRequest{small}); !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("admit while broken: err = %v, want ErrJournalBroken", err)
+	}
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	mustAdmit(t, c, small)
+}
+
 // TestClusterSnapshotCompaction: automatic snapshots compact the journal,
 // and a graceful restart serves a byte-identical state.
 func TestClusterSnapshotCompaction(t *testing.T) {

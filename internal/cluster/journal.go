@@ -22,9 +22,12 @@ import (
 //	                 crash between snapshot rename and journal truncation
 //	                 and are skipped on replay
 //
-// A record is durable once its terminating newline reaches the file; a
-// torn tail (truncated final record, or a final line with no newline) is
-// dropped on open and the file is truncated back to the last clean record.
+// A record survives a process crash once its terminating newline reaches
+// the file; durability against power loss or a kernel crash additionally
+// requires the fsync the cluster issues (via sync) after every batch of
+// appends. A torn tail (truncated final record, or a final line with no
+// newline) is dropped on open and the file is truncated back to the last
+// clean record.
 // Corruption anywhere before the tail is an error — it means lost history,
 // not an interrupted write — and open refuses the directory.
 const (
@@ -142,6 +145,17 @@ func readRecords(path string) ([]record, int64, error) {
 		clean = int64(off)
 	}
 	return recs, clean, nil
+}
+
+// sync flushes appended records to stable storage. The cluster calls it
+// once per processed batch, amortising the fsync over the batch's records,
+// so an admission acknowledged to a client survives power loss, not just a
+// process crash.
+func (j *journal) sync() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: journal sync: %w", err)
+	}
+	return nil
 }
 
 // append journals one mutation, assigning it the next sequence number.

@@ -23,6 +23,7 @@ type metrics struct {
 	batches        uint64
 	snapshots      uint64
 	snapshotErrors uint64
+	journalErrors  uint64
 	candidates     int64
 	infeasible     int64
 	batchSize      *histogram
@@ -93,6 +94,12 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	counter("batches_total", "Admission batches processed.", c.met.batches)
 	counter("snapshots_total", "Snapshots written.", c.met.snapshots)
 	counter("snapshot_errors_total", "Snapshot attempts that failed.", c.met.snapshotErrors)
+	counter("journal_errors_total", "Journal writes that failed (each breaks the journal until a snapshot heals it).", c.met.journalErrors)
+	broken := "0"
+	if c.jfail != nil {
+		broken = "1"
+	}
+	gauge("journal_broken", "1 while the journal is broken and mutations are refused.", broken)
 	counter("scan_candidates_total", "Candidate (VM, server) pairs evaluated.", uint64(c.met.candidates))
 	counter("scan_infeasible_total", "Candidate pairs rejected as infeasible.", uint64(c.met.infeasible))
 

@@ -241,6 +241,15 @@ func (fl *Fleet) Release(id int) (PlacedVM, error) {
 	}
 	fl.energy.Run -= u.srv.UnitCPUPower() * p.VM.Demand.CPU * float64(dur-used)
 	u.res.Truncate(id, now)
+	if _, kept := u.res.Get(id); kept {
+		// The VM had started, so Truncate kept a shrunk entry covering the
+		// consumed minutes [Start, now]. Its natural departure event will
+		// be stale (identity-checked away), so schedule an explicit
+		// cleanup for the minute the entry becomes entirely past —
+		// otherwise every started-then-released VM would grow the ledger
+		// forever.
+		fl.push(event{time: now + 1, kind: evCleanup, srv: p.Server, vmID: id})
+	}
 	delete(fl.resident, id)
 	fl.released++
 	fl.vacate(p.Server, now)
@@ -281,8 +290,14 @@ func (fl *Fleet) handle(ev event) {
 			}
 		}
 	case evDeparture:
-		if _, stillHere := fl.resident[ev.vmID]; !stillHere {
-			return // released early; the departure is stale
+		// Verify the departure still matches the resident it was scheduled
+		// for: the VM may have been released early, and its ID may since
+		// have been reused by a new admission (possibly on another server,
+		// or with another end). A stale departure must never evict the new
+		// incarnation or touch the old server's ledger and counters.
+		p, stillHere := fl.resident[ev.vmID]
+		if !stillHere || p.Server != ev.srv || p.End()+1 != ev.time {
+			return
 		}
 		delete(fl.resident, ev.vmID)
 		u.res.Remove(ev.vmID)
@@ -293,6 +308,17 @@ func (fl *Fleet) handle(ev event) {
 			u.idleEnergy += u.srv.PIdle * float64(ev.time-u.activeSince)
 			u.state = PowerSaving
 		}
+	case evCleanup:
+		// Reclaim the truncated reservation a Release left behind — unless
+		// the ID was re-admitted to this server, in which case the ledger
+		// entry under this key belongs to the new incarnation. (A
+		// non-resident entry reachable here is always strictly past: it
+		// ends at some release minute < ev.time, so removing it never
+		// changes a feasibility query.)
+		if p, ok := fl.resident[ev.vmID]; ok && p.Server == ev.srv {
+			return
+		}
+		u.res.Remove(ev.vmID)
 	}
 }
 

@@ -140,6 +140,102 @@ func TestFleetReleaseBeforeWake(t *testing.T) {
 	}
 }
 
+// TestFleetDepartureIDReuse: releasing a VM and re-admitting its ID must
+// not let the old VM's still-queued departure evict the new incarnation —
+// or touch the old server's ledger and VM count. Departure events verify
+// (server, end) identity against the current resident before applying.
+func TestFleetDepartureIDReuse(t *testing.T) {
+	servers := []model.Server{
+		srv(1, 10, 16, 100, 200, 1),
+		srv(2, 10, 16, 100, 200, 1),
+	}
+	fl := NewFleet(servers, -1) // never sleep: keep power states out of the way
+	fl.AdvanceTo(1)
+	// VM 7 on server 0; wake takes 1 minute, so it runs [2, 21].
+	if _, err := fl.Commit(0, vm(7, 1, 20, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fl.AdvanceTo(10)
+	if _, err := fl.Release(7); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse ID 7 on server 1, running well past the old VM's end.
+	if _, err := fl.Commit(1, vm(7, 10, 60, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Cross the old VM's end+1: the stale departure must be ignored.
+	fl.AdvanceTo(30)
+	p, ok := fl.Resident(7)
+	if !ok {
+		t.Fatal("re-admitted vm 7 was evicted by the old vm's departure")
+	}
+	if p.Server != 1 {
+		t.Fatalf("vm 7 on server index %d, want 1", p.Server)
+	}
+	if got := fl.View().Running(1); got != 1 {
+		t.Errorf("server 1 holds %d vms, want 1", got)
+	}
+	// The stale departure must not have decremented server 0's count.
+	if got := fl.View().Running(0); got != 0 {
+		t.Errorf("server 0 holds %d vms, want 0", got)
+	}
+	// Server 1 must still hold the new VM's reservation through minute 61.
+	if fl.View().Fits(1, vm(99, 30, 60, 9, 2), 30) {
+		t.Error("server 1 lost vm 7's reservation to the stale departure")
+	}
+	// The real departure still fires at the new end.
+	fl.AdvanceTo(63)
+	if _, ok := fl.Resident(7); ok {
+		t.Error("vm 7 still resident after its real end")
+	}
+	if got := fl.View().Running(1); got != 0 {
+		t.Errorf("server 1 holds %d vms after the real departure, want 0", got)
+	}
+}
+
+// TestFleetReleaseCleansLedger: a started-then-released VM keeps its
+// consumed minutes in the ledger only until they are past; the entry is
+// then reclaimed, so a long-running service's per-server ledgers (and
+// MaxUsage scans) do not grow with every release.
+func TestFleetReleaseCleansLedger(t *testing.T) {
+	fl := NewFleet([]model.Server{srv(1, 10, 16, 100, 200, 1)}, -1)
+	for i := 1; i <= 50; i++ {
+		at := i * 10
+		fl.AdvanceTo(at)
+		if _, err := fl.Commit(0, vm(i, at, at+100, 2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		fl.AdvanceTo(at + 5) // the VM starts and runs a few minutes
+		if _, err := fl.Release(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.AdvanceTo(10_000)
+	if got := fl.view.units[0].res.Len(); got != 0 {
+		t.Errorf("ledger holds %d entries after every release passed, want 0", got)
+	}
+	// A release whose ID is immediately re-admitted to the same server must
+	// not have its truncated entry's cleanup remove the new reservation.
+	fl.AdvanceTo(20_000)
+	if _, err := fl.Commit(0, vm(7, 20_000, 20_100, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fl.AdvanceTo(20_010)
+	if _, err := fl.Release(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Commit(0, vm(7, 20_010, 20_100, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fl.AdvanceTo(20_050)
+	if _, ok := fl.Resident(7); !ok {
+		t.Fatal("re-admitted vm 7 not resident")
+	}
+	if got := fl.view.units[0].res.Len(); got != 1 {
+		t.Errorf("ledger holds %d entries with one resident, want 1", got)
+	}
+}
+
 // TestFleetSnapshotRestore: a fleet snapshotted mid-run and restored must
 // evolve identically to the original from that point on.
 func TestFleetSnapshotRestore(t *testing.T) {

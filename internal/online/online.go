@@ -137,6 +137,12 @@ const (
 	evDeparture = iota + 1
 	evWakeDone
 	evIdleCheck
+	// evCleanup reclaims the truncated ledger entry a Release leaves
+	// behind once its last consumed minute has passed. It only ever
+	// touches strictly-past reservations, so its order within a minute is
+	// immaterial; it sorts last to keep the documented ordering above
+	// untouched.
+	evCleanup
 )
 
 type event struct {
