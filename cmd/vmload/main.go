@@ -1,0 +1,148 @@
+// Command vmload is an open-loop load generator for vmserve: it
+// materializes a seeded arrival schedule (homogeneous Poisson, or the
+// paper §IV diurnal sinusoidal-rate process), then replays it against a
+// live server minute-step by minute-step — advance /v1/clock, fire the
+// minute's admissions and releases — compressing fleet time by the
+// -minute interval. The run ends with a report: admission/rejection
+// counts, per-operation latency quantiles, /metrics deltas, and digests
+// that make runs comparable (same -seed against a fresh server ⇒ same
+// outcome digest).
+//
+// Usage:
+//
+//	vmload -addr http://127.0.0.1:8080 -profile diurnal -vms 2000 -seed 7
+//	vmload -addr http://127.0.0.1:8080 -minute 20ms -period 1440   # a day in ~29s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmalloc/internal/config"
+	"vmalloc/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "vmserve base URL")
+		profile  = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
+		vms      = fs.Int("vms", 500, "number of VM admission requests to generate")
+		meanIA   = fs.Float64("mean-interarrival", 0.5, "mean inter-arrival time (fleet minutes, paper §IV-B)")
+		meanLen  = fs.Float64("mean-length", 60, "mean VM length (fleet minutes, exponential)")
+		peak     = fs.Float64("peak-trough", 3, "diurnal peak-to-trough arrival-rate ratio")
+		period   = fs.Float64("period", 1440, "diurnal period (fleet minutes; 1440 = one day)")
+		seed     = fs.Int64("seed", 1, "seed: fully determines the schedule (and, with -chunk 0, the outcomes)")
+		relFrac  = fs.Float64("release-fraction", 0.2, "fraction of VMs released early at a seeded minute")
+		minute   = fs.Duration("minute", 20*time.Millisecond, "wall-clock time per fleet minute (0 = flat out)")
+		workers  = fs.Int("workers", 8, "concurrent request workers")
+		chunk    = fs.Int("chunk", 0, "admissions per HTTP call (0 = one call per minute-step, deterministic)")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-attempt request timeout")
+		retries  = fs.Int("retries", 2, "retries per failed request (-1 = none)")
+		backoff  = fs.Duration("backoff", 50*time.Millisecond, "first retry backoff, doubling per retry")
+		noClock  = fs.Bool("no-clock", false, "do not drive /v1/clock (the server's clock is advanced elsewhere)")
+		wait     = fs.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before the run (0 = don't)")
+		jsonOut  = fs.String("out", "", "write the full JSON report to this file (\"-\" = stdout)")
+		digestly = fs.Bool("digest", false, "print only the outcome digest (for shell comparisons)")
+		version  = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(w, config.Version())
+		return nil
+	}
+
+	var prof loadgen.Profile
+	switch *profile {
+	case "poisson":
+		prof = loadgen.PoissonProfile{MeanInterArrival: *meanIA}
+	case "diurnal":
+		prof = loadgen.DiurnalProfile{MeanInterArrival: *meanIA, PeakToTrough: *peak, Period: *period}
+	default:
+		return fmt.Errorf("unknown profile %q (want poisson or diurnal)", *profile)
+	}
+	sched, err := loadgen.BuildSchedule(loadgen.ScheduleSpec{
+		Profile:         prof,
+		NumVMs:          *vms,
+		MeanLength:      *meanLen,
+		ReleaseFraction: *relFrac,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	client := loadgen.NewClient(*addr)
+	client.Timeout = *timeout
+	client.Retries = *retries
+	client.Backoff = *backoff
+	if *wait > 0 {
+		if err := client.WaitReady(ctx, *wait); err != nil {
+			return err
+		}
+	}
+
+	runner := &loadgen.Runner{
+		Client:   client,
+		Schedule: sched,
+		Opts: loadgen.Options{
+			Workers:        *workers,
+			MinuteInterval: *minute,
+			Chunk:          *chunk,
+			SkipClock:      *noClock,
+		},
+	}
+	if !*digestly {
+		fmt.Fprintf(w, "vmload: replaying %d ops (%d VMs over %d steps, horizon %d min) against %s\n",
+			sched.Ops(), sched.NumVMs, len(sched.Steps), sched.Horizon, *addr)
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	rep.Profile = prof.Name()
+	rep.Seed = *seed
+
+	switch {
+	case *digestly:
+		fmt.Fprintln(w, rep.OutcomeDigest)
+	default:
+		fmt.Fprint(w, rep.String())
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			if _, err := w.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("run finished with %d failed operations", rep.Errors)
+	}
+	return nil
+}

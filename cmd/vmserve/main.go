@@ -3,21 +3,9 @@
 // live fleet, state survives restarts through the journal + snapshot
 // directory, and Prometheus metrics are exposed on /metrics.
 //
-// Endpoints:
-//
-//	POST   /v1/vms      admit one VMRequest object or an array of them;
-//	                    responds with the array of Admissions
-//	DELETE /v1/vms/{id} release a resident VM early
-//	POST   /v1/clock    {"now": t} advances the fleet clock to minute t,
-//	                    running departures, wake-ups and idle-sleeps on the
-//	                    way; earlier times are a no-op (the clock is
-//	                    monotonic). Admissions only move the clock to their
-//	                    start minute, so a deployment whose requests all
-//	                    start "now" must tick this (or send future starts)
-//	                    for VMs to ever depart
-//	GET    /v1/state    consistent cluster state (deterministic JSON)
-//	GET    /healthz     liveness probe
-//	GET    /metrics     Prometheus text exposition
+// The HTTP API is internal/clusterhttp (POST/DELETE /v1/vms, POST
+// /v1/clock, GET /v1/state, /healthz, /metrics); cmd/vmload is the
+// matching load generator.
 //
 // Usage:
 //
@@ -33,15 +21,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/config"
 	"vmalloc/internal/model"
 	"vmalloc/internal/online"
@@ -72,6 +61,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "candidate-scan workers (0 = automatic, 1 = sequential)")
 		journalDir = fs.String("journal", "", "journal + snapshot directory (empty = volatile state)")
 		snapEvery  = fs.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default, <0 = only on shutdown)")
+		noFsync    = fs.Bool("unsafe-no-fsync", false, "UNSAFE: skip journal fsyncs; acknowledged state survives a crash but NOT power loss (soak/load tests only)")
 		version    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,21 +88,32 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Parallelism:   *parallel,
 		Dir:           *journalDir,
 		SnapshotEvery: *snapEvery,
+		DisableFsync:  *noFsync,
 	})
 	if err != nil {
 		return err
 	}
 
 	logger := log.New(w, "vmserve: ", log.LstdFlags)
+	// Listen before announcing, so the logged address is the bound one
+	// (ports like :0 resolve here) and readiness pollers have a real
+	// target as soon as the line appears.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		c.Close()
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(c),
+		Handler:           clusterhttp.NewHandler(c),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %d servers (policy %s) on %s", len(fleet), pol.Name(), *addr)
-		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serving %d servers (policy %s) on %s", len(fleet), pol.Name(), ln.Addr())
+		if *noFsync {
+			logger.Printf("journal fsync DISABLED (-unsafe-no-fsync): state will not survive power loss")
+		}
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
@@ -181,124 +182,4 @@ func pickPolicy(name string, penalty float64, seed int64) (online.Policy, error)
 	default:
 		return nil, fmt.Errorf("unknown policy %q (want mincost, delay-aware, prefer-active or ffps)", name)
 	}
-}
-
-// newHandler builds the daemon's HTTP API around a cluster.
-func newHandler(c *cluster.Cluster) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
-		reqs, err := decodeRequests(r.Body)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		adms, err := c.Admit(r.Context(), reqs)
-		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, cluster.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, adms)
-	})
-	mux.HandleFunc("DELETE /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad vm id %q", r.PathValue("id")))
-			return
-		}
-		p, err := c.Release(id)
-		switch {
-		case errors.As(err, new(*cluster.NotResidentError)):
-			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, cluster.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
-		default:
-			writeJSON(w, http.StatusOK, p)
-		}
-	})
-	mux.HandleFunc("POST /v1/clock", func(w http.ResponseWriter, r *http.Request) {
-		var body struct {
-			Now *int `json:"now"`
-		}
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parse clock request: %w", err))
-			return
-		}
-		if body.Now == nil {
-			writeError(w, http.StatusBadRequest, errors.New(`clock request wants {"now": <minute>}`))
-			return
-		}
-		if err := c.AdvanceTo(*body.Now); err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, cluster.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]int{"now": c.Now()})
-	})
-	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
-		b, err := c.StateJSON()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := c.WriteMetrics(w); err != nil {
-			// Headers are gone; nothing better than logging via the
-			// connection error path.
-			return
-		}
-	})
-	return mux
-}
-
-// decodeRequests accepts a single VMRequest object or an array of them.
-func decodeRequests(r io.Reader) ([]cluster.VMRequest, error) {
-	data, err := io.ReadAll(io.LimitReader(r, 8<<20))
-	if err != nil {
-		return nil, err
-	}
-	trimmed := strings.TrimSpace(string(data))
-	if strings.HasPrefix(trimmed, "[") {
-		var reqs []cluster.VMRequest
-		if err := json.Unmarshal(data, &reqs); err != nil {
-			return nil, fmt.Errorf("parse request array: %w", err)
-		}
-		if len(reqs) == 0 {
-			return nil, errors.New("empty request array")
-		}
-		return reqs, nil
-	}
-	var req cluster.VMRequest
-	if err := json.Unmarshal(data, &req); err != nil {
-		return nil, fmt.Errorf("parse request: %w", err)
-	}
-	return []cluster.VMRequest{req}, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -8,11 +8,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/model"
 )
 
@@ -62,7 +67,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(c))
+	srv := httptest.NewServer(clusterhttp.NewHandler(c))
 
 	// Health first.
 	if code, body := do(t, srv, "GET", "/healthz", ""); code != 200 || string(body) != "ok\n" {
@@ -152,7 +157,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	srv2 := httptest.NewServer(newHandler(c2))
+	srv2 := httptest.NewServer(clusterhttp.NewHandler(c2))
 	defer srv2.Close()
 	code, after := do(t, srv2, "GET", "/v1/state", "")
 	if code != 200 {
@@ -187,7 +192,7 @@ func TestServeClock(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	srv := httptest.NewServer(newHandler(c))
+	srv := httptest.NewServer(clusterhttp.NewHandler(c))
 	defer srv.Close()
 
 	code, body := do(t, srv, "POST", "/v1/vms", `{"demand":{"cpu":2,"mem":4},"durationMinutes":10}`)
@@ -249,21 +254,90 @@ func TestServeClock(t *testing.T) {
 	}
 }
 
-// TestRunStartupShutdown boots the real daemon on an ephemeral port and
+// syncBuffer is an io.Writer the daemon goroutine writes while the test
+// goroutine polls — bytes.Buffer alone would race.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var servingAddr = regexp.MustCompile(`serving \d+ servers .* on (\S+)`)
+
+// waitServing polls the daemon's log for the bound address (the daemon
+// resolves :0 ports before announcing) and then polls /healthz until the
+// daemon answers — readiness by observation, not by sleeping.
+func waitServing(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := servingAddr.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon at %s never became healthy (last err %v)", base, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunStartupShutdown boots the real daemon on an ephemeral port,
+// waits for readiness by polling /healthz, serves one admission, and
 // shuts it down via context cancellation, the signal path's plumbing.
 func TestRunStartupShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := t.TempDir()
 	done := make(chan error, 1)
-	var out bytes.Buffer
+	out := new(syncBuffer)
 	go func() {
 		done <- run(ctx, []string{
 			"-addr", "127.0.0.1:0",
 			"-servers", "4",
-			"-journal", t.TempDir(),
+			"-journal", dir,
 			"-batch-window", "0s",
-		}, &out)
+		}, out)
 	}()
-	time.Sleep(100 * time.Millisecond)
+	base := waitServing(t, out)
+
+	resp, err := http.Post(base+"/v1/vms", "application/json",
+		strings.NewReader(`{"demand":{"cpu":1,"mem":1},"durationMinutes":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit via daemon = %d", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -272,6 +346,10 @@ func TestRunStartupShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+	// Graceful shutdown snapshots the admitted state.
+	if fi, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil || fi.Size() == 0 {
+		t.Errorf("no snapshot after graceful shutdown: %v", err)
 	}
 }
 

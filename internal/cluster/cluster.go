@@ -26,6 +26,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +47,14 @@ const DefaultSnapshotEvery = 256
 
 // ErrClosed is returned by mutating calls after Close.
 var ErrClosed = errors.New("cluster: closed")
+
+// ErrCorruptJournal is wrapped by Open when the journal directory holds
+// durable state that cannot be restored: a snapshot that does not parse, a
+// journal record that is malformed before the tail (a torn *final* record
+// is an interrupted write and is dropped instead), or a record sequence
+// that does not replay cleanly against the fleet. The directory is left
+// untouched so the operator can inspect or repair it.
+var ErrCorruptJournal = errors.New("cluster: corrupt journal")
 
 // ErrJournalBroken is wrapped by every mutating call after a journal write
 // fails. The failure is sticky: at most the single mutation that broke the
@@ -94,6 +104,12 @@ type Config struct {
 	// snapshots; 0 means DefaultSnapshotEvery, negative snapshots only on
 	// Close. Ignored when Dir is empty.
 	SnapshotEvery int
+	// DisableFsync skips the per-batch fsync of journal appends. UNSAFE
+	// for production: an acknowledged admission then survives a process
+	// crash but not power loss or a kernel crash. It exists for soak and
+	// load tests, where the journal's logical replay guarantees are under
+	// test and the physical durability of a throwaway directory is not.
+	DisableFsync bool
 }
 
 // VMRequest is one admission request.
@@ -205,9 +221,10 @@ func Open(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// restore loads snapshot + journal from cfg.Dir and replays.
+// restore loads snapshot + journal from cfg.Dir and replays. Durable
+// state that does not restore cleanly is reported as ErrCorruptJournal.
 func (c *Cluster) restore() error {
-	jr, snap, recs, err := openJournal(c.cfg.Dir)
+	jr, snap, recs, err := openJournal(c.cfg.Dir, c.cfg.DisableFsync)
 	if err != nil {
 		return err
 	}
@@ -216,7 +233,7 @@ func (c *Cluster) restore() error {
 		c.fleet, err = online.RestoreFleet(c.cfg.Servers, c.cfg.IdleTimeout, snap.Fleet)
 		if err != nil {
 			jr.close()
-			return err
+			return fmt.Errorf("%w: snapshot: %v", ErrCorruptJournal, err)
 		}
 		c.nextID = snap.NextID
 		lastSeq = snap.LastSeq
@@ -229,7 +246,7 @@ func (c *Cluster) restore() error {
 		}
 		if err := c.apply(r); err != nil {
 			jr.close()
-			return err
+			return fmt.Errorf("%w: %v", ErrCorruptJournal, err)
 		}
 		lastSeq = r.Seq
 	}
@@ -244,6 +261,15 @@ func (c *Cluster) apply(r record) error {
 	case opAdmit:
 		if r.VM == nil {
 			return fmt.Errorf("cluster: journal seq %d: admit without vm", r.Seq)
+		}
+		// A journaled VM passed normalize before it was written, so a
+		// record failing the same validation is corruption, and replaying
+		// it (e.g. a negative duration) could corrupt the fleet's ledgers.
+		if r.VM.ID < 1 {
+			return fmt.Errorf("cluster: journal seq %d: admit with vm id %d", r.Seq, r.VM.ID)
+		}
+		if err := r.VM.Validate(); err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
 		}
 		c.fleet.AdvanceTo(r.T)
 		start, err := c.fleet.Commit(r.Server, *r.VM)
@@ -667,6 +693,27 @@ func marshalStateJSON(st *State) ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// StateDigest returns the SHA-256 of StateJSON as a hex string — a
+// compact, deterministic fingerprint of the durable state. Two clusters
+// serve the same digest exactly when their States are byte-identical,
+// which is what the load harness and the journal-replay tests compare
+// across crashes and restarts.
+func (c *Cluster) StateDigest() (string, error) {
+	b, err := c.StateJSON()
+	if err != nil {
+		return "", err
+	}
+	return DigestBytes(b), nil
+}
+
+// DigestBytes is the fingerprint function behind StateDigest: hex SHA-256
+// of the given bytes. Exported so HTTP layers and load harnesses can
+// digest an already-marshalled state body identically.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // journalFailedLocked records a journal write failure. The failure is

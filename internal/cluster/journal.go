@@ -66,15 +66,16 @@ type snapshotFile struct {
 // journal is the append side of the log. All methods are called under the
 // cluster mutex.
 type journal struct {
-	dir string
-	f   *os.File
-	seq int64
+	dir    string
+	f      *os.File
+	seq    int64
+	nosync bool // Config.DisableFsync: skip fsyncs (UNSAFE, test-only)
 }
 
 // openJournal loads the durable state under dir: the snapshot (if any),
 // every clean journal record, and an append handle positioned after the
 // last clean record (a torn tail is truncated away first).
-func openJournal(dir string) (*journal, *snapshotFile, []record, error) {
+func openJournal(dir string, nosync bool) (*journal, *snapshotFile, []record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("cluster: journal dir: %w", err)
 	}
@@ -84,10 +85,10 @@ func openJournal(dir string) (*journal, *snapshotFile, []record, error) {
 	case err == nil:
 		snap = new(snapshotFile)
 		if err := json.Unmarshal(b, snap); err != nil {
-			return nil, nil, nil, fmt.Errorf("cluster: corrupt snapshot: %w", err)
+			return nil, nil, nil, fmt.Errorf("%w: snapshot does not parse: %v", ErrCorruptJournal, err)
 		}
 		if snap.Fleet == nil {
-			return nil, nil, nil, errors.New("cluster: snapshot has no fleet state")
+			return nil, nil, nil, fmt.Errorf("%w: snapshot has no fleet state", ErrCorruptJournal)
 		}
 	case !errors.Is(err, fs.ErrNotExist):
 		return nil, nil, nil, err
@@ -106,7 +107,7 @@ func openJournal(dir string) (*journal, *snapshotFile, []record, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return &journal{dir: dir, f: f}, snap, recs, nil
+	return &journal{dir: dir, f: f, nosync: nosync}, snap, recs, nil
 }
 
 // readRecords parses the journal, returning every clean record and the
@@ -137,7 +138,7 @@ func readRecords(path string) ([]record, int64, error) {
 				if len(bytes.TrimSpace(b[next:])) == 0 {
 					break // torn final record
 				}
-				return nil, 0, fmt.Errorf("cluster: corrupt journal record at byte %d: %w", off, err)
+				return nil, 0, fmt.Errorf("%w: malformed record at byte %d: %v", ErrCorruptJournal, off, err)
 			}
 			recs = append(recs, r)
 		}
@@ -152,6 +153,9 @@ func readRecords(path string) ([]record, int64, error) {
 // so an admission acknowledged to a client survives power loss, not just a
 // process crash.
 func (j *journal) sync() error {
+	if j.nosync {
+		return nil
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("cluster: journal sync: %w", err)
 	}
@@ -191,9 +195,11 @@ func (j *journal) snapshot(s *snapshotFile) error {
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+	if !j.nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -210,9 +216,11 @@ func (j *journal) snapshot(s *snapshotFile) error {
 }
 
 func (j *journal) close() error {
-	if err := j.f.Sync(); err != nil {
-		j.f.Close()
-		return err
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			return err
+		}
 	}
 	return j.f.Close()
 }

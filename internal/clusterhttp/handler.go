@@ -1,0 +1,162 @@
+// Package clusterhttp is the HTTP face of the cluster allocation
+// service: the handler cmd/vmserve mounts, shared with the in-process
+// test harnesses (the loadgen soak tests boot it on httptest servers) so
+// load generators and the production daemon exercise byte-identical
+// routing, decoding and error mapping.
+//
+// Endpoints:
+//
+//	POST   /v1/vms      admit one VMRequest object or an array of them;
+//	                    responds with the array of Admissions
+//	DELETE /v1/vms/{id} release a resident VM early
+//	POST   /v1/clock    {"now": t} advances the fleet clock to minute t;
+//	                    earlier times are a no-op (the clock is monotonic)
+//	GET    /v1/state    consistent cluster state (deterministic JSON);
+//	                    the X-Vmalloc-State-Digest response header carries
+//	                    Cluster.StateDigest for cheap restart comparisons
+//	GET    /healthz     liveness probe
+//	GET    /metrics     Prometheus text exposition
+package clusterhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"vmalloc/internal/cluster"
+)
+
+// StateDigestHeader is the response header on GET /v1/state carrying the
+// hex SHA-256 of the state body (Cluster.StateDigest).
+const StateDigestHeader = "X-Vmalloc-State-Digest"
+
+// NewHandler builds the service's HTTP API around a cluster.
+func NewHandler(c *cluster.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
+		reqs, err := decodeRequests(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		adms, err := c.Admit(r.Context(), reqs)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, cluster.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adms)
+	})
+	mux.HandleFunc("DELETE /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad vm id %q", r.PathValue("id")))
+			return
+		}
+		p, err := c.Release(id)
+		switch {
+		case errors.As(err, new(*cluster.NotResidentError)):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, cluster.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, p)
+		}
+	})
+	mux.HandleFunc("POST /v1/clock", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Now *int `json:"now"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse clock request: %w", err))
+			return
+		}
+		if body.Now == nil {
+			writeError(w, http.StatusBadRequest, errors.New(`clock request wants {"now": <minute>}`))
+			return
+		}
+		if err := c.AdvanceTo(*body.Now); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, cluster.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"now": c.Now()})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		b, err := c.StateJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(StateDigestHeader, digest(b))
+		w.Write(b)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.WriteMetrics(w); err != nil {
+			// Headers are gone; nothing better than logging via the
+			// connection error path.
+			return
+		}
+	})
+	return mux
+}
+
+// digest mirrors cluster.StateDigest over an already-marshalled body, so
+// the header always matches the bytes actually served.
+func digest(body []byte) string {
+	return cluster.DigestBytes(body)
+}
+
+// decodeRequests accepts a single VMRequest object or an array of them.
+func decodeRequests(r io.Reader) ([]cluster.VMRequest, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var reqs []cluster.VMRequest
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return nil, fmt.Errorf("parse request array: %w", err)
+		}
+		if len(reqs) == 0 {
+			return nil, errors.New("empty request array")
+		}
+		return reqs, nil
+	}
+	var req cluster.VMRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("parse request: %w", err)
+	}
+	return []cluster.VMRequest{req}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

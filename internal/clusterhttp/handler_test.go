@@ -1,0 +1,71 @@
+package clusterhttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/model"
+)
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	servers := make([]model.Server, 4)
+	for i := range servers {
+		servers[i] = model.Server{
+			ID:             i + 1,
+			Capacity:       model.Resources{CPU: 10, Mem: 16},
+			PIdle:          100,
+			PPeak:          200,
+			TransitionTime: 1,
+		}
+	}
+	c, err := cluster.Open(cluster.Config{Servers: servers, IdleTimeout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestStateDigestHeader: /v1/state carries a digest header that matches
+// both the served body and Cluster.StateDigest, so clients can compare
+// states across restarts without shipping the whole body.
+func TestStateDigestHeader(t *testing.T) {
+	c := testCluster(t)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	if _, err := http.Post(srv.URL+"/v1/vms", "application/json",
+		strings.NewReader(`{"demand":{"cpu":1,"mem":1},"durationMinutes":30}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Admitted int `json:"admitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Admitted != 1 {
+		t.Errorf("state shows %d admitted, want 1", body.Admitted)
+	}
+	got := resp.Header.Get(StateDigestHeader)
+	want, err := c.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("digest header %q, StateDigest %q", got, want)
+	}
+	if len(got) != 64 {
+		t.Errorf("digest %q is not hex SHA-256", got)
+	}
+}

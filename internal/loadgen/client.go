@@ -1,0 +1,312 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vmalloc/internal/cluster"
+)
+
+// Client is a typed HTTP client for the vmserve API
+// (internal/clusterhttp): POST/DELETE /v1/vms, POST /v1/clock,
+// GET /v1/state, /healthz and /metrics, with a per-attempt timeout and
+// bounded exponential-backoff retries on transport errors and 5xx
+// responses.
+//
+// Admission retries are safe because every generated request carries an
+// explicit VM ID — the ID doubles as an idempotency key: if the first
+// attempt landed but its response was lost, the retry comes back as an
+// "already resident" rejection, which the client folds back into an
+// accepted outcome.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Timeout bounds each attempt; 0 means 10s.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried; 0 means 2.
+	// Negative disables retries.
+	Retries int
+	// Backoff is the first retry delay, doubling per retry; 0 means
+	// 50ms.
+	Backoff time.Duration
+
+	// retried counts attempts beyond the first; read via Retried. Atomic:
+	// the runner's worker pool shares one client.
+	retried atomic.Int64
+}
+
+// NewClient returns a client for the server rooted at base with the
+// default timeout/retry/backoff policy.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return 2
+	}
+	return c.Retries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// Retried returns how many retry attempts the client has issued.
+func (c *Client) Retried() int { return int(c.retried.Load()) }
+
+// apiError is a non-2xx response with the server's decoded error.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("loadgen: server returned %d: %s", e.Status, e.Msg)
+}
+
+// retryable reports whether another attempt could change the outcome:
+// transport errors (connection refused/reset, timeouts) and 5xx
+// responses; 4xx outcomes are deterministic and final.
+func retryable(err error) bool {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return err != nil
+}
+
+// do issues one method+path request with the retry policy, decoding a
+// 2xx JSON body into out (unless out is nil). body is re-sent on every
+// attempt. The returned bool reports whether this call went beyond its
+// first attempt (callers use it for the admission idempotency fold).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+	var lastErr error
+	delay := c.backoff()
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return attempt > 1, ctx.Err()
+			}
+			delay *= 2
+		}
+		lastErr = c.attempt(ctx, method, path, body, out)
+		if lastErr == nil || !retryable(lastErr) || ctx.Err() != nil {
+			return attempt > 0, lastErr
+		}
+	}
+	return true, lastErr
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &e) //nolint:errcheck // best-effort message
+		return &apiError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Admit submits a batch of admission requests and returns the per-request
+// outcomes in request order. A retried batch whose first attempt landed
+// reports its requests as accepted via the idempotency fold (see Client).
+func (c *Client) Admit(ctx context.Context, reqs []cluster.VMRequest) ([]cluster.Admission, error) {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, err
+	}
+	var adms []cluster.Admission
+	retried, err := c.do(ctx, http.MethodPost, "/v1/vms", body, &adms)
+	if err != nil {
+		return nil, err
+	}
+	if len(adms) != len(reqs) {
+		return nil, fmt.Errorf("loadgen: %d admissions for %d requests", len(adms), len(reqs))
+	}
+	if retried {
+		// At least one attempt was retried: an "already resident"
+		// rejection here means the earlier attempt admitted the VM and
+		// only the response was lost.
+		for i := range adms {
+			if !adms[i].Accepted && strings.Contains(adms[i].Reason, "already resident") {
+				adms[i].Accepted = true
+				adms[i].Reason = "admitted by an earlier attempt (idempotent retry)"
+			}
+		}
+	}
+	return adms, nil
+}
+
+// Release removes a resident VM. released is false when the server does
+// not know the VM (404) — already departed, already released, or never
+// admitted. A 404 on a retried call counts as released: the first
+// attempt landed and only its response was lost (the idempotency fold,
+// as in Admit).
+func (c *Client) Release(ctx context.Context, id int) (released bool, err error) {
+	retried, err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/vms/%d", id), nil, nil)
+	var ae *apiError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return retried, nil
+	}
+	return err == nil, err
+}
+
+// AdvanceClock moves the fleet clock to minute now (earlier minutes are a
+// server-side no-op) and returns the resulting clock.
+func (c *Client) AdvanceClock(ctx context.Context, now int) (int, error) {
+	body, err := json.Marshal(map[string]int{"now": now})
+	if err != nil {
+		return 0, err
+	}
+	var resp map[string]int
+	if _, err := c.do(ctx, http.MethodPost, "/v1/clock", body, &resp); err != nil {
+		return 0, err
+	}
+	return resp["now"], nil
+}
+
+// State fetches the consistent cluster state and its digest (the
+// X-Vmalloc-State-Digest header, equal to cluster.DigestBytes over the
+// body).
+func (c *Client) State(ctx context.Context) (*cluster.State, string, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.Base+"/v1/state", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	st := new(cluster.State)
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, "", err
+	}
+	digest := resp.Header.Get("X-Vmalloc-State-Digest")
+	if digest == "" {
+		digest = cluster.DigestBytes(data)
+	}
+	return st, digest, nil
+}
+
+// Metrics scrapes and parses /metrics.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Status: resp.StatusCode}
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// WaitReady polls /healthz until the server answers 200, the context
+// ends, or the deadline d passes.
+func (c *Client) WaitReady(ctx context.Context, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	var lastErr error
+	for {
+		actx, cancel := context.WithTimeout(ctx, time.Second)
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.Base+"/healthz", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		cancel()
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = &apiError{Status: resp.StatusCode}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s not ready after %s: %w", c.Base, d, lastErr)
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

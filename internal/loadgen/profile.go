@@ -1,0 +1,111 @@
+// Package loadgen is the load-generation harness for the vmserve
+// allocation daemon: deterministic open-loop arrival schedules (Poisson
+// and diurnal sinusoidal profiles, seeded from the paper's §IV arrival
+// model), a typed retrying HTTP client for the cluster API, a
+// worker-pool runner that replays a schedule against a live server, and
+// a reporter that folds outcomes, latency quantiles and /metrics deltas
+// into one result.
+//
+// Everything upstream of the network is deterministic: a (ScheduleSpec,
+// seed) pair fully determines the operation sequence, and the runner's
+// default minute-step execution keeps the admission/rejection outcome
+// sequence identical across runs against fresh servers — which turns the
+// generator into a repeatable correctness instrument (see the soak
+// tests), not just a throughput toy.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is a deterministic arrival-rate curve: Rate(t) is the expected
+// number of VM arrivals per minute at fleet minute t. Schedules draw
+// arrival times from an inhomogeneous Poisson process with this rate by
+// thinning at PeakRate.
+type Profile interface {
+	// Name identifies the profile in reports.
+	Name() string
+	// Rate returns the instantaneous arrival rate (VMs/minute) at t.
+	Rate(t float64) float64
+	// PeakRate bounds Rate over all t — the thinning envelope.
+	PeakRate() float64
+	// Validate reports whether the profile is well formed.
+	Validate() error
+}
+
+// PoissonProfile is the paper's §IV-B flat arrival model: a homogeneous
+// Poisson process with mean inter-arrival time MeanInterArrival minutes.
+type PoissonProfile struct {
+	// MeanInterArrival is the mean inter-arrival gap in minutes; the
+	// paper's experiments sweep it to move the fleet through its load
+	// range.
+	MeanInterArrival float64
+}
+
+// Name implements Profile.
+func (p PoissonProfile) Name() string { return "poisson" }
+
+// Rate implements Profile.
+func (p PoissonProfile) Rate(float64) float64 { return 1 / p.MeanInterArrival }
+
+// PeakRate implements Profile.
+func (p PoissonProfile) PeakRate() float64 { return 1 / p.MeanInterArrival }
+
+// Validate implements Profile.
+func (p PoissonProfile) Validate() error {
+	if !(p.MeanInterArrival > 0) {
+		return fmt.Errorf("loadgen: MeanInterArrival %g, want > 0", p.MeanInterArrival)
+	}
+	return nil
+}
+
+// DiurnalProfile sweeps the Poisson rate through a day/night sinusoid —
+// the diurnal-like range the paper's §IV experiments cover by varying the
+// mean inter-arrival time, compressed into a single run:
+//
+//	λ(t) = λ̄ · (1 + a·sin(2πt/Period)),  a = (PeakToTrough−1)/(PeakToTrough+1)
+//
+// matching workload.DiurnalSpec, so the daily average rate equals the
+// flat profile with the same MeanInterArrival while the instantaneous
+// rate swings between λ̄(1−a) and λ̄(1+a).
+type DiurnalProfile struct {
+	// MeanInterArrival is the day-average inter-arrival time in minutes.
+	MeanInterArrival float64
+	// PeakToTrough is the peak:trough arrival-rate ratio; 1 degenerates
+	// to the flat Poisson profile.
+	PeakToTrough float64
+	// Period is the cycle length in fleet minutes (1440 = one day).
+	Period float64
+}
+
+// Name implements Profile.
+func (p DiurnalProfile) Name() string { return "diurnal" }
+
+// amplitude returns a ∈ [0, 1).
+func (p DiurnalProfile) amplitude() float64 {
+	return (p.PeakToTrough - 1) / (p.PeakToTrough + 1)
+}
+
+// Rate implements Profile.
+func (p DiurnalProfile) Rate(t float64) float64 {
+	return (1 / p.MeanInterArrival) * (1 + p.amplitude()*math.Sin(2*math.Pi*t/p.Period))
+}
+
+// PeakRate implements Profile.
+func (p DiurnalProfile) PeakRate() float64 {
+	return (1 / p.MeanInterArrival) * (1 + p.amplitude())
+}
+
+// Validate implements Profile.
+func (p DiurnalProfile) Validate() error {
+	switch {
+	case !(p.MeanInterArrival > 0):
+		return fmt.Errorf("loadgen: MeanInterArrival %g, want > 0", p.MeanInterArrival)
+	case p.PeakToTrough < 1:
+		return fmt.Errorf("loadgen: PeakToTrough %g, want >= 1", p.PeakToTrough)
+	case !(p.Period > 0):
+		return fmt.Errorf("loadgen: Period %g, want > 0", p.Period)
+	}
+	return nil
+}

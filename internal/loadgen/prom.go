@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is a flat view of one Prometheus text-exposition scrape:
+// series name (including its label set, verbatim) → sample value.
+type Metrics map[string]float64
+
+// ParseMetrics reads the Prometheus text exposition format the cluster
+// emits: `name value` or `name{labels} value` lines, comments skipped.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	m := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("loadgen: metrics line %q has no value", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: metrics line %q: %w", line, err)
+		}
+		m[strings.TrimSpace(line[:sp])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Delta returns m − before for every series present in m (a series
+// absent from before counts from zero). Gauges subtract like counters;
+// callers pick the series they care about.
+func (m Metrics) Delta(before Metrics) Metrics {
+	d := make(Metrics, len(m))
+	for k, v := range m {
+		d[k] = v - before[k]
+	}
+	return d
+}
+
+// Keys returns the series names in sorted order, for deterministic
+// report output.
+func (m Metrics) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

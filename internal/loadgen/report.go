@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencySummary condenses one operation type's request latencies.
+// Quantiles are exact (computed from the full sorted sample, not a
+// sketch): the harness holds every sample in memory.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// summarize computes the summary; the input slice is sorted in place.
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencySummary{
+		Count: len(samples),
+		Mean:  sum / time.Duration(len(samples)),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+func (l LatencySummary) String() string {
+	if l.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		l.Count, l.Mean.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	Steps   int    `json:"steps"`
+
+	// Admission outcomes: Sent = Accepted + Rejected when Errors is 0.
+	Sent     int `json:"sent"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// Releases that removed a resident VM; ReleaseMisses answered 404.
+	Releases      int `json:"releases"`
+	ReleaseMisses int `json:"releaseMisses"`
+	// ReleaseSkips are scheduled releases never issued because the VM's
+	// admission was rejected.
+	ReleaseSkips int `json:"releaseSkips"`
+	// ClockTicks counts /v1/clock advances (steps plus the final drain).
+	ClockTicks int `json:"clockTicks"`
+	// Errors counts operations that failed after every retry — transport
+	// failures and 5xx responses. A healthy run reports 0.
+	Errors int `json:"errors"`
+	// Retries counts extra attempts the client issued.
+	Retries int `json:"retries"`
+	// BehindSteps counts steps that started later than their wall-clock
+	// target by more than one pacing interval (the open-loop generator
+	// fell behind and proceeded flat-out).
+	BehindSteps int `json:"behindSteps"`
+
+	Wall time.Duration `json:"wallNanos"`
+
+	AdmitLatency   LatencySummary `json:"admitLatency"`
+	ReleaseLatency LatencySummary `json:"releaseLatency"`
+	ClockLatency   LatencySummary `json:"clockLatency"`
+
+	// OutcomeDigest is the hex SHA-256 of the ordered outcome log (every
+	// admission's accepted bit in VM-ID order per step, every release's
+	// outcome): equal digests mean identical admission/rejection
+	// sequences. Runs with the same seed and spec against fresh servers
+	// in the default step mode produce equal digests.
+	OutcomeDigest string `json:"outcomeDigest"`
+
+	// MetricsDelta is after − before for every /metrics series scraped
+	// around the run (nil when scraping failed or was skipped).
+	MetricsDelta Metrics `json:"metricsDelta,omitempty"`
+
+	// FinalNow, FinalResidents, FinalEnergy and StateDigest summarise
+	// GET /v1/state after the run.
+	FinalNow       int     `json:"finalNow"`
+	FinalResidents int     `json:"finalResidents"`
+	FinalEnergy    float64 `json:"finalEnergyWattMinutes"`
+	StateDigest    string  `json:"stateDigest"`
+}
+
+// metricsDeltaKeys are the counter series the human-readable report
+// surfaces; the JSON report carries the full delta map.
+var metricsDeltaKeys = []string{
+	"vmalloc_cluster_admissions_total",
+	"vmalloc_cluster_rejections_total",
+	"vmalloc_cluster_releases_total",
+	"vmalloc_cluster_batches_total",
+	"vmalloc_cluster_snapshots_total",
+	"vmalloc_cluster_journal_errors_total",
+	"vmalloc_cluster_scan_candidates_total",
+}
+
+// String renders the report as the vmload CLI's human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s seed %d: %d steps in %s\n", r.Profile, r.Seed, r.Steps, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "admissions: %d sent, %d accepted, %d rejected\n", r.Sent, r.Accepted, r.Rejected)
+	fmt.Fprintf(&b, "releases:   %d ok, %d missed, %d skipped (vm never admitted)\n", r.Releases, r.ReleaseMisses, r.ReleaseSkips)
+	fmt.Fprintf(&b, "clock:      %d ticks; errors %d, retries %d, behind-steps %d\n", r.ClockTicks, r.Errors, r.Retries, r.BehindSteps)
+	fmt.Fprintf(&b, "latency admit:   %s\n", r.AdmitLatency)
+	if r.ReleaseLatency.Count > 0 {
+		fmt.Fprintf(&b, "latency release: %s\n", r.ReleaseLatency)
+	}
+	if r.ClockLatency.Count > 0 {
+		fmt.Fprintf(&b, "latency clock:   %s\n", r.ClockLatency)
+	}
+	if r.MetricsDelta != nil {
+		fmt.Fprintf(&b, "server metrics delta:\n")
+		for _, k := range metricsDeltaKeys {
+			if v, ok := r.MetricsDelta[k]; ok {
+				fmt.Fprintf(&b, "  %-42s %+g\n", k, v)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "final state: now=%d residents=%d energy=%.1f Wmin\n", r.FinalNow, r.FinalResidents, r.FinalEnergy)
+	fmt.Fprintf(&b, "outcome digest: %s\n", r.OutcomeDigest)
+	if r.StateDigest != "" {
+		fmt.Fprintf(&b, "state digest:   %s\n", r.StateDigest)
+	}
+	return b.String()
+}

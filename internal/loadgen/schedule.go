@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/model"
+)
+
+// ScheduleSpec describes one deterministic load run.
+type ScheduleSpec struct {
+	// Profile shapes the arrival rate; required.
+	Profile Profile
+	// NumVMs is how many admission requests to generate.
+	NumVMs int
+	// MeanLength is the exponential mean VM length in minutes (paper
+	// §IV-B).
+	MeanLength float64
+	// ReleaseFraction of admitted VMs are released early, at a seeded
+	// minute strictly inside their lifetime. 0 disables releases.
+	ReleaseFraction float64
+	// Classes restricts the Table I VM-type catalog; empty means all
+	// classes.
+	Classes []model.VMClass
+	// Seed drives every random draw; a (spec, seed) pair fully
+	// determines the schedule.
+	Seed int64
+}
+
+// Validate reports whether the spec is well formed.
+func (s ScheduleSpec) Validate() error {
+	if s.Profile == nil {
+		return fmt.Errorf("loadgen: spec has no profile")
+	}
+	if err := s.Profile.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.NumVMs < 1:
+		return fmt.Errorf("loadgen: NumVMs %d, want >= 1", s.NumVMs)
+	case !(s.MeanLength > 0):
+		return fmt.Errorf("loadgen: MeanLength %g, want > 0", s.MeanLength)
+	case s.ReleaseFraction < 0 || s.ReleaseFraction > 1:
+		return fmt.Errorf("loadgen: ReleaseFraction %g, want in [0, 1]", s.ReleaseFraction)
+	}
+	return nil
+}
+
+// Step is every operation the runner issues at one fleet minute: advance
+// the clock to Minute, send the admissions (each with Start = Minute and
+// an explicit VM ID, so the request stream is an idempotent, replayable
+// log), then issue the releases.
+type Step struct {
+	Minute   int
+	Admits   []cluster.VMRequest
+	Releases []int // VM IDs, ascending
+}
+
+// Schedule is a deterministic operation timeline for one load run.
+type Schedule struct {
+	Steps []Step
+	// NumVMs is the number of admission requests across all steps.
+	NumVMs int
+	// NumReleases is the number of scheduled early releases.
+	NumReleases int
+	// Horizon is the last minute any generated VM would run to — the
+	// final clock advance that drains all departures.
+	Horizon int
+}
+
+// Ops returns the total operation count: admissions, releases, and one
+// clock advance per step plus the final drain tick.
+func (s *Schedule) Ops() int {
+	return s.NumVMs + s.NumReleases + len(s.Steps) + 1
+}
+
+// BuildSchedule generates the deterministic operation timeline: VM
+// arrivals are drawn from the profile's inhomogeneous Poisson process by
+// thinning at the peak rate (exactly the workload package's §IV-B
+// construction), lengths are exponential, demands come from the Table I
+// catalog, and a seeded ReleaseFraction of VMs get an early release at a
+// uniform minute strictly inside their lifetime.
+func BuildSchedule(spec ScheduleSpec) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	types := model.VMTypesByClass(spec.Classes...)
+	if len(types) == 0 {
+		return nil, fmt.Errorf("loadgen: classes %v match no VM types", spec.Classes)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	peak := spec.Profile.PeakRate()
+
+	steps := make(map[int]*Step)
+	stepAt := func(minute int) *Step {
+		st := steps[minute]
+		if st == nil {
+			st = &Step{Minute: minute}
+			steps[minute] = st
+		}
+		return st
+	}
+
+	sched := &Schedule{NumVMs: spec.NumVMs}
+	now := 0.0
+	for id := 1; id <= spec.NumVMs; {
+		now += rng.ExpFloat64() / peak
+		if rng.Float64()*peak > spec.Profile.Rate(now) {
+			continue // thinned
+		}
+		start := int(math.Round(now))
+		if start < 1 {
+			start = 1
+		}
+		length := int(math.Round(rng.ExpFloat64() * spec.MeanLength))
+		if length < 1 {
+			length = 1
+		}
+		vt := types[rng.Intn(len(types))]
+		stepAt(start).Admits = append(stepAt(start).Admits, cluster.VMRequest{
+			ID:              id,
+			Type:            vt.Name,
+			Demand:          vt.Resources(),
+			Start:           start,
+			DurationMinutes: length,
+		})
+		if end := start + length - 1; end > sched.Horizon {
+			sched.Horizon = end
+		}
+		// Early release: a seeded coin per VM, at a uniform minute in
+		// (start, end] — so the VM is resident when the release lands,
+		// whatever wake-up delay its admission absorbed.
+		if length >= 2 && rng.Float64() < spec.ReleaseFraction {
+			rel := start + 1 + rng.Intn(length-1)
+			stepAt(rel).Releases = append(stepAt(rel).Releases, id)
+			sched.NumReleases++
+		}
+		id++
+	}
+
+	minutes := make([]int, 0, len(steps))
+	for m := range steps {
+		minutes = append(minutes, m)
+	}
+	sort.Ints(minutes)
+	sched.Steps = make([]Step, len(minutes))
+	for i, m := range minutes {
+		st := steps[m]
+		sort.Ints(st.Releases)
+		sched.Steps[i] = *st
+	}
+	return sched, nil
+}

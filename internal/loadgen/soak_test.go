@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
+)
+
+// copyDir copies the flat journal directory (journal.jsonl, and
+// snapshot.json when present) — a poor man's crash image: the bytes a
+// new process would find if this one died without closing.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSoakJournalReplay is the in-process soak harness: a real journaled
+// cluster behind the real HTTP handler, hammered by the load runner with
+// chunked concurrent admissions, concurrent releases and interleaved
+// clock advances (run it under -race). Afterwards the journal directory
+// is copied mid-flight — before Close writes its snapshot — and reopened:
+// the replayed state must match the live state byte for byte. Then the
+// clean shutdown path (snapshot on Close) is reopened and must match too.
+func TestSoakJournalReplay(t *testing.T) {
+	spec := ScheduleSpec{
+		Profile:         DiurnalProfile{MeanInterArrival: 0.3, PeakToTrough: 3, Period: 360},
+		NumVMs:          1300,
+		MeanLength:      30,
+		ReleaseFraction: 0.5,
+		Seed:            20260805,
+	}
+	if testing.Short() {
+		spec.NumVMs = 300
+	}
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testing.Short() && sched.Ops() < 2000 {
+		t.Fatalf("soak schedule has %d ops, want >= 2000", sched.Ops())
+	}
+
+	dir := t.TempDir()
+	cfg := cluster.Config{
+		Servers:       testServers(24),
+		IdleTimeout:   5,
+		BatchWindow:   200 * time.Microsecond,
+		Dir:           dir,
+		SnapshotEvery: -1,   // snapshot only on Close: the copy below sees journal-only state
+		DisableFsync:  true, // soak speed; logical replay guarantees are what is under test
+	}
+	cl, err := cluster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := httptest.NewServer(clusterhttp.NewHandler(cl))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	r := &Runner{
+		Client:   client,
+		Schedule: sched,
+		Opts:     Options{Workers: 16, Chunk: 8},
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("soak run reported %d errors", rep.Errors)
+	}
+	if rep.Sent != spec.NumVMs {
+		t.Fatalf("sent %d admissions, want %d", rep.Sent, spec.NumVMs)
+	}
+	t.Logf("soak: %d ops, %d accepted, %d rejected, %d released in %s",
+		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Wall.Round(time.Millisecond))
+
+	wantJSON, err := cl.StateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash image: journal only, no shutdown snapshot.
+	crashDir := t.TempDir()
+	copyDir(t, dir, crashDir)
+	crashCfg := cfg
+	crashCfg.Dir = crashDir
+	replayed, err := cluster.Open(crashCfg)
+	if err != nil {
+		t.Fatalf("reopening journal-only crash image: %v", err)
+	}
+	gotJSON, err := replayed.StateJSON()
+	if cerr := replayed.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("journal replay diverged from live state\nlive:     %s\nreplayed: %s",
+			trimForLog(wantJSON), trimForLog(gotJSON))
+	}
+
+	// Clean shutdown: Close compacts into snapshot.json; reopening must
+	// restore the same bytes.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := cluster.Open(cfg)
+	if err != nil {
+		t.Fatalf("reopening after clean shutdown: %v", err)
+	}
+	gotJSON, err = reopened.StateJSON()
+	if cerr := reopened.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatal("snapshot restore diverged from live state")
+	}
+}
+
+func trimForLog(b []byte) string {
+	const max = 600
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + "…"
+}

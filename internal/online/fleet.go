@@ -188,6 +188,12 @@ func (fl *Fleet) Commit(i int, v model.VM) (int, error) {
 		return 0, fmt.Errorf("online: vm %d is already resident", v.ID)
 	}
 	start := fl.view.StartTime(i, v)
+	// Guard the arithmetic horizon: a VM ending at (or overflowing past)
+	// MaxInt would wrap the departure event time end+1 negative and drag
+	// the clock backwards when it fires.
+	if end := start + v.Duration() - 1; end < start || end == math.MaxInt {
+		return 0, fmt.Errorf("online: vm %d end overflows the time horizon", v.ID)
+	}
 	if !fl.view.Fits(i, v, start) {
 		return 0, fmt.Errorf("online: vm %d does not fit server %d", v.ID, u.srv.ID)
 	}
@@ -407,6 +413,9 @@ func RestoreFleet(servers []model.Server, idleTimeout int, snap *FleetSnapshot) 
 		}
 		u := fl.view.units[p.Server]
 		end := p.End()
+		if end < p.Start || end == math.MaxInt {
+			return nil, fmt.Errorf("online: resident vm %d end overflows the time horizon", p.VM.ID)
+		}
 		u.res.Add(p.VM.ID, timeline.Reservation{
 			Interval: timeline.Interval{Start: p.Start, End: end},
 			CPU:      p.VM.Demand.CPU,
