@@ -27,40 +27,46 @@ import (
 
 	"vmalloc/internal/config"
 	"vmalloc/internal/loadgen"
+	"vmalloc/internal/obs"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vmload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, args []string, w io.Writer) error {
+// run replays the load. The report (and -digest / -out - output) goes to
+// w; the structured progress log goes to errW, so digest-only pipelines
+// stay machine-readable.
+func run(ctx context.Context, args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("vmload", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "http://127.0.0.1:8080", "vmserve base URL")
-		profile  = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
-		vms      = fs.Int("vms", 500, "number of VM admission requests to generate")
-		meanIA   = fs.Float64("mean-interarrival", 0.5, "mean inter-arrival time (fleet minutes, paper §IV-B)")
-		meanLen  = fs.Float64("mean-length", 60, "mean VM length (fleet minutes, exponential)")
-		peak     = fs.Float64("peak-trough", 3, "diurnal peak-to-trough arrival-rate ratio")
-		period   = fs.Float64("period", 1440, "diurnal period (fleet minutes; 1440 = one day)")
-		seed     = fs.Int64("seed", 1, "seed: fully determines the schedule (and, with -chunk 0, the outcomes)")
-		relFrac  = fs.Float64("release-fraction", 0.2, "fraction of VMs released early at a seeded minute")
-		minute   = fs.Duration("minute", 20*time.Millisecond, "wall-clock time per fleet minute (0 = flat out)")
-		workers  = fs.Int("workers", 8, "concurrent request workers")
-		chunk    = fs.Int("chunk", 0, "admissions per HTTP call (0 = one call per minute-step, deterministic)")
-		timeout  = fs.Duration("timeout", 10*time.Second, "per-attempt request timeout")
-		retries  = fs.Int("retries", 2, "retries per failed request (-1 = none)")
-		backoff  = fs.Duration("backoff", 50*time.Millisecond, "first retry backoff, doubling per retry")
-		noClock  = fs.Bool("no-clock", false, "do not drive /v1/clock (the server's clock is advanced elsewhere)")
-		wait     = fs.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before the run (0 = don't)")
-		jsonOut  = fs.String("out", "", "write the full JSON report to this file (\"-\" = stdout)")
-		digestly = fs.Bool("digest", false, "print only the outcome digest (for shell comparisons)")
-		version  = fs.Bool("version", false, "print the build version and exit")
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "vmserve base URL")
+		profile   = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
+		vms       = fs.Int("vms", 500, "number of VM admission requests to generate")
+		meanIA    = fs.Float64("mean-interarrival", 0.5, "mean inter-arrival time (fleet minutes, paper §IV-B)")
+		meanLen   = fs.Float64("mean-length", 60, "mean VM length (fleet minutes, exponential)")
+		peak      = fs.Float64("peak-trough", 3, "diurnal peak-to-trough arrival-rate ratio")
+		period    = fs.Float64("period", 1440, "diurnal period (fleet minutes; 1440 = one day)")
+		seed      = fs.Int64("seed", 1, "seed: fully determines the schedule (and, with -chunk 0, the outcomes)")
+		relFrac   = fs.Float64("release-fraction", 0.2, "fraction of VMs released early at a seeded minute")
+		minute    = fs.Duration("minute", 20*time.Millisecond, "wall-clock time per fleet minute (0 = flat out)")
+		workers   = fs.Int("workers", 8, "concurrent request workers")
+		chunk     = fs.Int("chunk", 0, "admissions per HTTP call (0 = one call per minute-step, deterministic)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-attempt request timeout")
+		retries   = fs.Int("retries", 2, "retries per failed request (-1 = none)")
+		backoff   = fs.Duration("backoff", 50*time.Millisecond, "first retry backoff, doubling per retry")
+		noClock   = fs.Bool("no-clock", false, "do not drive /v1/clock (the server's clock is advanced elsewhere)")
+		wait      = fs.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before the run (0 = don't)")
+		jsonOut   = fs.String("out", "", "write the full JSON report to this file (\"-\" = stdout)")
+		digestly  = fs.Bool("digest", false, "print only the outcome digest (for shell comparisons)")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		version   = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +74,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *version {
 		fmt.Fprintln(w, config.Version())
 		return nil
+	}
+	logger, err := obs.NewLogger(errW, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	var prof loadgen.Profile
@@ -110,14 +120,25 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			SkipClock:      *noClock,
 		},
 	}
-	if !*digestly {
-		fmt.Fprintf(w, "vmload: replaying %d ops (%d VMs over %d steps, horizon %d min) against %s\n",
-			sched.Ops(), sched.NumVMs, len(sched.Steps), sched.Horizon, *addr)
-	}
+	logger.Info("replaying",
+		"ops", sched.Ops(),
+		"vms", sched.NumVMs,
+		"steps", len(sched.Steps),
+		"horizonMinutes", sched.Horizon,
+		"addr", *addr,
+	)
 	rep, err := runner.Run(ctx)
 	if err != nil {
 		return err
 	}
+	logger.Info("run finished",
+		"accepted", rep.Accepted,
+		"rejected", rep.Rejected,
+		"releases", rep.Releases,
+		"errors", rep.Errors,
+		"retries", rep.Retries,
+		"wall", rep.Wall,
+	)
 	rep.Profile = prof.Name()
 	rep.Seed = *seed
 

@@ -41,7 +41,7 @@ func newServer(t *testing.T) *httptest.Server {
 
 func TestRunVersion(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-version"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) == "" {
@@ -50,10 +50,10 @@ func TestRunVersion(t *testing.T) {
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run(context.Background(), []string{"-profile", "bursty"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-profile", "bursty"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown profile should error")
 	}
-	if err := run(context.Background(), []string{"-vms", "0"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-vms", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("zero VMs should error")
 	}
 }
@@ -74,7 +74,7 @@ func TestRunAgainstServer(t *testing.T) {
 		"-out", outPath,
 	}
 	var out bytes.Buffer
-	if err := run(context.Background(), args, &out); err != nil {
+	if err := run(context.Background(), args, &out, io.Discard); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	text := out.String()
@@ -106,7 +106,7 @@ func TestRunDigestDeterministic(t *testing.T) {
 		srv := newServer(t)
 		var out bytes.Buffer
 		args := []string{"-addr", srv.URL, "-vms", "60", "-seed", "11", "-minute", "0", "-digest"}
-		if err := run(context.Background(), args, &out); err != nil {
+		if err := run(context.Background(), args, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		return strings.TrimSpace(out.String())

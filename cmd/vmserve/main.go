@@ -4,13 +4,20 @@
 // directory, and Prometheus metrics are exposed on /metrics.
 //
 // The HTTP API is internal/clusterhttp (POST/DELETE /v1/vms, POST
-// /v1/clock, GET /v1/state, /healthz, /metrics); cmd/vmload is the
-// matching load generator.
+// /v1/clock, GET /v1/state, GET /v1/debug/decisions, /healthz,
+// /metrics); cmd/vmload is the matching load generator.
+//
+// Observability: logs are structured (log/slog; -log-format text|json),
+// every request gets/propagates an X-Request-Id, the last -decisions
+// admission/rejection/release decisions are kept in an in-memory flight
+// recorder (GET /v1/debug/decisions; dumped to the log on SIGQUIT), and
+// -debug-addr serves net/http/pprof on a separate listener.
 //
 // Usage:
 //
 //	vmserve -servers 50 -transition 2 -journal /var/lib/vmserve
 //	vmserve -fleet fleet.json -policy delay-aware -batch-window 2ms
+//	vmserve -log-format json -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -20,9 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +40,7 @@ import (
 	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/config"
 	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/online"
 	"vmalloc/internal/workload"
 )
@@ -62,6 +70,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		journalDir = fs.String("journal", "", "journal + snapshot directory (empty = volatile state)")
 		snapEvery  = fs.Int("snapshot-every", 0, "journaled mutations between snapshots (0 = default, <0 = only on shutdown)")
 		noFsync    = fs.Bool("unsafe-no-fsync", false, "UNSAFE: skip journal fsyncs; acknowledged state survives a crash but NOT power loss (soak/load tests only)")
+		logFormat  = fs.String("log-format", "text", "log output format: text or json")
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		decisions  = fs.Int("decisions", obs.DefaultRecorderSize, "flight-recorder capacity: how many admission/rejection/release decisions /v1/debug/decisions keeps")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off)")
 		version    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +82,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *version {
 		fmt.Fprintln(w, config.Version())
 		return nil
+	}
+	logger, err := obs.NewLogger(w, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	fleet, err := loadFleet(*fleetFile, *servers, *transition, *seed)
@@ -80,6 +96,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	recorder := obs.NewFlightRecorder(*decisions)
 	c, err := cluster.Open(cluster.Config{
 		Servers:       fleet,
 		Policy:        pol,
@@ -89,12 +106,26 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Dir:           *journalDir,
 		SnapshotEvery: *snapEvery,
 		DisableFsync:  *noFsync,
+		Recorder:      recorder,
+		Logger:        logger.With("component", "cluster"),
 	})
 	if err != nil {
 		return err
 	}
 
-	logger := log.New(w, "vmserve: ", log.LstdFlags)
+	// SIGQUIT is the black-box readout: dump the flight recorder to the
+	// log and keep serving (unlike SIGINT/SIGTERM, it does not stop the
+	// daemon).
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			n := recorder.Dump(logger.With("component", "flight-recorder"))
+			logger.Info("flight recorder dumped", "decisions", n)
+		}
+	}()
+
 	// Listen before announcing, so the logged address is the bound one
 	// (ports like :0 resolve here) and readiness pollers have a real
 	// target as soon as the line appears.
@@ -104,14 +135,46 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           clusterhttp.NewHandler(c),
+		Handler: clusterhttp.New(c, clusterhttp.Config{
+			Logger:   logger,
+			Recorder: recorder,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			c.Close()
+			ln.Close()
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug server", "addr", dln.Addr().String())
+			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug server stopped", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %d servers (policy %s) on %s", len(fleet), pol.Name(), ln.Addr())
+		logger.Info("serving",
+			"servers", len(fleet),
+			"policy", pol.Name(),
+			"addr", ln.Addr().String(),
+			"version", config.Build().Version,
+		)
 		if *noFsync {
-			logger.Printf("journal fsync DISABLED (-unsafe-no-fsync): state will not survive power loss")
+			logger.Warn("journal fsync DISABLED (-unsafe-no-fsync): state will not survive power loss")
 		}
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
@@ -124,14 +187,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutCtx) //nolint:errcheck // best-effort
+	}
 	if err := c.Close(); err != nil {
 		return err
 	}
-	logger.Printf("state persisted, bye")
+	logger.Info("state persisted, bye")
 	return shutErr
 }
 

@@ -273,7 +273,7 @@ func (s *syncBuffer) String() string {
 	return s.b.String()
 }
 
-var servingAddr = regexp.MustCompile(`serving \d+ servers .* on (\S+)`)
+var servingAddr = regexp.MustCompile(`msg=serving .*addr=(\S+)`)
 
 // waitServing polls the daemon's log for the bound address (the daemon
 // resolves :0 ports before announcing) and then polls /healthz until the

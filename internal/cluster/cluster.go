@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/online"
 )
 
@@ -110,6 +112,13 @@ type Config struct {
 	// load tests, where the journal's logical replay guarantees are under
 	// test and the physical durability of a throwaway directory is not.
 	DisableFsync bool
+	// Recorder, when non-nil, receives one obs.Decision per admission,
+	// rejection and release — the flight recorder behind the service's
+	// debug surface. Recording is passive: it never changes a placement.
+	Recorder *obs.FlightRecorder
+	// Logger receives the cluster's structured service log (journal
+	// failures, snapshots, batch traces at debug level). Nil discards.
+	Logger *slog.Logger
 }
 
 // VMRequest is one admission request.
@@ -145,11 +154,16 @@ type Admission struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// admitCall is one Admit call in flight to the dispatcher.
+// admitCall is one Admit call in flight to the dispatcher, carrying the
+// trace context captured at the API edge: the request id, the HTTP
+// decode span, and the enqueue instant (queue-wait starts here).
 type admitCall struct {
-	reqs  []VMRequest
-	adms  []Admission
-	reply chan admitReply
+	reqs     []VMRequest
+	adms     []Admission
+	reqID    string
+	decode   time.Duration
+	enqueued time.Time
+	reply    chan admitReply
 }
 
 type admitReply struct {
@@ -164,6 +178,8 @@ type Cluster struct {
 	policy online.Policy
 	scored online.ScoredPolicy // non-nil when policy implements it
 	scan   *core.ScanEngine
+	rec    *obs.FlightRecorder // nil when no recorder is configured
+	log    *slog.Logger        // never nil (NopLogger by default)
 
 	mu            sync.Mutex
 	fleet         *online.Fleet
@@ -204,11 +220,16 @@ func Open(cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		policy:  cfg.Policy,
 		scan:    core.NewScanEngine(cfg.Parallelism, len(cfg.Servers)),
+		rec:     cfg.Recorder,
+		log:     cfg.Logger,
 		nextID:  1,
 		admitCh: make(chan *admitCall),
 		stopCh:  make(chan struct{}),
 		doneCh:  make(chan struct{}),
 		met:     newMetrics(),
+	}
+	if c.log == nil {
+		c.log = obs.NopLogger()
 	}
 	c.scored, _ = cfg.Policy.(online.ScoredPolicy)
 	if cfg.Dir == "" {
@@ -308,7 +329,13 @@ func (c *Cluster) Admit(ctx context.Context, reqs []VMRequest) ([]Admission, err
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	call := &admitCall{reqs: reqs, reply: make(chan admitReply, 1)}
+	call := &admitCall{
+		reqs:     reqs,
+		reqID:    obs.RequestID(ctx),
+		decode:   obs.DecodeSpan(ctx),
+		enqueued: time.Now(),
+		reply:    make(chan admitReply, 1),
+	}
 	select {
 	case c.admitCh <- call:
 	case <-c.stopCh:
@@ -388,10 +415,15 @@ type batchItem struct {
 }
 
 // processBatch normalises, orders and places one batch under the lock.
+// Per-stage wall timings (queue wait, scan, commit, journal append, the
+// batch fsync) are measured on the way and recorded — together with the
+// request id each call carried in — as flight-recorder decisions.
 func (c *Cluster) processBatch(batch []*admitCall) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	batchStart := time.Now()
+	batchID := c.met.batches + 1
 	if c.jfail != nil {
 		for _, call := range batch {
 			call.reply <- admitReply{err: c.jfail}
@@ -412,6 +444,21 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			call.adms[k] = adm
 			if ok {
 				items = append(items, batchItem{call: call, pos: k, vm: vm})
+			} else if c.rec != nil {
+				// Normalisation rejects never reach the scan or the
+				// journal; their story ends here.
+				c.rec.Record(obs.Decision{
+					RequestID: call.reqID,
+					Batch:     batchID,
+					Op:        obs.OpReject,
+					VM:        adm.ID,
+					Clock:     now,
+					Reason:    adm.Reason,
+					Stages: obs.StageTimings{
+						Decode:    call.decode,
+						QueueWait: batchStart.Sub(call.enqueued),
+					},
+				})
 			}
 		}
 	}
@@ -425,34 +472,74 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		return items[a].vm.ID < items[b].vm.ID
 	})
 	stats := c.scan.NewStats()
+	// pend holds this batch's not-yet-recorded decisions: the batch
+	// fsync duration is only known after the loop, so journaled admits
+	// (journaled == true) are stamped with it and recorded at the end.
+	type pendDecision struct {
+		d         obs.Decision
+		journaled bool
+	}
+	var pend []pendDecision
 	var jerr error
 	appended := false
+	placed := 0
 	for _, it := range items {
 		adm := &it.call.adms[it.pos]
+		d := obs.Decision{
+			RequestID: it.call.reqID,
+			Batch:     batchID,
+			VM:        it.vm.ID,
+			Stages: obs.StageTimings{
+				Decode:    it.call.decode,
+				QueueWait: batchStart.Sub(it.call.enqueued),
+			},
+		}
 		if jerr != nil {
 			// The journal broke earlier in this batch: stop mutating so
 			// memory never runs ahead of the log by more than the single
 			// admission that broke it.
 			c.met.rejections++
 			adm.Reason = "journal broken; admission not attempted"
+			if c.rec != nil {
+				d.Op, d.Clock, d.Reason = obs.OpReject, c.fleet.Now(), adm.Reason
+				pend = append(pend, pendDecision{d: d})
+			}
 			continue
 		}
 		c.fleet.AdvanceTo(it.vm.Start)
+		candBefore, infBefore := stats.CandidatesEvaluated, stats.FeasibilityRejections
+		scanT0 := time.Now()
 		i, err := c.place(it.vm, stats)
+		d.Stages.Scan = time.Since(scanT0)
+		d.Candidates = stats.CandidatesEvaluated - candBefore
+		d.Infeasible = stats.FeasibilityRejections - infBefore
+		d.Clock = c.fleet.Now()
 		if err != nil {
 			c.met.rejections++
 			adm.Reason = err.Error()
+			if c.rec != nil {
+				d.Op, d.Reason = obs.OpReject, adm.Reason
+				pend = append(pend, pendDecision{d: d})
+			}
 			continue
 		}
+		commitT0 := time.Now()
 		start, err := c.fleet.Commit(i, it.vm)
+		d.Stages.Commit = time.Since(commitT0)
 		if err != nil {
 			c.met.rejections++
 			adm.Reason = err.Error()
+			if c.rec != nil {
+				d.Op, d.Reason = obs.OpReject, adm.Reason
+				pend = append(pend, pendDecision{d: d})
+			}
 			continue
 		}
 		if c.jr != nil {
 			vm := it.vm
+			jT0 := time.Now()
 			jerr = c.jr.append(record{Op: opAdmit, T: c.fleet.Now(), VM: &vm, Server: i, Start: start})
+			d.Stages.Journal = time.Since(jT0)
 			if jerr == nil {
 				appended = true
 			}
@@ -463,18 +550,44 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		adm.End = start + it.vm.Duration() - 1
 		c.met.admissions++
 		c.sinceSnapshot++
+		placed++
+		if c.rec != nil {
+			d.Op = obs.OpAdmit
+			d.Server = adm.Server
+			d.Start, d.End = adm.Start, adm.End
+			pend = append(pend, pendDecision{d: d, journaled: c.jr != nil && jerr == nil})
+		}
 	}
+	var syncDur time.Duration
 	if c.jr != nil && jerr == nil && appended {
+		syncT0 := time.Now()
 		jerr = c.jr.sync()
+		syncDur = time.Since(syncT0)
 	}
 	if jerr != nil {
 		jerr = c.journalFailedLocked(jerr)
 	}
+	for i := range pend {
+		if pend[i].journaled {
+			pend[i].d.Stages.Sync = syncDur
+		}
+		c.rec.Record(pend[i].d)
+	}
 	c.met.batches++
-	c.met.batchSize.observe(float64(total))
-	c.met.scanSeconds.observe(stats.ScanWall.Seconds())
+	c.met.batchSize.Observe(float64(total))
+	c.met.scanSeconds.Observe(stats.ScanWall.Seconds())
 	c.met.candidates += stats.CandidatesEvaluated
 	c.met.infeasible += stats.FeasibilityRejections
+	c.log.Debug("batch processed",
+		"batch", batchID,
+		"requests", total,
+		"placed", placed,
+		"rejected", total-placed,
+		"candidates", stats.CandidatesEvaluated,
+		"scan", stats.ScanWall,
+		"sync", syncDur,
+		"duration", time.Since(batchStart),
+	)
 	c.maybeSnapshotLocked()
 	for _, call := range batch {
 		call.reply <- admitReply{adms: call.adms, err: jerr}
@@ -545,8 +658,9 @@ func (c *Cluster) place(v model.VM, stats *core.AllocStats) (int, error) {
 
 // Release removes a resident VM at the current clock, refunding the run
 // cost of its unused minutes (see online.Fleet.Release). A VM that is not
-// resident yields a *NotResidentError.
-func (c *Cluster) Release(id int) (online.PlacedVM, error) {
+// resident yields a *NotResidentError. The context carries the request
+// id (obs.RequestID) into the recorded decision.
+func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -555,24 +669,48 @@ func (c *Cluster) Release(id int) (online.PlacedVM, error) {
 	if c.jfail != nil {
 		return online.PlacedVM{}, c.jfail
 	}
+	d := obs.Decision{
+		RequestID: obs.RequestID(ctx),
+		Op:        obs.OpRelease,
+		VM:        id,
+		Clock:     c.fleet.Now(),
+	}
 	if _, ok := c.fleet.Resident(id); !ok {
+		if c.rec != nil {
+			d.Reason = (&NotResidentError{ID: id}).Error()
+			c.rec.Record(d)
+		}
 		return online.PlacedVM{}, &NotResidentError{ID: id}
 	}
 	p, err := c.fleet.Release(id)
 	if err != nil {
+		if c.rec != nil {
+			d.Reason = err.Error()
+			c.rec.Record(d)
+		}
 		return p, err
 	}
 	c.met.releases++
 	c.sinceSnapshot++
 	var jerr error
 	if c.jr != nil {
+		jT0 := time.Now()
 		jerr = c.jr.append(record{Op: opRelease, T: c.fleet.Now(), ID: id})
+		d.Stages.Journal = time.Since(jT0)
 		if jerr == nil {
+			syncT0 := time.Now()
 			jerr = c.jr.sync()
+			d.Stages.Sync = time.Since(syncT0)
 		}
 		if jerr != nil {
 			jerr = c.journalFailedLocked(jerr)
 		}
+	}
+	if c.rec != nil {
+		d.Server = c.fleet.View().Server(p.Server).ID
+		d.Start = p.Start
+		d.End = p.End()
+		c.rec.Record(d)
 	}
 	c.maybeSnapshotLocked()
 	return p, jerr
@@ -725,6 +863,7 @@ func DigestBytes(b []byte) string {
 func (c *Cluster) journalFailedLocked(err error) error {
 	c.met.journalErrors++
 	c.jfail = fmt.Errorf("%w (mutations refused until a snapshot succeeds): %v", ErrJournalBroken, err)
+	c.log.Error("journal broken; mutations refused until a snapshot succeeds", "err", err)
 	return c.jfail
 }
 
@@ -748,10 +887,14 @@ func (c *Cluster) snapshotLocked() error {
 	err := c.jr.snapshot(&snapshotFile{NextID: c.nextID, Fleet: c.fleet.Snapshot()})
 	if err != nil {
 		c.met.snapshotErrors++
+		c.log.Error("snapshot failed", "err", err)
 		return err
 	}
 	c.met.snapshots++
 	c.sinceSnapshot = 0
+	if c.jfail != nil {
+		c.log.Info("journal healed by snapshot")
+	}
 	c.jfail = nil // the snapshot covers all in-memory state; the hole is gone
 	return nil
 }

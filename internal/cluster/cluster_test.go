@@ -189,7 +189,7 @@ func TestClusterGracefulRejection(t *testing.T) {
 	// Still serving: a small VM fits next to the big one.
 	mustAdmit(t, c, VMRequest{Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 5})
 
-	if _, err := c.Release(999); !errors.As(err, new(*NotResidentError)) {
+	if _, err := c.Release(context.Background(), 999); !errors.As(err, new(*NotResidentError)) {
 		t.Errorf("Release(999) = %v, want NotResidentError", err)
 	}
 }
@@ -208,7 +208,7 @@ func applyOps(t *testing.T, c *Cluster, ops []testOp) {
 		case op.admit != nil:
 			mustAdmit(t, c, *op.admit)
 		case op.release > 0:
-			if _, err := c.Release(op.release); err != nil {
+			if _, err := c.Release(context.Background(), op.release); err != nil {
 				t.Fatal(err)
 			}
 		default:
@@ -326,7 +326,7 @@ func TestClusterJournalFailureSticky(t *testing.T) {
 	if adms, err = c.Admit(ctx, []VMRequest{req(5)}); !errors.Is(err, ErrJournalBroken) {
 		t.Fatalf("second admit: err = %v (adms %+v), want ErrJournalBroken", err, adms)
 	}
-	if _, err := c.Release(1); !errors.Is(err, ErrJournalBroken) {
+	if _, err := c.Release(context.Background(), 1); !errors.Is(err, ErrJournalBroken) {
 		t.Fatalf("release: err = %v, want ErrJournalBroken", err)
 	}
 	if err := c.AdvanceTo(1000); !errors.Is(err, ErrJournalBroken) {
@@ -517,7 +517,7 @@ func TestClusterConcurrentAdmissions(t *testing.T) {
 		rel.Add(1)
 		go func(id int) {
 			defer rel.Done()
-			if _, err := c.Release(id); err != nil {
+			if _, err := c.Release(context.Background(), id); err != nil {
 				t.Error(err)
 			}
 		}(id)
@@ -544,7 +544,7 @@ func TestClusterClosed(t *testing.T) {
 	if _, err := c.Admit(context.Background(), []VMRequest{{Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 1}}); !errors.Is(err, ErrClosed) {
 		t.Errorf("Admit after Close = %v, want ErrClosed", err)
 	}
-	if _, err := c.Release(1); !errors.Is(err, ErrClosed) {
+	if _, err := c.Release(context.Background(), 1); !errors.Is(err, ErrClosed) {
 		t.Errorf("Release after Close = %v, want ErrClosed", err)
 	}
 	if err := c.AdvanceTo(10); !errors.Is(err, ErrClosed) {

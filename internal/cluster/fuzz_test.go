@@ -31,7 +31,7 @@ func realJournal(tb testing.TB) []byte {
 	if err := c.AdvanceTo(5); err != nil {
 		tb.Fatal(err)
 	}
-	if _, err := c.Release(1); err != nil {
+	if _, err := c.Release(context.Background(), 1); err != nil {
 		tb.Fatal(err)
 	}
 	if err := c.AdvanceTo(9); err != nil {

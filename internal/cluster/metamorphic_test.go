@@ -121,7 +121,7 @@ func TestClusterMatchesFleetMetamorphic(t *testing.T) {
 				}
 			case k < 0.85 && len(issued) > 0: // release (possibly gone or never admitted)
 				id := issued[rng.Intn(len(issued))]
-				p, err := c.Release(id)
+				p, err := c.Release(context.Background(), id)
 				wantP, wantOK := mirror.release(id)
 				var nre *NotResidentError
 				switch {

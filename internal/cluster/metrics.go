@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 
+	"vmalloc/internal/obs"
 	"vmalloc/internal/online"
 )
 
@@ -26,46 +26,15 @@ type metrics struct {
 	journalErrors  uint64
 	candidates     int64
 	infeasible     int64
-	batchSize      *histogram
-	scanSeconds    *histogram
+	batchSize      *obs.Histogram
+	scanSeconds    *obs.Histogram
 }
 
 func newMetrics() metrics {
 	return metrics{
-		batchSize:   newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
-		scanSeconds: newHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		batchSize:   obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		scanSeconds: obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
 	}
-}
-
-// histogram is a fixed-bucket Prometheus histogram. counts[i] holds
-// observations in (bounds[i-1], bounds[i]]; the final slot is +Inf.
-type histogram struct {
-	bounds []float64
-	counts []uint64
-	sum    float64
-}
-
-func newHistogram(bounds ...float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	h.counts[sort.SearchFloat64s(h.bounds, v)]++
-	h.sum += v
-}
-
-// write emits the histogram in Prometheus text exposition format.
-func (h *histogram) write(w io.Writer, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 func formatFloat(v float64) string {
@@ -103,8 +72,8 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	counter("scan_candidates_total", "Candidate (VM, server) pairs evaluated.", uint64(c.met.candidates))
 	counter("scan_infeasible_total", "Candidate pairs rejected as infeasible.", uint64(c.met.infeasible))
 
-	c.met.batchSize.write(&buf, metricsPrefix+"_batch_size", "VM requests per admission batch.")
-	c.met.scanSeconds.write(&buf, metricsPrefix+"_scan_seconds", "Candidate-scan wall time per batch, in seconds.")
+	c.met.batchSize.Write(&buf, metricsPrefix+"_batch_size", "VM requests per admission batch.")
+	c.met.scanSeconds.Write(&buf, metricsPrefix+"_scan_seconds", "Candidate-scan wall time per batch, in seconds.")
 
 	now := c.fleet.Now()
 	gauge("clock_minutes", "The fleet clock, in minutes.", strconv.Itoa(now))

@@ -1,0 +1,51 @@
+package clusterhttp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPDecode hammers decodeRequests — the admission endpoint's body
+// parser — with arbitrary bytes under an arbitrary small limit. The
+// invariants: it never panics, a nil error always comes with at least one
+// request carrying a sane duration field (the cluster validates the
+// rest), bodies over the limit are always errBodyTooLarge, and a
+// successful decode is idempotent.
+func FuzzHTTPDecode(f *testing.F) {
+	f.Add(`{"demand":{"cpu":1,"mem":1},"durationMinutes":30}`, int64(1<<20))
+	f.Add(`[{"id":1,"demand":{"cpu":1,"mem":1},"durationMinutes":30}]`, int64(1<<20))
+	f.Add(`[{"id":1,"durationMinutes":5},{"id":1,"durationMinutes":5}]`, int64(1<<20)) // duplicate ids
+	f.Add(`[]`, int64(1<<20))
+	f.Add(`{`, int64(1<<20))
+	f.Add(`null`, int64(1<<20))
+	f.Add(`  [ {"durationMinutes": 1} ] `, int64(1<<20))
+	f.Add(strings.Repeat(`[`, 10000), int64(1<<20))                                  // deep nesting
+	f.Add(`{"type":"`+strings.Repeat("x", 4096)+`","durationMinutes":1}`, int64(64)) // huge body, tiny limit
+	f.Add(`[{"durationMinutes":9e999}]`, int64(1<<20))                               // float overflow
+	f.Add("\xff\xfe\x00", int64(1<<20))                                              // not UTF-8
+
+	f.Fuzz(func(t *testing.T, body string, limit int64) {
+		if limit <= 0 || limit > 1<<20 {
+			limit = 1 << 20
+		}
+		reqs, err := decodeRequests(strings.NewReader(body), limit)
+		if int64(len(body)) > limit {
+			if err == nil {
+				t.Fatalf("body of %d bytes accepted under limit %d", len(body), limit)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		if len(reqs) == 0 {
+			t.Fatal("nil error but zero requests")
+		}
+		// A successful decode must be deterministic: same bytes, same
+		// result shape.
+		again, err2 := decodeRequests(strings.NewReader(body), limit)
+		if err2 != nil || len(again) != len(reqs) {
+			t.Fatalf("re-decode diverged: %v, %d vs %d requests", err2, len(again), len(reqs))
+		}
+	})
+}

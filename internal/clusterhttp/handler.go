@@ -6,16 +6,30 @@
 //
 // Endpoints:
 //
-//	POST   /v1/vms      admit one VMRequest object or an array of them;
-//	                    responds with the array of Admissions
-//	DELETE /v1/vms/{id} release a resident VM early
-//	POST   /v1/clock    {"now": t} advances the fleet clock to minute t;
-//	                    earlier times are a no-op (the clock is monotonic)
-//	GET    /v1/state    consistent cluster state (deterministic JSON);
-//	                    the X-Vmalloc-State-Digest response header carries
-//	                    Cluster.StateDigest for cheap restart comparisons
-//	GET    /healthz     liveness probe
-//	GET    /metrics     Prometheus text exposition
+//	POST   /v1/vms             admit one VMRequest object or an array of
+//	                           them; responds with the array of Admissions
+//	DELETE /v1/vms/{id}        release a resident VM early
+//	POST   /v1/clock           {"now": t} advances the fleet clock to
+//	                           minute t; earlier times are a no-op (the
+//	                           clock is monotonic)
+//	GET    /v1/state           consistent cluster state (deterministic
+//	                           JSON); the X-Vmalloc-State-Digest response
+//	                           header carries Cluster.StateDigest for
+//	                           cheap restart comparisons
+//	GET    /v1/debug/decisions flight-recorder readout: the last N
+//	                           admission/rejection/release decisions with
+//	                           request ids and per-stage durations,
+//	                           filterable by ?vm=, ?server=, ?op= and
+//	                           ?limit=
+//	GET    /healthz            liveness probe
+//	GET    /metrics            Prometheus text exposition: cluster
+//	                           counters/histograms, per-route HTTP
+//	                           request counts and latency histograms, Go
+//	                           runtime gauges and vmalloc_build_info
+//
+// Every request gets (or propagates) an X-Request-Id header; the id is
+// carried through the cluster's admission pipeline and stamped on the
+// flight-recorder decisions the request caused.
 package clusterhttp
 
 import (
@@ -23,27 +37,78 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"vmalloc/internal/cluster"
+	"vmalloc/internal/obs"
 )
 
 // StateDigestHeader is the response header on GET /v1/state carrying the
 // hex SHA-256 of the state body (Cluster.StateDigest).
 const StateDigestHeader = "X-Vmalloc-State-Digest"
 
-// NewHandler builds the service's HTTP API around a cluster.
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 8 << 20
+
+// errBodyTooLarge maps to 413 instead of 400: the request was refused
+// for its size, not its syntax.
+var errBodyTooLarge = errors.New("request body exceeds the configured limit")
+
+// Config wires the observability surface into the handler. The zero
+// value is a working configuration: no logging, a private metrics
+// collector, no flight recorder (the debug endpoint serves an empty
+// list), and the default body limit.
+type Config struct {
+	// Logger receives the access log and handler errors; nil discards.
+	Logger *slog.Logger
+	// Recorder backs GET /v1/debug/decisions. To make decisions flow, the
+	// same recorder must be set on the cluster's Config.Recorder.
+	Recorder *obs.FlightRecorder
+	// Metrics collects per-route request counts and latency histograms
+	// for /metrics; nil creates a fresh collector.
+	Metrics *obs.HTTPMetrics
+	// MaxBodyBytes caps admission request bodies; 0 means
+	// DefaultMaxBodyBytes. Oversized bodies are refused with 413.
+	MaxBodyBytes int64
+}
+
+// NewHandler builds the service's HTTP API around a cluster with the
+// zero-value Config (no logging, no flight recorder).
 func NewHandler(c *cluster.Cluster) http.Handler {
+	return New(c, Config{})
+}
+
+// New builds the service's HTTP API around a cluster, instrumented per
+// cfg: the whole mux is wrapped in obs.Middleware, so every route is
+// traced, counted and timed.
+func New(c *cluster.Cluster, cfg Config) http.Handler {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewHTTPMetrics()
+	}
+	limit := cfg.MaxBodyBytes
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
-		reqs, err := decodeRequests(r.Body)
+		t0 := time.Now()
+		reqs, err := decodeRequests(r.Body, limit)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			if errors.Is(err, errBodyTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, err)
 			return
 		}
-		adms, err := c.Admit(r.Context(), reqs)
+		// The decode span rides the context into the batch, so the
+		// decision the cluster records carries the full stage breakdown.
+		ctx := obs.WithDecodeSpan(r.Context(), time.Since(t0))
+		adms, err := c.Admit(ctx, reqs)
 		if err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, cluster.ErrClosed) {
@@ -60,7 +125,7 @@ func NewHandler(c *cluster.Cluster) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad vm id %q", r.PathValue("id")))
 			return
 		}
-		p, err := c.Release(id)
+		p, err := c.Release(r.Context(), id)
 		switch {
 		case errors.As(err, new(*cluster.NotResidentError)):
 			writeError(w, http.StatusNotFound, err)
@@ -104,6 +169,24 @@ func NewHandler(c *cluster.Cluster) http.Handler {
 		w.Header().Set(StateDigestHeader, digest(b))
 		w.Write(b)
 	})
+	mux.HandleFunc("GET /v1/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		f, err := parseDecisionFilter(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var ds []obs.Decision
+		if cfg.Recorder != nil {
+			ds = cfg.Recorder.Decisions(f)
+		}
+		if ds == nil {
+			ds = []obs.Decision{} // an empty recorder is [], not null
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Count     int            `json:"count"`
+			Decisions []obs.Decision `json:"decisions"`
+		}{len(ds), ds})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -115,8 +198,39 @@ func NewHandler(c *cluster.Cluster) http.Handler {
 			// connection error path.
 			return
 		}
+		cfg.Metrics.Write(w)
+		obs.WriteRuntimeMetrics(w)
+		obs.WriteBuildInfo(w)
 	})
-	return mux
+	return obs.Middleware(mux, cfg.Logger, cfg.Metrics)
+}
+
+// parseDecisionFilter maps the debug endpoint's query parameters onto an
+// obs.Filter.
+func parseDecisionFilter(r *http.Request) (obs.Filter, error) {
+	var f obs.Filter
+	q := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"vm", &f.VM}, {"server", &f.Server}, {"limit", &f.Limit}} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("bad %s %q", p.name, v)
+		}
+		*p.dst = n
+	}
+	switch op := q.Get("op"); op {
+	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease:
+		f.Op = op
+	default:
+		return f, fmt.Errorf("bad op %q (want admit, reject or release)", op)
+	}
+	return f, nil
 }
 
 // digest mirrors cluster.StateDigest over an already-marshalled body, so
@@ -125,11 +239,15 @@ func digest(body []byte) string {
 	return cluster.DigestBytes(body)
 }
 
-// decodeRequests accepts a single VMRequest object or an array of them.
-func decodeRequests(r io.Reader) ([]cluster.VMRequest, error) {
-	data, err := io.ReadAll(io.LimitReader(r, 8<<20))
+// decodeRequests accepts a single VMRequest object or an array of them,
+// refusing bodies larger than limit bytes with errBodyTooLarge.
+func decodeRequests(r io.Reader, limit int64) ([]cluster.VMRequest, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w (%d bytes)", errBodyTooLarge, limit)
 	}
 	trimmed := strings.TrimSpace(string(data))
 	if strings.HasPrefix(trimmed, "[") {

@@ -5,44 +5,69 @@ import (
 	"strings"
 )
 
+// BuildInfo is the binary's identity, shared by the CLIs' -version flag
+// and the vmalloc_build_info metric so a running daemon and the binary
+// on disk can be matched without guessing.
+type BuildInfo struct {
+	// Version is the main module version, "(devel)" for checkouts.
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the (truncated) VCS revision, empty when the binary
+	// was not built from a checkout.
+	Revision string
+	// Modified reports a dirty working tree at build time.
+	Modified bool
+}
+
+// Build reads the binary's identity from debug.ReadBuildInfo. It
+// degrades to {"(devel)", "", "", false} when build info is unavailable
+// (e.g. some test binaries).
+func Build() BuildInfo {
+	b := BuildInfo{Version: "(devel)"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" {
+		b.Version = v
+	}
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	if len(b.Revision) > 12 {
+		b.Revision = b.Revision[:12]
+	}
+	return b
+}
+
 // Version returns a human-readable build identity shared by every CLI's
 // -version flag: the main module's version plus, when the binary was
 // built from a checkout, the VCS revision and a "-dirty" marker for
 // modified trees. It degrades to "vmalloc (devel)" when build info is
 // unavailable (e.g. some test binaries).
 func Version() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "vmalloc (devel)"
-	}
+	b := Build()
 	var sb strings.Builder
 	sb.WriteString("vmalloc ")
-	if v := info.Main.Version; v != "" {
-		sb.WriteString(v)
-	} else {
-		sb.WriteString("(devel)")
-	}
-	var revision, modified string
-	for _, s := range info.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			revision = s.Value
-		case "vcs.modified":
-			modified = s.Value
-		}
-	}
-	if revision != "" {
-		if len(revision) > 12 {
-			revision = revision[:12]
-		}
+	sb.WriteString(b.Version)
+	if b.Revision != "" {
 		sb.WriteString(" (")
-		sb.WriteString(revision)
-		if modified == "true" {
+		sb.WriteString(b.Revision)
+		if b.Modified {
 			sb.WriteString("-dirty")
 		}
 		sb.WriteString(")")
 	}
-	sb.WriteString(" ")
-	sb.WriteString(info.GoVersion)
+	if b.GoVersion != "" {
+		sb.WriteString(" ")
+		sb.WriteString(b.GoVersion)
+	}
 	return sb.String()
 }

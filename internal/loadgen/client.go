@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"vmalloc/internal/cluster"
+	"vmalloc/internal/obs"
 )
 
 // Client is a typed HTTP client for the vmserve API
@@ -26,6 +28,11 @@ import (
 // attempt landed but its response was lost, the retry comes back as an
 // "already resident" rejection, which the client folds back into an
 // accepted outcome.
+//
+// Every mutating call is stamped with a fresh X-Request-Id, reused
+// verbatim across its retries, so a soak failure is traceable end to end:
+// the server's flight recorder (GET /v1/debug/decisions) shows the same
+// id the client issued.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -39,10 +46,18 @@ type Client struct {
 	// Backoff is the first retry delay, doubling per retry; 0 means
 	// 50ms.
 	Backoff time.Duration
+	// RecordRequestIDs makes the client remember every request id it
+	// issues (IssuedRequestIDs), so harnesses can cross-check the
+	// server's flight recorder against what was actually sent. Off by
+	// default to keep long soaks from accumulating memory.
+	RecordRequestIDs bool
 
 	// retried counts attempts beyond the first; read via Retried. Atomic:
 	// the runner's worker pool shares one client.
 	retried atomic.Int64
+
+	idMu   sync.Mutex
+	issued []string
 }
 
 // NewClient returns a client for the server rooted at base with the
@@ -85,6 +100,28 @@ func (c *Client) backoff() time.Duration {
 // Retried returns how many retry attempts the client has issued.
 func (c *Client) Retried() int { return int(c.retried.Load()) }
 
+// newRequestID mints the id for one logical call (shared by its
+// retries) and remembers it when RecordRequestIDs is set.
+func (c *Client) newRequestID() string {
+	id := obs.NewRequestID()
+	if c.RecordRequestIDs {
+		c.idMu.Lock()
+		c.issued = append(c.issued, id)
+		c.idMu.Unlock()
+	}
+	return id
+}
+
+// IssuedRequestIDs returns a copy of every request id issued so far
+// (empty unless RecordRequestIDs is set).
+func (c *Client) IssuedRequestIDs() []string {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
+	out := make([]string, len(c.issued))
+	copy(out, c.issued)
+	return out
+}
+
 // apiError is a non-2xx response with the server's decoded error.
 type apiError struct {
 	Status int
@@ -108,9 +145,11 @@ func retryable(err error) bool {
 
 // do issues one method+path request with the retry policy, decoding a
 // 2xx JSON body into out (unless out is nil). body is re-sent on every
-// attempt. The returned bool reports whether this call went beyond its
-// first attempt (callers use it for the admission idempotency fold).
+// attempt, and every attempt carries the same freshly minted request id.
+// The returned bool reports whether this call went beyond its first
+// attempt (callers use it for the admission idempotency fold).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+	reqID := c.newRequestID()
 	var lastErr error
 	delay := c.backoff()
 	for attempt := 0; attempt <= c.retries(); attempt++ {
@@ -123,7 +162,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			delay *= 2
 		}
-		lastErr = c.attempt(ctx, method, path, body, out)
+		lastErr = c.attempt(ctx, method, path, reqID, body, out)
 		if lastErr == nil || !retryable(lastErr) || ctx.Err() != nil {
 			return attempt > 0, lastErr
 		}
@@ -131,7 +170,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	return true, lastErr
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path, reqID string, body []byte, out any) error {
 	actx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	var rd io.Reader
@@ -141,6 +180,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	req, err := http.NewRequestWithContext(actx, method, c.Base+path, rd)
 	if err != nil {
 		return err
+	}
+	if reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -256,6 +298,24 @@ func (c *Client) State(ctx context.Context) (*cluster.State, string, error) {
 		digest = cluster.DigestBytes(data)
 	}
 	return st, digest, nil
+}
+
+// DebugDecisions fetches the server's flight recorder
+// (GET /v1/debug/decisions). query is a raw query string such as
+// "vm=7&limit=10", or "" for everything the recorder holds.
+func (c *Client) DebugDecisions(ctx context.Context, query string) ([]obs.Decision, error) {
+	path := "/v1/debug/decisions"
+	if query != "" {
+		path += "?" + query
+	}
+	var resp struct {
+		Count     int            `json:"count"`
+		Decisions []obs.Decision `json:"decisions"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Decisions, nil
 }
 
 // Metrics scrapes and parses /metrics.

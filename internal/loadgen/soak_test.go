@@ -11,6 +11,7 @@ import (
 
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/clusterhttp"
+	"vmalloc/internal/obs"
 )
 
 // copyDir copies the flat journal directory (journal.jsonl, and
@@ -43,6 +44,13 @@ func copyDir(t *testing.T, src, dst string) {
 // is copied mid-flight — before Close writes its snapshot — and reopened:
 // the replayed state must match the live state byte for byte. Then the
 // clean shutdown path (snapshot on Close) is reopened and must match too.
+//
+// The run is traced end to end: a flight recorder sized to hold every
+// decision is wired through cluster and handler, the client records each
+// request id it issues, and afterwards the recorder must attribute every
+// decision to a client-issued id — with op counts matching the report and
+// stage timings present. Recorder reads happen concurrently with the load
+// (verified by -race).
 func TestSoakJournalReplay(t *testing.T) {
 	spec := ScheduleSpec{
 		Profile:         DiurnalProfile{MeanInterArrival: 0.3, PeakToTrough: 3, Period: 360},
@@ -71,21 +79,46 @@ func TestSoakJournalReplay(t *testing.T) {
 		SnapshotEvery: -1,   // snapshot only on Close: the copy below sees journal-only state
 		DisableFsync:  true, // soak speed; logical replay guarantees are what is under test
 	}
+	// Big enough that no decision of this run is ever evicted, so the
+	// request-id cross-check below is exhaustive.
+	recorder := obs.NewFlightRecorder(1 << 14)
+	cfg.Recorder = recorder
 	cl, err := cluster.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	srv := httptest.NewServer(clusterhttp.NewHandler(cl))
+	srv := httptest.NewServer(clusterhttp.New(cl, clusterhttp.Config{Recorder: recorder}))
 	defer srv.Close()
 
 	client := NewClient(srv.URL)
+	client.RecordRequestIDs = true
 	r := &Runner{
 		Client:   client,
 		Schedule: sched,
 		Opts:     Options{Workers: 16, Chunk: 8},
 	}
+
+	// Read the recorder concurrently with the load — both in-process and
+	// over HTTP — so -race covers the reader/writer paths.
+	readCtx, stopReads := context.WithCancel(context.Background())
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		reader := NewClient(srv.URL)
+		for readCtx.Err() == nil {
+			recorder.Decisions(obs.Filter{Limit: 16})
+			if _, err := reader.DebugDecisions(readCtx, "limit=16"); err != nil && readCtx.Err() == nil {
+				t.Errorf("concurrent decisions read: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
 	rep, err := r.Run(context.Background())
+	stopReads()
+	<-readsDone
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +130,8 @@ func TestSoakJournalReplay(t *testing.T) {
 	}
 	t.Logf("soak: %d ops, %d accepted, %d rejected, %d released in %s",
 		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Wall.Round(time.Millisecond))
+
+	verifyDecisionTrace(t, client, recorder, rep)
 
 	wantJSON, err := cl.StateJSON()
 	if err != nil {
@@ -143,6 +178,60 @@ func TestSoakJournalReplay(t *testing.T) {
 	if !bytes.Equal(wantJSON, gotJSON) {
 		t.Fatal("snapshot restore diverged from live state")
 	}
+}
+
+// verifyDecisionTrace cross-checks the flight recorder against the run:
+// every decision must carry a request id the client actually issued, the
+// op counts must reconcile with the report, and admit decisions must have
+// batch ids and stage timings.
+func verifyDecisionTrace(t *testing.T, client *Client, rec *obs.FlightRecorder, rep *Report) {
+	t.Helper()
+	if rec.Seq() > int64(rec.Len()) {
+		t.Fatalf("recorder evicted decisions (%d recorded, %d held): size it up", rec.Seq(), rec.Len())
+	}
+	ds := rec.Decisions(obs.Filter{})
+	if len(ds) == 0 {
+		t.Fatal("flight recorder is empty after the soak")
+	}
+	issued := make(map[string]bool, len(client.IssuedRequestIDs()))
+	for _, id := range client.IssuedRequestIDs() {
+		issued[id] = true
+	}
+	var admits, rejects, releases int
+	for _, d := range ds {
+		if d.RequestID == "" || !issued[d.RequestID] {
+			t.Fatalf("decision carries request id %q the client never issued: %+v", d.RequestID, d)
+		}
+		switch d.Op {
+		case obs.OpAdmit:
+			admits++
+			if d.Batch == 0 {
+				t.Fatalf("admit decision without a batch id: %+v", d)
+			}
+			if d.Stages.Scan <= 0 || d.Stages.Commit <= 0 {
+				t.Fatalf("admit decision without stage timings: %+v", d)
+			}
+			if d.Server == 0 {
+				t.Fatalf("admit decision without a server: %+v", d)
+			}
+		case obs.OpReject:
+			rejects++
+			if d.Reason == "" {
+				t.Fatalf("reject decision without a reason: %+v", d)
+			}
+		case obs.OpRelease:
+			if d.Reason == "" {
+				releases++ // successful release; failed ones carry a reason
+			}
+		default:
+			t.Fatalf("unknown op in decision %+v", d)
+		}
+	}
+	if admits != rep.Accepted || rejects != rep.Rejected || releases != rep.Releases {
+		t.Fatalf("recorder saw %d/%d/%d admit/reject/release, report says %d/%d/%d",
+			admits, rejects, releases, rep.Accepted, rep.Rejected, rep.Releases)
+	}
+	t.Logf("trace: %d decisions, all matched to %d issued request ids", len(ds), len(issued))
 }
 
 func trimForLog(b []byte) string {

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Histogram is a fixed-bucket Prometheus histogram. counts[i] holds
+// observations in (bounds[i-1], bounds[i]]; the final slot is +Inf.
+// It is not synchronised — owners serialise access (the cluster under
+// its mutex, HTTPMetrics under its own).
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Write emits the full metric family — HELP, TYPE and an unlabelled
+// series — in Prometheus text exposition format.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.WriteSeries(w, name, "")
+}
+
+// WriteSeries emits one labelled series of an already-declared histogram
+// family: cumulative buckets, sum and count. labels is the rendered
+// label set without braces (e.g. `route="POST /v1/vms"`), empty for an
+// unlabelled series; the le label is appended to it.
+func (h *Histogram) WriteSeries(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, FormatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, FormatFloat(h.sum), name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, FormatFloat(h.sum), name, labels, cum)
+	}
+}
+
+// FormatFloat renders a sample value or bucket bound the way the
+// exposition format expects ('g', shortest round-trip form).
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"vmalloc/internal/config"
+)
+
+// DefaultLatencyBuckets are the per-route latency histogram bounds, in
+// seconds: 100µs to 5s, the span between an in-memory cache hit and a
+// request stuck behind a slow journal fsync.
+var DefaultLatencyBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5}
+
+// HTTPMetrics collects per-route/status request counts and per-route
+// latency histograms, written to /metrics alongside the cluster's own
+// series. Safe for concurrent use.
+type HTTPMetrics struct {
+	mu       sync.Mutex
+	requests map[routeStatus]uint64
+	latency  map[string]*Histogram
+}
+
+type routeStatus struct {
+	route  string
+	status int
+}
+
+// NewHTTPMetrics returns an empty collector.
+func NewHTTPMetrics() *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: make(map[routeStatus]uint64),
+		latency:  make(map[string]*Histogram),
+	}
+}
+
+// Observe records one served request: its route pattern (e.g.
+// "POST /v1/vms"), response status, and wall duration.
+func (m *HTTPMetrics) Observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[routeStatus{route, status}]++
+	h := m.latency[route]
+	if h == nil {
+		h = NewHistogram(DefaultLatencyBuckets...)
+		m.latency[route] = h
+	}
+	h.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// Requests returns the request count for one route/status pair.
+func (m *HTTPMetrics) Requests(route string, status int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[routeStatus{route, status}]
+}
+
+// Write emits the collected series in Prometheus text exposition
+// format, deterministically ordered.
+func (m *HTTPMetrics) Write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	name := "vmalloc_http_requests_total"
+	fmt.Fprintf(w, "# HELP %s HTTP requests served, by route pattern and status.\n# TYPE %s counter\n", name, name)
+	keys := make([]routeStatus, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].route != keys[b].route {
+			return keys[a].route < keys[b].route
+		}
+		return keys[a].status < keys[b].status
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{route=%q,status=\"%d\"} %d\n", name, k.route, k.status, m.requests[k])
+	}
+
+	name = "vmalloc_http_request_seconds"
+	fmt.Fprintf(w, "# HELP %s HTTP request latency by route pattern, in seconds.\n# TYPE %s histogram\n", name, name)
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		m.latency[r].WriteSeries(w, name, fmt.Sprintf("route=%q", r))
+	}
+}
+
+// WriteRuntimeMetrics emits process-level gauges — goroutines, heap, GC
+// — so a scrape of the allocation daemon also says how the Go runtime
+// underneath it is doing.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, FormatFloat(v))
+	}
+	gauge("vmalloc_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("vmalloc_go_heap_alloc_bytes", "Heap bytes allocated and in use.", float64(ms.HeapAlloc))
+	gauge("vmalloc_go_heap_sys_bytes", "Heap bytes obtained from the OS.", float64(ms.HeapSys))
+	gauge("vmalloc_go_gc_runs_total", "Completed GC cycles.", float64(ms.NumGC))
+	gauge("vmalloc_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time, in seconds.", float64(ms.PauseTotalNs)/1e9)
+	var last float64
+	if ms.NumGC > 0 {
+		last = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	gauge("vmalloc_go_gc_last_pause_seconds", "Most recent GC stop-the-world pause, in seconds.", last)
+}
+
+// WriteBuildInfo emits the constant vmalloc_build_info gauge carrying
+// the binary's identity as labels (the Prometheus build-info idiom:
+// value 1, joinable against any other series).
+func WriteBuildInfo(w io.Writer) {
+	b := config.Build()
+	name := "vmalloc_build_info"
+	fmt.Fprintf(w, "# HELP %s Build identity of the running binary (constant 1).\n# TYPE %s gauge\n", name, name)
+	fmt.Fprintf(w, "%s{version=%q,goversion=%q,revision=%q,modified=\"%t\"} 1\n",
+		name, b.Version, b.GoVersion, b.Revision, b.Modified)
+}

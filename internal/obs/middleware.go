@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status and size for the access log
+// and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps next with the service's request instrumentation:
+//
+//   - every request gets a request id — the client's X-Request-Id when
+//     valid, a fresh one otherwise — carried via the context through the
+//     whole admission pipeline and echoed on the response;
+//   - met (when non-nil) gains a per-route/status count and a per-route
+//     latency observation, labelled with the ServeMux pattern that
+//     served the request ("unmatched" when none did);
+//   - log (when non-nil) gets one structured access-log line per
+//     request at DEBUG, and at WARN for 5xx responses.
+func Middleware(next http.Handler, log *slog.Logger, met *HTTPMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(id) {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		// ServeMux sets r.Pattern on this same request value, so the
+		// route label is readable here once next returns.
+		next.ServeHTTP(sw, r)
+		d := time.Since(t0)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		if met != nil {
+			met.Observe(route, status, d)
+		}
+		if log != nil {
+			lvl := slog.LevelDebug
+			if status >= 500 {
+				lvl = slog.LevelWarn
+			}
+			log.Log(r.Context(), lvl, "http",
+				"requestId", id,
+				"op", r.Method+" "+r.URL.Path,
+				"route", route,
+				"status", status,
+				"bytes", sw.bytes,
+				"duration", d,
+			)
+		}
+	})
+}

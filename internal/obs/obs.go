@@ -1,0 +1,85 @@
+// Package obs is the observability toolkit behind the allocation
+// service: request-scoped tracing (request ids carried through
+// context.Context from the HTTP edge to the batch scan), a bounded
+// in-memory flight recorder of per-admission decisions, structured
+// logging setup (log/slog, text or JSON), and Prometheus text-exposition
+// helpers (histograms, per-route HTTP metrics, runtime gauges, build
+// info).
+//
+// The paper's objective (Eq. 8) is decided per admission by the
+// candidate scan, so the unit of observability here is the *decision*:
+// which VM, which batch, which server won, what the scan rejected, and
+// how long each stage took. Everything in this package is deliberately
+// passive — recording a decision or timing a stage never changes a
+// placement.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header carrying the request id. Clients
+// may supply their own id (the load generator does, so soak failures are
+// traceable end to end); the middleware assigns one otherwise and always
+// echoes the effective id on the response.
+const RequestIDHeader = "X-Request-Id"
+
+// MaxRequestIDLen bounds accepted client-supplied request ids; longer
+// (or non-printable) ids are replaced, not truncated, so a hostile
+// client cannot stuff the log.
+const MaxRequestIDLen = 64
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	decodeSpanKey
+)
+
+// NewRequestID returns a fresh 16-hex-character request id.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // never fails (crypto/rand contract)
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied request id is
+// acceptable: non-empty, at most MaxRequestIDLen bytes, printable ASCII.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > MaxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns ctx carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request id carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithDecodeSpan returns ctx carrying the time the HTTP edge spent
+// decoding the request body, so the admission pipeline can attach the
+// decode stage to the decision it records.
+func WithDecodeSpan(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, decodeSpanKey, d)
+}
+
+// DecodeSpan returns the decode duration carried by ctx, or 0.
+func DecodeSpan(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(decodeSpanKey).(time.Duration)
+	return d
+}
