@@ -1,0 +1,141 @@
+// Command vmgate is the stateless routing tier in front of a sharded
+// vmserve deployment: it serves the same /v1 API as a single vmserve,
+// but spreads VMs across shards by rendezvous-hashing their IDs
+// (internal/shard), so capacity scales horizontally while clients keep
+// speaking to one address.
+//
+// Reads aggregate: GET /v1/state scatter-gathers every shard and
+// serves the combined view with a combined digest; GET /metrics merges
+// the shards' Prometheus expositions under a shard label. Writes
+// route: admissions and releases go to the shard owning the VM ID;
+// POST /v1/clock fans out to all shards. A background prober watches
+// shard /healthz endpoints — a down shard degrades only its own key
+// range, answered with typed shard_down 503 envelopes, while the rest
+// of the deployment keeps serving (GET /v1/shards shows the health
+// table).
+//
+// The gate holds no state: restart it, run several behind a TCP
+// balancer — as long as the -shard set (the names, specifically) is
+// identical, every gate routes identically.
+//
+// Usage:
+//
+//	vmgate -addr :8081 -shard a=http://10.0.0.1:8080 -shard b=http://10.0.0.2:8080
+//	vmgate -shard http://127.0.0.1:8081 -shard http://127.0.0.1:8082   # auto-named shard0, shard1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmalloc/internal/config"
+	"vmalloc/internal/obs"
+	"vmalloc/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmgate:", err)
+		os.Exit(1)
+	}
+}
+
+// stringList is a repeatable string flag (-shard a=u1 -shard b=u2).
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmgate", flag.ContinueOnError)
+	var targets stringList
+	fs.Var(&targets, "shard", "vmserve shard as name=url or a bare URL (repeatable; names default to shard0, shard1, ...)")
+	var (
+		addr      = fs.String("addr", ":8081", "listen address")
+		probe     = fs.Duration("probe-interval", shard.DefaultProbeInterval, "shard health-probe interval")
+		timeout   = fs.Duration("timeout", shard.DefaultProxyTimeout, "per-shard proxy request timeout")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		version   = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(w, config.Version())
+		return nil
+	}
+	logger, err := obs.NewLogger(w, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if len(targets) == 0 {
+		return errors.New("no shards configured (need at least one -shard name=url)")
+	}
+	m, err := shard.ParseTargets(targets)
+	if err != nil {
+		return err
+	}
+	gate := shard.NewGate(m, shard.Config{
+		Timeout:       *timeout,
+		ProbeInterval: *probe,
+		Logger:        logger,
+		Metrics:       obs.NewHTTPMetrics(),
+	})
+
+	probeCtx, stopProbe := context.WithCancel(context.Background())
+	defer stopProbe()
+	go gate.Run(probeCtx)
+
+	// Listen before announcing, so the logged address is the bound one
+	// (ports like :0 resolve here) and readiness pollers have a real
+	// target as soon as the line appears.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           gate.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("routing",
+			"shards", m.Len(),
+			"addr", ln.Addr().String(),
+			"version", config.Build().Version,
+		)
+		for _, s := range m.Shards() {
+			logger.Info("shard", "name", s.Name, "addr", s.Addr)
+		}
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

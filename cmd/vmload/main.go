@@ -8,10 +8,18 @@
 // that make runs comparable (same -seed against a fresh server ⇒ same
 // outcome digest).
 //
+// Targets: point a single -addr at a vmserve (or a vmgate — the wire
+// contract is the same), or repeat -addr to drive a sharded deployment
+// directly: with several targets, vmload routes each VM to the shard
+// its ID rendezvous-hashes to (internal/shard), exactly as a vmgate
+// would, and the report's state digest is the combined per-shard
+// digest a gate over the same shards serves.
+//
 // Usage:
 //
 //	vmload -addr http://127.0.0.1:8080 -profile diurnal -vms 2000 -seed 7
 //	vmload -addr http://127.0.0.1:8080 -minute 20ms -period 1440   # a day in ~29s
+//	vmload -addr a=http://10.0.0.1:8080 -addr b=http://10.0.0.2:8080 -vms 2000
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"vmalloc/internal/config"
 	"vmalloc/internal/loadgen"
 	"vmalloc/internal/obs"
+	"vmalloc/internal/shard"
 )
 
 func main() {
@@ -39,13 +48,24 @@ func main() {
 	}
 }
 
+// stringList is a repeatable string flag (-addr u1 -addr u2).
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 // run replays the load. The report (and -digest / -out - output) goes to
 // w; the structured progress log goes to errW, so digest-only pipelines
 // stay machine-readable.
 func run(ctx context.Context, args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("vmload", flag.ContinueOnError)
+	var addrs stringList
+	fs.Var(&addrs, "addr", "target base URL, as url or name=url (default http://127.0.0.1:8080; repeat to shard-route across several vmserves)")
 	var (
-		addr      = fs.String("addr", "http://127.0.0.1:8080", "vmserve base URL")
 		profile   = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
 		vms       = fs.Int("vms", 500, "number of VM admission requests to generate")
 		meanIA    = fs.Float64("mean-interarrival", 0.5, "mean inter-arrival time (fleet minutes, paper §IV-B)")
@@ -100,12 +120,32 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		return err
 	}
 
-	client := loadgen.NewClient(*addr)
-	client.Timeout = *timeout
-	client.Retries = *retries
-	client.Backoff = *backoff
+	if len(addrs) == 0 {
+		addrs = stringList{"http://127.0.0.1:8080"}
+	}
+	configure := func(c *loadgen.Client) {
+		c.Timeout = *timeout
+		c.Retries = *retries
+		c.Backoff = *backoff
+	}
+	m, err := shard.ParseTargets(addrs)
+	if err != nil {
+		return err
+	}
+	var client loadgen.API
+	var ready func(context.Context, time.Duration) error
+	if m.Len() == 1 {
+		// A single target needs no routing map — drive it directly,
+		// whether it is a vmserve or a vmgate.
+		c := loadgen.NewClient(m.Shards()[0].Addr)
+		configure(c)
+		client, ready = c, c.WaitReady
+	} else {
+		mc := loadgen.NewMultiClient(m, configure)
+		client, ready = mc, mc.WaitReady
+	}
 	if *wait > 0 {
-		if err := client.WaitReady(ctx, *wait); err != nil {
+		if err := ready(ctx, *wait); err != nil {
 			return err
 		}
 	}
@@ -125,7 +165,8 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		"vms", sched.NumVMs,
 		"steps", len(sched.Steps),
 		"horizonMinutes", sched.Horizon,
-		"addr", *addr,
+		"targets", m.Len(),
+		"addr", addrs.String(),
 	)
 	rep, err := runner.Run(ctx)
 	if err != nil {

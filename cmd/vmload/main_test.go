@@ -15,6 +15,7 @@ import (
 	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/loadgen"
 	"vmalloc/internal/model"
+	"vmalloc/internal/shard"
 )
 
 func newServer(t *testing.T) *httptest.Server {
@@ -96,6 +97,49 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if rep.Accepted+rep.Rejected != rep.Sent {
 		t.Fatalf("accounting: %d+%d != %d", rep.Accepted, rep.Rejected, rep.Sent)
+	}
+}
+
+// TestRunMultiTarget drives two shards with repeated -addr flags: the
+// run completes without failed operations and the reported state digest
+// is the combined per-shard digest — the same value a vmgate over these
+// shards would serve.
+func TestRunMultiTarget(t *testing.T) {
+	srvA, srvB := newServer(t), newServer(t)
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	args := []string{
+		"-addr", "a=" + srvA.URL,
+		"-addr", "b=" + srvB.URL,
+		"-vms", "120",
+		"-seed", "9",
+		"-minute", "0",
+		"-out", outPath,
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), args, &out, io.Discard); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 120 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	digests := make(map[string]string, 2)
+	for name, srv := range map[string]*httptest.Server{"a": srvA, "b": srvB} {
+		_, digest, err := loadgen.NewClient(srv.URL).State(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[name] = digest
+	}
+	if want := shard.CombineDigests(digests); rep.StateDigest != want {
+		t.Fatalf("report digest %s != combined per-shard digests %s", rep.StateDigest, want)
 	}
 }
 

@@ -120,6 +120,8 @@ func TestServeEndToEnd(t *testing.T) {
 		"vmalloc_cluster_rejections_total 1",
 		"vmalloc_cluster_batch_size_bucket",
 		"vmalloc_cluster_scan_seconds_bucket",
+		"vmalloc_cluster_queue_wait_seconds_bucket",
+		"vmalloc_cluster_fsync_seconds_bucket",
 		"vmalloc_cluster_energy_watt_minutes{component=\"run\"}",
 		"vmalloc_cluster_server_state{server=\"1\"}",
 	} {

@@ -1,0 +1,272 @@
+// Package api is the versioned wire contract of the vmserve HTTP API:
+// the typed request/response bodies exchanged on the /v1 endpoints, the
+// structured error envelope, and the shared body decoder. It is the
+// single source of truth for the JSON field names — the server
+// (internal/clusterhttp) encodes from these types, and every client (the
+// internal/loadgen load-generator client and the internal/shard vmgate
+// router) decodes into them, so a router can sit between the two and
+// speak the same contract on both sides.
+//
+// The package is deliberately a leaf: it depends only on the pure data
+// packages (internal/model, internal/energy) and the observability
+// records (internal/obs), never on the cluster itself, so a routing
+// daemon can link the contract without linking an allocator.
+//
+// Compatibility: the JSON field names are frozen — they are byte-for-byte
+// the wire format the service has spoken since the anonymous per-handler
+// structs these types replaced (see the pin tests in wire_test.go).
+// Decoding is tolerant of unknown fields, so additive evolution within
+// /v1 is safe; renames or removals require a /v2.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
+)
+
+// Version is the API version every path in this contract is mounted
+// under (e.g. POST /v1/vms).
+const Version = "v1"
+
+// StateDigestHeader is the response header on GET /v1/state carrying the
+// hex SHA-256 of the body — a single shard's digest from vmserve, the
+// combined digest (shard.CombineDigests) from a vmgate.
+const StateDigestHeader = "X-Vmalloc-State-Digest"
+
+// AdmitRequest is one VM admission request — the element type of the
+// POST /v1/vms body, which is either a single object or an array of
+// them.
+type AdmitRequest struct {
+	// ID identifies the VM; 0 lets the cluster assign the next free ID.
+	// Requests routed through a vmgate must carry an explicit ID: the
+	// ID is the routing key.
+	ID int `json:"id,omitempty"`
+	// Type is an optional free-form label.
+	Type string `json:"type,omitempty"`
+	// Demand is the VM's stable resource demand.
+	Demand model.Resources `json:"demand"`
+	// Start is the requested start minute; 0 means "now", and a start in
+	// the past is clamped to the current clock.
+	Start int `json:"start,omitempty"`
+	// DurationMinutes is how long the VM runs; must be ≥ 1.
+	DurationMinutes int `json:"durationMinutes"`
+}
+
+// AdmitResponse is the per-request outcome of an admission call; POST
+// /v1/vms responds with an array of them, in request order.
+type AdmitResponse struct {
+	// ID is the VM's identity (assigned by the cluster when the request
+	// left it 0).
+	ID int `json:"id"`
+	// Accepted reports whether the VM was placed. A false value is the
+	// graceful-degradation path: the service stays up and Reason says why.
+	Accepted bool `json:"accepted"`
+	// Server is the hosting server's ID (not index) when accepted.
+	Server int `json:"server,omitempty"`
+	// Start and End bound the minutes the VM will occupy; Start includes
+	// any wake-up delay beyond the requested start.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+	// Reason explains a rejection.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ReleaseResponse is the body of a successful DELETE /v1/vms/{id}: the
+// placement the released VM had held.
+type ReleaseResponse struct {
+	// VM is the released VM as admitted (its End reflects the original
+	// schedule, not the early release).
+	VM model.VM `json:"vm"`
+	// Server is the index of the server that hosted the VM in the
+	// configured fleet list.
+	Server int `json:"server"`
+	// Start is the minute the VM actually started (including any wake-up
+	// delay).
+	Start int `json:"start"`
+}
+
+// ClockRequest is the body of POST /v1/clock. Now is a pointer so a
+// missing field is distinguishable from an explicit 0 (both are
+// rejected, with different messages).
+type ClockRequest struct {
+	Now *int `json:"now"`
+}
+
+// ClockResponse is the body of a successful POST /v1/clock: the fleet
+// clock after the advance (the clock is monotonic, so it can exceed the
+// requested minute).
+type ClockResponse struct {
+	Now int `json:"now"`
+}
+
+// ServerState is one server's externally visible state within a
+// StateResponse.
+type ServerState struct {
+	ID    int    `json:"id"`
+	Type  string `json:"type,omitempty"`
+	State string `json:"state"`
+	VMs   int    `json:"vms"`
+}
+
+// PlacedVM is one resident VM within a StateResponse: the admitted VM,
+// the index of its hosting server in the configured fleet list, and its
+// actual start minute.
+type PlacedVM struct {
+	VM     model.VM `json:"vm"`
+	Server int      `json:"server"`
+	Start  int      `json:"start"`
+}
+
+// StateResponse is the body of GET /v1/state: a consistent snapshot of
+// one cluster's durable state. Field order and names mirror the
+// server's canonical encoding exactly — EncodeState over a decoded
+// StateResponse reproduces the served bytes, which is what makes the
+// X-Vmalloc-State-Digest header meaningful to clients.
+type StateResponse struct {
+	Now             int              `json:"now"`
+	Policy          string           `json:"policy"`
+	IdleTimeout     int              `json:"idleTimeoutMinutes"`
+	Admitted        int              `json:"admitted"`
+	Released        int              `json:"released"`
+	Transitions     int              `json:"transitions"`
+	ServersUsed     int              `json:"serversUsed"`
+	Energy          energy.Breakdown `json:"energy"`
+	TotalEnergy     float64          `json:"totalEnergyWattMinutes"`
+	TotalStartDelay int              `json:"totalStartDelayMinutes"`
+	MaxStartDelay   int              `json:"maxStartDelayMinutes"`
+	Servers         []ServerState    `json:"servers"`
+	VMs             []PlacedVM       `json:"vms"`
+}
+
+// DecisionsResponse is the body of GET /v1/debug/decisions: the
+// flight-recorder readout.
+type DecisionsResponse struct {
+	Count     int            `json:"count"`
+	Decisions []obs.Decision `json:"decisions"`
+}
+
+// ShardHealth is one shard's entry in a vmgate's GET /v1/shards
+// response.
+type ShardHealth struct {
+	// Name is the shard's stable routing identity — renaming a shard
+	// remaps its whole key range.
+	Name string `json:"name"`
+	// Addr is the shard's base URL.
+	Addr string `json:"addr"`
+	// Healthy reports the prober's current verdict.
+	Healthy bool `json:"healthy"`
+	// Error is the last probe or proxy failure while unhealthy.
+	Error string `json:"error,omitempty"`
+}
+
+// ShardsResponse is the body of a vmgate's GET /v1/shards.
+type ShardsResponse struct {
+	Count  int           `json:"count"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+// ShardState is one shard's slice of a vmgate's aggregated GET
+// /v1/state response.
+type ShardState struct {
+	Shard string `json:"shard"`
+	Addr  string `json:"addr"`
+	// Digest is the shard's own X-Vmalloc-State-Digest for the nested
+	// State — the per-shard fingerprint the gate's combined digest is
+	// built from.
+	Digest string         `json:"digest"`
+	State  *StateResponse `json:"state"`
+}
+
+// GateStateResponse is the body of a vmgate's GET /v1/state: every
+// shard's state plus cross-shard aggregates. Digest is the combined
+// fingerprint (see shard.CombineDigests): it changes exactly when some
+// shard's state digest changes.
+type GateStateResponse struct {
+	// Now is the slowest shard's clock: every shard is at least here.
+	Now int `json:"now"`
+	// Aggregates over all shards.
+	Admitted    int     `json:"admitted"`
+	Released    int     `json:"released"`
+	Residents   int     `json:"residents"`
+	ServersUsed int     `json:"serversUsed"`
+	TotalEnergy float64 `json:"totalEnergyWattMinutes"`
+	// Digest is the combined per-shard digest, also served as the
+	// X-Vmalloc-State-Digest header.
+	Digest string       `json:"digest"`
+	Shards []ShardState `json:"shards"`
+}
+
+// ErrBodyTooLarge is returned by DecodeAdmitRequests for bodies over the
+// limit; HTTP layers map it to 413 instead of 400 — the request was
+// refused for its size, not its syntax.
+var ErrBodyTooLarge = errors.New("request body exceeds the configured limit")
+
+// DecodeAdmitRequests parses a POST /v1/vms body — a single AdmitRequest
+// object or a non-empty array of them — refusing bodies larger than
+// limit bytes with ErrBodyTooLarge. Unknown fields are tolerated. Both
+// the server and the vmgate router decode admission bodies through this
+// one function, so they can never disagree on what parses.
+func DecodeAdmitRequests(r io.Reader, limit int64) ([]AdmitRequest, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrBodyTooLarge, limit)
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var reqs []AdmitRequest
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return nil, fmt.Errorf("parse request array: %w", err)
+		}
+		if len(reqs) == 0 {
+			return nil, errors.New("empty request array")
+		}
+		return reqs, nil
+	}
+	var req AdmitRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("parse request: %w", err)
+	}
+	return []AdmitRequest{req}, nil
+}
+
+// EncodeState marshals a state body exactly as the server serves it:
+// deterministic two-space-indented JSON with a trailing newline. Digest
+// over these bytes (DigestBytes) equals the X-Vmalloc-State-Digest
+// header a server would send for the same state.
+func EncodeState(st *StateResponse) ([]byte, error) {
+	return encodeIndented(st)
+}
+
+// EncodeGateState marshals a vmgate's aggregated state the same way.
+func EncodeGateState(st *GateStateResponse) ([]byte, error) {
+	return encodeIndented(st)
+}
+
+func encodeIndented(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DigestBytes is the wire-level state fingerprint: hex SHA-256 of the
+// given bytes. It matches cluster.DigestBytes, re-exported here so
+// clients and routers can fingerprint state bodies without linking the
+// allocator.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

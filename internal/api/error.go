@@ -1,0 +1,68 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Machine-readable error codes carried in ErrorEnvelope.Code. Clients
+// branch on the code, never on the message text.
+const (
+	// CodeBadRequest: the request could not be parsed or validated
+	// (malformed JSON, bad VM id, oversized body, missing clock field).
+	CodeBadRequest = "bad_request"
+	// CodeNotResident: DELETE /v1/vms/{id} named a VM that is not
+	// currently admitted (never was, already departed, already released).
+	CodeNotResident = "not_resident"
+	// CodeJournalBroken: the cluster's journal failed a write and refuses
+	// mutations until a snapshot heals it (cluster.ErrJournalBroken).
+	CodeJournalBroken = "journal_broken"
+	// CodeOverloaded: the service cannot take the request right now —
+	// shutting down (cluster.ErrClosed) or refusing load.
+	CodeOverloaded = "overloaded"
+	// CodeShardDown: a vmgate could not reach the shard that owns the
+	// request's key range; the envelope message names the shard. Only the
+	// down shard's key range is affected.
+	CodeShardDown = "shard_down"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorEnvelope is the body of every non-2xx response: a machine-readable
+// code, the human-readable message (kept under the historical "error"
+// key, so pre-envelope clients that read only that field keep working),
+// and the request id the failing request carried — the same id the
+// server's flight recorder and structured log attribute the failure to.
+type ErrorEnvelope struct {
+	Code      string `json:"code,omitempty"`
+	Message   string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// Error is a non-2xx response as a client-side error value: the HTTP
+// status plus the decoded envelope. Both the loadgen client and the
+// vmgate router surface upstream failures as *Error.
+type Error struct {
+	Status   int
+	Envelope ErrorEnvelope
+}
+
+func (e *Error) Error() string {
+	code := e.Envelope.Code
+	if code == "" {
+		code = "unknown"
+	}
+	return fmt.Sprintf("api: server returned %d (%s): %s", e.Status, code, e.Envelope.Message)
+}
+
+// DecodeError builds an *Error from a non-2xx response body. Bodies that
+// do not parse as an envelope (proxies, panics, plain-text handlers)
+// degrade gracefully: the trimmed body becomes the message.
+func DecodeError(status int, body []byte) *Error {
+	e := &Error{Status: status}
+	if err := json.Unmarshal(body, &e.Envelope); err != nil || e.Envelope.Message == "" && e.Envelope.Code == "" {
+		e.Envelope.Message = strings.TrimSpace(string(body))
+	}
+	return e
+}

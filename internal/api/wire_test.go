@@ -1,0 +1,192 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/energy"
+	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
+)
+
+// populated returns one fully populated value per wire type. Every field
+// is non-zero so the round-trip test cannot pass by accident through
+// omitempty.
+func populated() map[string]any {
+	vm := model.VM{ID: 7, Type: "c4.large", Demand: model.Resources{CPU: 2, Mem: 4}, Start: 3, End: 42}
+	st := &StateResponse{
+		Now: 9, Policy: "mincost", IdleTimeout: 2,
+		Admitted: 5, Released: 1, Transitions: 3, ServersUsed: 2,
+		Energy:      energy.Breakdown{Run: 1.5, Idle: 2.25, Transition: 0.5},
+		TotalEnergy: 4.25, TotalStartDelay: 6, MaxStartDelay: 4,
+		Servers: []ServerState{{ID: 1, Type: "A", State: "active", VMs: 2}},
+		VMs:     []PlacedVM{{VM: vm, Server: 0, Start: 3}},
+	}
+	now := 17
+	return map[string]any{
+		"AdmitRequest":  &AdmitRequest{ID: 7, Type: "c4.large", Demand: model.Resources{CPU: 2, Mem: 4}, Start: 3, DurationMinutes: 40},
+		"AdmitResponse": &AdmitResponse{ID: 7, Accepted: true, Server: 2, Start: 3, End: 42, Reason: "x"},
+		"ReleaseResponse": &ReleaseResponse{
+			VM: vm, Server: 1, Start: 3,
+		},
+		"ClockRequest":  &ClockRequest{Now: &now},
+		"ClockResponse": &ClockResponse{Now: 17},
+		"StateResponse": st,
+		"DecisionsResponse": &DecisionsResponse{Count: 1, Decisions: []obs.Decision{{
+			Seq: 1, RequestID: "abc", Batch: 2, Op: obs.OpAdmit, VM: 7, Server: 2,
+			Start: 3, End: 42, Clock: 3, Candidates: 4, Infeasible: 1,
+		}}},
+		"ShardsResponse": &ShardsResponse{Count: 1, Shards: []ShardHealth{{Name: "a", Addr: "http://x", Healthy: true, Error: "e"}}},
+		"GateStateResponse": &GateStateResponse{
+			Now: 9, Admitted: 5, Released: 1, Residents: 4, ServersUsed: 2,
+			TotalEnergy: 4.25, Digest: "d",
+			Shards: []ShardState{{Shard: "a", Addr: "http://x", Digest: "d1", State: st}},
+		},
+		"ErrorEnvelope": &ErrorEnvelope{Code: CodeShardDown, Message: "shard b down", RequestID: "abc"},
+	}
+}
+
+// TestRoundTrip: encode → decode → re-encode must be the identity for
+// every wire type, so nothing is lost crossing the wire in either
+// direction.
+func TestRoundTrip(t *testing.T) {
+	for name, v := range populated() {
+		t.Run(name, func(t *testing.T) {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+			if err := json.Unmarshal(b, out); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(v, out) {
+				t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", v, out)
+			}
+			b2, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != string(b2) {
+				t.Fatalf("re-encode diverged:\n in: %s\nout: %s", b, b2)
+			}
+		})
+	}
+}
+
+// TestUnknownFieldTolerance: every wire type must decode bodies carrying
+// fields it does not know — additive server-side evolution within /v1
+// must not break deployed clients.
+func TestUnknownFieldTolerance(t *testing.T) {
+	for name, v := range populated() {
+		t.Run(name, func(t *testing.T) {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Splice an unknown field into the top-level object.
+			widened := `{"someFutureField":{"nested":[1,2,3]},` + strings.TrimPrefix(string(b), "{")
+			out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+			if err := json.Unmarshal([]byte(widened), out); err != nil {
+				t.Fatalf("decode with unknown field: %v", err)
+			}
+			if !reflect.DeepEqual(v, out) {
+				t.Fatalf("unknown field corrupted decode:\n in: %+v\nout: %+v", v, out)
+			}
+		})
+	}
+}
+
+// TestWireFieldNames pins the JSON key set of each type against the
+// names the pre-api anonymous structs put on the wire. A failure here is
+// a breaking change to deployed clients: add a /v2 instead.
+func TestWireFieldNames(t *testing.T) {
+	pins := map[string][]string{
+		"AdmitRequest":      {"id", "type", "demand", "start", "durationMinutes"},
+		"AdmitResponse":     {"id", "accepted", "server", "start", "end", "reason"},
+		"ReleaseResponse":   {"vm", "server", "start"},
+		"ClockRequest":      {"now"},
+		"ClockResponse":     {"now"},
+		"StateResponse":     {"now", "policy", "idleTimeoutMinutes", "admitted", "released", "transitions", "serversUsed", "energy", "totalEnergyWattMinutes", "totalStartDelayMinutes", "maxStartDelayMinutes", "servers", "vms"},
+		"DecisionsResponse": {"count", "decisions"},
+		"ErrorEnvelope":     {"code", "error", "requestId"},
+	}
+	vals := populated()
+	for name, want := range pins {
+		t.Run(name, func(t *testing.T) {
+			b, err := json.Marshal(vals[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]json.RawMessage
+			if err := json.Unmarshal(b, &m); err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range want {
+				if _, ok := m[key]; !ok {
+					t.Errorf("wire key %q missing from %s", key, b)
+				}
+				delete(m, key)
+			}
+			for key := range m {
+				t.Errorf("unexpected wire key %q in %s", key, name)
+			}
+		})
+	}
+}
+
+// TestDecodeAdmitRequests covers the shared body decoder: object vs
+// array form, the size limit, and rejection of empty arrays.
+func TestDecodeAdmitRequests(t *testing.T) {
+	one := `{"id":3,"demand":{"cpu":1,"mem":1},"durationMinutes":30}`
+	reqs, err := DecodeAdmitRequests(strings.NewReader(one), 1<<20)
+	if err != nil || len(reqs) != 1 || reqs[0].ID != 3 {
+		t.Fatalf("single object: %v %+v", err, reqs)
+	}
+	reqs, err = DecodeAdmitRequests(strings.NewReader("["+one+","+one+"]"), 1<<20)
+	if err != nil || len(reqs) != 2 {
+		t.Fatalf("array: %v %+v", err, reqs)
+	}
+	if _, err := DecodeAdmitRequests(strings.NewReader("[]"), 1<<20); err == nil {
+		t.Fatal("empty array accepted")
+	}
+	if _, err := DecodeAdmitRequests(strings.NewReader(one), 8); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized body: %v", err)
+	}
+	// Unknown fields inside an admission body are tolerated.
+	if _, err := DecodeAdmitRequests(strings.NewReader(`{"durationMinutes":1,"futureKnob":true}`), 1<<20); err != nil {
+		t.Fatalf("unknown field refused: %v", err)
+	}
+}
+
+// TestDecodeError: envelope bodies decode structurally; garbage bodies
+// degrade to the trimmed text.
+func TestDecodeError(t *testing.T) {
+	e := DecodeError(503, []byte(`{"code":"shard_down","error":"shard b down","requestId":"r1"}`))
+	if e.Status != 503 || e.Envelope.Code != CodeShardDown || e.Envelope.RequestID != "r1" {
+		t.Fatalf("envelope decode: %+v", e)
+	}
+	if !strings.Contains(e.Error(), "shard_down") {
+		t.Fatalf("Error() lacks the code: %s", e.Error())
+	}
+	e = DecodeError(502, []byte("  bad gateway\n"))
+	if e.Envelope.Message != "bad gateway" || e.Envelope.Code != "" {
+		t.Fatalf("plain-text fallback: %+v", e)
+	}
+}
+
+// TestDigestBytes pins the fingerprint function against a fixed vector.
+func TestDigestBytes(t *testing.T) {
+	got := DigestBytes([]byte("vmalloc"))
+	if len(got) != 64 {
+		t.Fatalf("digest %q is not hex SHA-256", got)
+	}
+	if got != DigestBytes([]byte("vmalloc")) {
+		t.Fatal("digest is not deterministic")
+	}
+	if got == DigestBytes([]byte("vmalloc2")) {
+		t.Fatal("digest ignores input")
+	}
+}

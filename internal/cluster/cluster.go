@@ -437,6 +437,7 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	var items []batchItem
 	total := 0
 	for _, call := range batch {
+		c.met.queueWaitSeconds.Observe(batchStart.Sub(call.enqueued).Seconds())
 		call.adms = make([]Admission, len(call.reqs))
 		total += len(call.reqs)
 		for k, req := range call.reqs {
@@ -563,6 +564,7 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		syncT0 := time.Now()
 		jerr = c.jr.sync()
 		syncDur = time.Since(syncT0)
+		c.met.fsyncSeconds.Observe(syncDur.Seconds())
 	}
 	if jerr != nil {
 		jerr = c.journalFailedLocked(jerr)
@@ -701,6 +703,7 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 			syncT0 := time.Now()
 			jerr = c.jr.sync()
 			d.Stages.Sync = time.Since(syncT0)
+			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
 		}
 		if jerr != nil {
 			jerr = c.journalFailedLocked(jerr)

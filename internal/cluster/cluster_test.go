@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -552,5 +553,50 @@ func TestClusterClosed(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Errorf("second Close = %v", err)
+	}
+}
+
+// TestStageHistogramsOnMetrics: the queue-wait and fsync stage durations
+// — already recorded per decision on the flight recorder — are also
+// exported as cumulative /metrics histogram families, observed once per
+// Admit call (queue wait) and once per journal fsync.
+func TestStageHistogramsOnMetrics(t *testing.T) {
+	c := mustOpen(t, Config{Servers: testServers(4), Dir: t.TempDir()})
+	defer c.Close()
+	ctx := context.Background()
+	mustAdmit(t, c, VMRequest{ID: 1, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 10})
+	mustAdmit(t, c, VMRequest{ID: 2, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 10})
+	if _, err := c.Release(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Two Admit calls waited in the queue; two batch fsyncs plus the
+	// release's own fsync ran.
+	for _, want := range []string{
+		"vmalloc_cluster_queue_wait_seconds_count 2",
+		"vmalloc_cluster_fsync_seconds_count 3",
+		"# TYPE vmalloc_cluster_queue_wait_seconds histogram",
+		"# TYPE vmalloc_cluster_fsync_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// A volatile cluster never syncs: the family is present, empty.
+	v := mustOpen(t, Config{Servers: testServers(2)})
+	defer v.Close()
+	mustAdmit(t, v, VMRequest{ID: 1, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 10})
+	buf.Reset()
+	if err := v.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vmalloc_cluster_fsync_seconds_count 0") {
+		t.Error("volatile cluster should export an empty fsync histogram")
 	}
 }

@@ -28,12 +28,21 @@ type metrics struct {
 	infeasible     int64
 	batchSize      *obs.Histogram
 	scanSeconds    *obs.Histogram
+	// queueWaitSeconds observes, per Admit call, how long the call sat in
+	// the micro-batch queue before its batch started; fsyncSeconds
+	// observes each batch's journal fsync. Both are the cumulative
+	// /metrics view of the per-decision stage timings the flight recorder
+	// keeps.
+	queueWaitSeconds *obs.Histogram
+	fsyncSeconds     *obs.Histogram
 }
 
 func newMetrics() metrics {
 	return metrics{
-		batchSize:   obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
-		scanSeconds: obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		batchSize:        obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		scanSeconds:      obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		queueWaitSeconds: obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		fsyncSeconds:     obs.NewHistogram(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
 	}
 }
 
@@ -74,6 +83,8 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 
 	c.met.batchSize.Write(&buf, metricsPrefix+"_batch_size", "VM requests per admission batch.")
 	c.met.scanSeconds.Write(&buf, metricsPrefix+"_scan_seconds", "Candidate-scan wall time per batch, in seconds.")
+	c.met.queueWaitSeconds.Write(&buf, metricsPrefix+"_queue_wait_seconds", "Per-call wait in the micro-batch queue before batch processing started, in seconds.")
+	c.met.fsyncSeconds.Write(&buf, metricsPrefix+"_fsync_seconds", "Journal fsync wall time per batch, in seconds.")
 
 	now := c.fleet.Now()
 	gauge("clock_minutes", "The fleet clock, in minutes.", strconv.Itoa(now))

@@ -1,0 +1,67 @@
+package clusterhttp
+
+import (
+	"vmalloc/internal/api"
+	"vmalloc/internal/cluster"
+)
+
+// This file is the seam between the wire contract (internal/api) and the
+// allocator's own types (internal/cluster): the handler decodes into api
+// types, converts here, and encodes api types back out. The conversions
+// are plain field copies — the api types were extracted from these
+// structs and the JSON they produce is byte-identical (pinned by
+// TestStateBytesMatchCluster).
+
+func toClusterRequests(reqs []api.AdmitRequest) []cluster.VMRequest {
+	out := make([]cluster.VMRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = cluster.VMRequest{
+			ID:              r.ID,
+			Type:            r.Type,
+			Demand:          r.Demand,
+			Start:           r.Start,
+			DurationMinutes: r.DurationMinutes,
+		}
+	}
+	return out
+}
+
+func toAPIAdmissions(adms []cluster.Admission) []api.AdmitResponse {
+	out := make([]api.AdmitResponse, len(adms))
+	for i, a := range adms {
+		out[i] = api.AdmitResponse{
+			ID:       a.ID,
+			Accepted: a.Accepted,
+			Server:   a.Server,
+			Start:    a.Start,
+			End:      a.End,
+			Reason:   a.Reason,
+		}
+	}
+	return out
+}
+
+func toAPIState(st *cluster.State) *api.StateResponse {
+	out := &api.StateResponse{
+		Now:             st.Now,
+		Policy:          st.Policy,
+		IdleTimeout:     st.IdleTimeout,
+		Admitted:        st.Admitted,
+		Released:        st.Released,
+		Transitions:     st.Transitions,
+		ServersUsed:     st.ServersUsed,
+		Energy:          st.Energy,
+		TotalEnergy:     st.TotalEnergy,
+		TotalStartDelay: st.TotalStartDelay,
+		MaxStartDelay:   st.MaxStartDelay,
+		Servers:         make([]api.ServerState, len(st.Servers)),
+		VMs:             make([]api.PlacedVM, len(st.VMs)),
+	}
+	for i, s := range st.Servers {
+		out.Servers[i] = api.ServerState{ID: s.ID, Type: s.Type, State: s.State, VMs: s.VMs}
+	}
+	for i, p := range st.VMs {
+		out.VMs[i] = api.PlacedVM{VM: p.VM, Server: p.Server, Start: p.Start}
+	}
+	return out
+}

@@ -3,14 +3,17 @@ package clusterhttp
 import (
 	"strings"
 	"testing"
+
+	"vmalloc/internal/api"
 )
 
-// FuzzHTTPDecode hammers decodeRequests — the admission endpoint's body
-// parser — with arbitrary bytes under an arbitrary small limit. The
-// invariants: it never panics, a nil error always comes with at least one
-// request carrying a sane duration field (the cluster validates the
-// rest), bodies over the limit are always errBodyTooLarge, and a
-// successful decode is idempotent.
+// FuzzHTTPDecode hammers api.DecodeAdmitRequests — the admission
+// endpoint's body parser, shared verbatim with the vmgate router — with
+// arbitrary bytes under an arbitrary small limit. The invariants: it
+// never panics, a nil error always comes with at least one request
+// carrying a sane duration field (the cluster validates the rest),
+// bodies over the limit are always api.ErrBodyTooLarge, and a successful
+// decode is idempotent.
 func FuzzHTTPDecode(f *testing.F) {
 	f.Add(`{"demand":{"cpu":1,"mem":1},"durationMinutes":30}`, int64(1<<20))
 	f.Add(`[{"id":1,"demand":{"cpu":1,"mem":1},"durationMinutes":30}]`, int64(1<<20))
@@ -28,7 +31,7 @@ func FuzzHTTPDecode(f *testing.F) {
 		if limit <= 0 || limit > 1<<20 {
 			limit = 1 << 20
 		}
-		reqs, err := decodeRequests(strings.NewReader(body), limit)
+		reqs, err := api.DecodeAdmitRequests(strings.NewReader(body), limit)
 		if int64(len(body)) > limit {
 			if err == nil {
 				t.Fatalf("body of %d bytes accepted under limit %d", len(body), limit)
@@ -43,7 +46,7 @@ func FuzzHTTPDecode(f *testing.F) {
 		}
 		// A successful decode must be deterministic: same bytes, same
 		// result shape.
-		again, err2 := decodeRequests(strings.NewReader(body), limit)
+		again, err2 := api.DecodeAdmitRequests(strings.NewReader(body), limit)
 		if err2 != nil || len(again) != len(reqs) {
 			t.Fatalf("re-decode diverged: %v, %d vs %d requests", err2, len(again), len(reqs))
 		}

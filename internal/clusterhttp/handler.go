@@ -2,21 +2,27 @@
 // service: the handler cmd/vmserve mounts, shared with the in-process
 // test harnesses (the loadgen soak tests boot it on httptest servers) so
 // load generators and the production daemon exercise byte-identical
-// routing, decoding and error mapping.
+// routing, decoding and error mapping. Request and response bodies are
+// the typed wire contract in internal/api; this package only converts
+// between those types and the cluster's own.
 //
 // Endpoints:
 //
-//	POST   /v1/vms             admit one VMRequest object or an array of
-//	                           them; responds with the array of Admissions
+//	POST   /v1/vms             admit one api.AdmitRequest object or an
+//	                           array of them; responds with the array of
+//	                           api.AdmitResponse outcomes
 //	DELETE /v1/vms/{id}        release a resident VM early
-//	POST   /v1/clock           {"now": t} advances the fleet clock to
-//	                           minute t; earlier times are a no-op (the
-//	                           clock is monotonic)
-//	GET    /v1/state           consistent cluster state (deterministic
-//	                           JSON); the X-Vmalloc-State-Digest response
-//	                           header carries Cluster.StateDigest for
-//	                           cheap restart comparisons
-//	GET    /v1/debug/decisions flight-recorder readout: the last N
+//	                           (api.ReleaseResponse)
+//	POST   /v1/clock           api.ClockRequest {"now": t} advances the
+//	                           fleet clock to minute t; earlier times are
+//	                           a no-op (the clock is monotonic)
+//	GET    /v1/state           consistent cluster state
+//	                           (api.StateResponse, deterministic JSON);
+//	                           the X-Vmalloc-State-Digest response header
+//	                           carries Cluster.StateDigest for cheap
+//	                           restart comparisons
+//	GET    /v1/debug/decisions flight-recorder readout
+//	                           (api.DecisionsResponse): the last N
 //	                           admission/rejection/release decisions with
 //	                           request ids and per-stage durations,
 //	                           filterable by ?vm=, ?server=, ?op= and
@@ -28,8 +34,11 @@
 //	                           runtime gauges and vmalloc_build_info
 //
 // Every request gets (or propagates) an X-Request-Id header; the id is
-// carried through the cluster's admission pipeline and stamped on the
-// flight-recorder decisions the request caused.
+// carried through the cluster's admission pipeline, stamped on the
+// flight-recorder decisions the request caused, and echoed inside every
+// api.ErrorEnvelope the handler writes. Non-2xx responses always carry
+// an envelope with a machine-readable code: bad_request, not_resident,
+// journal_broken, overloaded or internal.
 package clusterhttp
 
 import (
@@ -40,23 +49,19 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
+	"vmalloc/internal/api"
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/obs"
 )
 
-// StateDigestHeader is the response header on GET /v1/state carrying the
-// hex SHA-256 of the state body (Cluster.StateDigest).
-const StateDigestHeader = "X-Vmalloc-State-Digest"
+// StateDigestHeader aliases api.StateDigestHeader: the response header
+// on GET /v1/state carrying the hex SHA-256 of the state body.
+const StateDigestHeader = api.StateDigestHeader
 
 // DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
 const DefaultMaxBodyBytes = 8 << 20
-
-// errBodyTooLarge maps to 413 instead of 400: the request was refused
-// for its size, not its syntax.
-var errBodyTooLarge = errors.New("request body exceeds the configured limit")
 
 // Config wires the observability surface into the handler. The zero
 // value is a working configuration: no logging, a private metrics
@@ -96,83 +101,74 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vms", func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		reqs, err := decodeRequests(r.Body, limit)
+		reqs, err := api.DecodeAdmitRequests(r.Body, limit)
 		if err != nil {
 			status := http.StatusBadRequest
-			if errors.Is(err, errBodyTooLarge) {
+			if errors.Is(err, api.ErrBodyTooLarge) {
 				status = http.StatusRequestEntityTooLarge
 			}
-			writeError(w, status, err)
+			writeError(w, r, status, api.CodeBadRequest, err)
 			return
 		}
 		// The decode span rides the context into the batch, so the
 		// decision the cluster records carries the full stage breakdown.
 		ctx := obs.WithDecodeSpan(r.Context(), time.Since(t0))
-		adms, err := c.Admit(ctx, reqs)
+		adms, err := c.Admit(ctx, toClusterRequests(reqs))
 		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, cluster.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, err)
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, adms)
+		writeJSON(w, http.StatusOK, toAPIAdmissions(adms))
 	})
 	mux.HandleFunc("DELETE /v1/vms/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad vm id %q", r.PathValue("id")))
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Errorf("bad vm id %q", r.PathValue("id")))
 			return
 		}
 		p, err := c.Release(r.Context(), id)
-		switch {
-		case errors.As(err, new(*cluster.NotResidentError)):
-			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, cluster.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
-		default:
-			writeJSON(w, http.StatusOK, p)
+		if err != nil {
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
+			return
 		}
+		writeJSON(w, http.StatusOK, api.ReleaseResponse{VM: p.VM, Server: p.Server, Start: p.Start})
 	})
 	mux.HandleFunc("POST /v1/clock", func(w http.ResponseWriter, r *http.Request) {
-		var body struct {
-			Now *int `json:"now"`
-		}
+		var body api.ClockRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parse clock request: %w", err))
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Errorf("parse clock request: %w", err))
 			return
 		}
 		if body.Now == nil {
-			writeError(w, http.StatusBadRequest, errors.New(`clock request wants {"now": <minute>}`))
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				errors.New(`clock request wants {"now": <minute>}`))
 			return
 		}
 		if err := c.AdvanceTo(*body.Now); err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, cluster.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, err)
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]int{"now": c.Now()})
+		writeJSON(w, http.StatusOK, api.ClockResponse{Now: c.Now()})
 	})
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
-		b, err := c.StateJSON()
+		b, err := api.EncodeState(toAPIState(c.State()))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set(StateDigestHeader, digest(b))
+		w.Header().Set(StateDigestHeader, api.DigestBytes(b))
 		w.Write(b)
 	})
 	mux.HandleFunc("GET /v1/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
 		f, err := parseDecisionFilter(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, err)
 			return
 		}
 		var ds []obs.Decision
@@ -182,10 +178,7 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		if ds == nil {
 			ds = []obs.Decision{} // an empty recorder is [], not null
 		}
-		writeJSON(w, http.StatusOK, struct {
-			Count     int            `json:"count"`
-			Decisions []obs.Decision `json:"decisions"`
-		}{len(ds), ds})
+		writeJSON(w, http.StatusOK, api.DecisionsResponse{Count: len(ds), Decisions: ds})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -203,6 +196,22 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		obs.WriteBuildInfo(w)
 	})
 	return obs.Middleware(mux, cfg.Logger, cfg.Metrics)
+}
+
+// classify maps the cluster's typed errors onto (HTTP status, envelope
+// code). The codes are the contract: clients and the vmgate router
+// branch on them, never on message text.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, cluster.ErrJournalBroken):
+		return http.StatusServiceUnavailable, api.CodeJournalBroken
+	case errors.Is(err, cluster.ErrClosed):
+		return http.StatusServiceUnavailable, api.CodeOverloaded
+	case errors.As(err, new(*cluster.NotResidentError)):
+		return http.StatusNotFound, api.CodeNotResident
+	default:
+		return http.StatusInternalServerError, api.CodeInternal
+	}
 }
 
 // parseDecisionFilter maps the debug endpoint's query parameters onto an
@@ -233,40 +242,6 @@ func parseDecisionFilter(r *http.Request) (obs.Filter, error) {
 	return f, nil
 }
 
-// digest mirrors cluster.StateDigest over an already-marshalled body, so
-// the header always matches the bytes actually served.
-func digest(body []byte) string {
-	return cluster.DigestBytes(body)
-}
-
-// decodeRequests accepts a single VMRequest object or an array of them,
-// refusing bodies larger than limit bytes with errBodyTooLarge.
-func decodeRequests(r io.Reader, limit int64) ([]cluster.VMRequest, error) {
-	data, err := io.ReadAll(io.LimitReader(r, limit+1))
-	if err != nil {
-		return nil, err
-	}
-	if int64(len(data)) > limit {
-		return nil, fmt.Errorf("%w (%d bytes)", errBodyTooLarge, limit)
-	}
-	trimmed := strings.TrimSpace(string(data))
-	if strings.HasPrefix(trimmed, "[") {
-		var reqs []cluster.VMRequest
-		if err := json.Unmarshal(data, &reqs); err != nil {
-			return nil, fmt.Errorf("parse request array: %w", err)
-		}
-		if len(reqs) == 0 {
-			return nil, errors.New("empty request array")
-		}
-		return reqs, nil
-	}
-	var req cluster.VMRequest
-	if err := json.Unmarshal(data, &req); err != nil {
-		return nil, fmt.Errorf("parse request: %w", err)
-	}
-	return []cluster.VMRequest{req}, nil
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -275,6 +250,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError writes an api.ErrorEnvelope with the request's id echoed,
+// so a failure line in a client log joins the server's flight recorder
+// and structured log on one id.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	writeJSON(w, status, api.ErrorEnvelope{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: obs.RequestID(r.Context()),
+	})
 }

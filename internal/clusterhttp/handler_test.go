@@ -1,14 +1,18 @@
 package clusterhttp
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"vmalloc/internal/api"
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
 )
 
 func testCluster(t *testing.T) *cluster.Cluster {
@@ -67,5 +71,107 @@ func TestStateDigestHeader(t *testing.T) {
 	}
 	if len(got) != 64 {
 		t.Errorf("digest %q is not hex SHA-256", got)
+	}
+}
+
+// TestStateBytesMatchCluster pins the api-typed encoding against the
+// cluster's own canonical StateJSON: extracting the wire contract must
+// not have moved a single byte, or every digest comparison across
+// restarts and shards breaks.
+func TestStateBytesMatchCluster(t *testing.T) {
+	c := testCluster(t)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	if _, err := http.Post(srv.URL+"/v1/vms", "application/json",
+		strings.NewReader(`[{"id":3,"type":"web","demand":{"cpu":2,"mem":3},"durationMinutes":45},{"demand":{"cpu":1,"mem":1},"durationMinutes":10}]`)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := c.StateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, canonical) {
+		t.Fatalf("served state diverged from cluster.StateJSON\nserved:    %.300s\ncanonical: %.300s", served, canonical)
+	}
+	// And the api round trip over those bytes is the identity too: the
+	// typed contract captures every field the server emits.
+	var st api.StateResponse
+	if err := json.Unmarshal(served, &st); err != nil {
+		t.Fatal(err)
+	}
+	reencoded, err := api.EncodeState(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, reencoded) {
+		t.Fatalf("api re-encode diverged from served bytes\nserved: %.300s\nre-enc: %.300s", served, reencoded)
+	}
+}
+
+// TestErrorEnvelopes: every failure path answers with an
+// api.ErrorEnvelope carrying the machine-readable code and the request
+// id the caller sent.
+func TestErrorEnvelopes(t *testing.T) {
+	c := testCluster(t)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	do := func(method, path, body string) (int, api.ErrorEnvelope) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, srv.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(obs.RequestIDHeader, "env-test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s %s: error body is not an envelope: %v", method, path, err)
+		}
+		return resp.StatusCode, env
+	}
+
+	status, env := do(http.MethodPost, "/v1/vms", "{not json")
+	if status != http.StatusBadRequest || env.Code != api.CodeBadRequest {
+		t.Errorf("bad body: %d %+v", status, env)
+	}
+	if env.RequestID != "env-test" {
+		t.Errorf("envelope does not echo the request id: %+v", env)
+	}
+	if status, env = do(http.MethodDelete, "/v1/vms/99", ""); status != http.StatusNotFound || env.Code != api.CodeNotResident {
+		t.Errorf("not resident: %d %+v", status, env)
+	}
+	if status, env = do(http.MethodDelete, "/v1/vms/zzz", ""); status != http.StatusBadRequest || env.Code != api.CodeBadRequest {
+		t.Errorf("bad id: %d %+v", status, env)
+	}
+	if status, env = do(http.MethodPost, "/v1/clock", `{}`); status != http.StatusBadRequest || env.Code != api.CodeBadRequest {
+		t.Errorf("empty clock: %d %+v", status, env)
+	}
+
+	// A closed cluster answers 503/overloaded on every mutation.
+	c.Close()
+	if status, env = do(http.MethodPost, "/v1/vms", `{"demand":{"cpu":1,"mem":1},"durationMinutes":5}`); status != http.StatusServiceUnavailable || env.Code != api.CodeOverloaded {
+		t.Errorf("closed admit: %d %+v", status, env)
+	}
+	if env.Message == "" {
+		t.Error("closed admit envelope has no message")
 	}
 }

@@ -13,7 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"vmalloc/internal/cluster"
+	"vmalloc/internal/api"
 	"vmalloc/internal/obs"
 )
 
@@ -122,21 +122,11 @@ func (c *Client) IssuedRequestIDs() []string {
 	return out
 }
 
-// apiError is a non-2xx response with the server's decoded error.
-type apiError struct {
-	Status int
-	Msg    string
-}
-
-func (e *apiError) Error() string {
-	return fmt.Sprintf("loadgen: server returned %d: %s", e.Status, e.Msg)
-}
-
 // retryable reports whether another attempt could change the outcome:
 // transport errors (connection refused/reset, timeouts) and 5xx
 // responses; 4xx outcomes are deterministic and final.
 func retryable(err error) bool {
-	var ae *apiError
+	var ae *api.Error
 	if errors.As(err, &ae) {
 		return ae.Status >= 500
 	}
@@ -197,11 +187,7 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, body [
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.Unmarshal(data, &e) //nolint:errcheck // best-effort message
-		return &apiError{Status: resp.StatusCode, Msg: e.Error}
+		return api.DecodeError(resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil
@@ -212,12 +198,12 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, body [
 // Admit submits a batch of admission requests and returns the per-request
 // outcomes in request order. A retried batch whose first attempt landed
 // reports its requests as accepted via the idempotency fold (see Client).
-func (c *Client) Admit(ctx context.Context, reqs []cluster.VMRequest) ([]cluster.Admission, error) {
+func (c *Client) Admit(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error) {
 	body, err := json.Marshal(reqs)
 	if err != nil {
 		return nil, err
 	}
-	var adms []cluster.Admission
+	var adms []api.AdmitResponse
 	retried, err := c.do(ctx, http.MethodPost, "/v1/vms", body, &adms)
 	if err != nil {
 		return nil, err
@@ -246,7 +232,7 @@ func (c *Client) Admit(ctx context.Context, reqs []cluster.VMRequest) ([]cluster
 // as in Admit).
 func (c *Client) Release(ctx context.Context, id int) (released bool, err error) {
 	retried, err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/vms/%d", id), nil, nil)
-	var ae *apiError
+	var ae *api.Error
 	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
 		return retried, nil
 	}
@@ -256,21 +242,49 @@ func (c *Client) Release(ctx context.Context, id int) (released bool, err error)
 // AdvanceClock moves the fleet clock to minute now (earlier minutes are a
 // server-side no-op) and returns the resulting clock.
 func (c *Client) AdvanceClock(ctx context.Context, now int) (int, error) {
-	body, err := json.Marshal(map[string]int{"now": now})
+	body, err := json.Marshal(api.ClockRequest{Now: &now})
 	if err != nil {
 		return 0, err
 	}
-	var resp map[string]int
+	var resp api.ClockResponse
 	if _, err := c.do(ctx, http.MethodPost, "/v1/clock", body, &resp); err != nil {
 		return 0, err
 	}
-	return resp["now"], nil
+	return resp.Now, nil
 }
 
 // State fetches the consistent cluster state and its digest (the
-// X-Vmalloc-State-Digest header, equal to cluster.DigestBytes over the
-// body).
-func (c *Client) State(ctx context.Context) (*cluster.State, string, error) {
+// X-Vmalloc-State-Digest header, equal to api.DigestBytes over the
+// body). Only meaningful against a single vmserve; a vmgate serves an
+// aggregated shape — use StateSummary for code that must work against
+// both.
+func (c *Client) State(ctx context.Context) (*api.StateResponse, string, error) {
+	data, digest, err := c.rawState(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	st := new(api.StateResponse)
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, "", err
+	}
+	return st, digest, nil
+}
+
+// GateState fetches a vmgate's aggregated state: every shard's state
+// plus the combined digest.
+func (c *Client) GateState(ctx context.Context) (*api.GateStateResponse, string, error) {
+	data, digest, err := c.rawState(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	st := new(api.GateStateResponse)
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, "", err
+	}
+	return st, digest, nil
+}
+
+func (c *Client) rawState(ctx context.Context) ([]byte, string, error) {
 	actx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.Base+"/v1/state", nil)
@@ -287,17 +301,44 @@ func (c *Client) State(ctx context.Context) (*cluster.State, string, error) {
 		return nil, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		return nil, "", api.DecodeError(resp.StatusCode, data)
 	}
-	st := new(cluster.State)
-	if err := json.Unmarshal(data, st); err != nil {
-		return nil, "", err
-	}
-	digest := resp.Header.Get("X-Vmalloc-State-Digest")
+	digest := resp.Header.Get(api.StateDigestHeader)
 	if digest == "" {
-		digest = cluster.DigestBytes(data)
+		digest = api.DigestBytes(data)
 	}
-	return st, digest, nil
+	return data, digest, nil
+}
+
+// StateSummary fetches the few cross-cutting facts the runner reports
+// on, from either topology: a vmserve's api.StateResponse (residents
+// counted from its vms array) or a vmgate's api.GateStateResponse
+// (which carries an explicit residents field). The probe decode reads
+// only the shared field names, so it does not care which it hit.
+func (c *Client) StateSummary(ctx context.Context) (StateSummary, error) {
+	data, digest, err := c.rawState(ctx)
+	if err != nil {
+		return StateSummary{}, err
+	}
+	var probe struct {
+		Now         int               `json:"now"`
+		Residents   *int              `json:"residents"`
+		TotalEnergy float64           `json:"totalEnergyWattMinutes"`
+		VMs         []json.RawMessage `json:"vms"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return StateSummary{}, err
+	}
+	residents := len(probe.VMs)
+	if probe.Residents != nil {
+		residents = *probe.Residents
+	}
+	return StateSummary{
+		Now:         probe.Now,
+		Residents:   residents,
+		TotalEnergy: probe.TotalEnergy,
+		Digest:      digest,
+	}, nil
 }
 
 // DebugDecisions fetches the server's flight recorder
@@ -308,10 +349,7 @@ func (c *Client) DebugDecisions(ctx context.Context, query string) ([]obs.Decisi
 	if query != "" {
 		path += "?" + query
 	}
-	var resp struct {
-		Count     int            `json:"count"`
-		Decisions []obs.Decision `json:"decisions"`
-	}
+	var resp api.DecisionsResponse
 	if _, err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}
@@ -332,7 +370,7 @@ func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, &apiError{Status: resp.StatusCode}
+		return nil, api.DecodeError(resp.StatusCode, nil)
 	}
 	return ParseMetrics(resp.Body)
 }
@@ -357,7 +395,7 @@ func (c *Client) WaitReady(ctx context.Context, d time.Duration) error {
 			if resp.StatusCode == http.StatusOK {
 				return nil
 			}
-			err = &apiError{Status: resp.StatusCode}
+			err = api.DecodeError(resp.StatusCode, nil)
 		}
 		lastErr = err
 		if time.Now().After(deadline) {

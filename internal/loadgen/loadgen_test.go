@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"vmalloc/internal/api"
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/model"
@@ -110,7 +111,7 @@ func TestBuildScheduleInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := make(map[int]cluster.VMRequest)
+	seen := make(map[int]api.AdmitRequest)
 	releases := 0
 	maxEnd := 0
 	lastMinute := 0
@@ -228,7 +229,7 @@ func TestClientRetryIdempotency(t *testing.T) {
 
 	c := NewClient(srv.URL)
 	c.Backoff = time.Millisecond
-	adms, err := c.Admit(context.Background(), []cluster.VMRequest{{ID: 7, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 5}})
+	adms, err := c.Admit(context.Background(), []api.AdmitRequest{{ID: 7, Demand: model.Resources{CPU: 1, Mem: 1}, DurationMinutes: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}

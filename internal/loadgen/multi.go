@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vmalloc/internal/api"
+	"vmalloc/internal/shard"
+)
+
+// MultiClient drives several vmserve shards directly — no vmgate in the
+// path — using the same rendezvous map a gate would, so a load run
+// through a MultiClient places every VM exactly where a gate-fronted
+// run would. It satisfies the runner's API: admissions split by owning
+// shard, releases routed by ID, clock advances fanned out, and state
+// aggregated with the combined digest (shard.CombineDigests), making
+// its reports digest-comparable with a gate's /v1/state.
+type MultiClient struct {
+	m       *shard.Map
+	clients map[string]*Client
+}
+
+// NewMultiClient builds a multi-target client over the map's shards.
+// configure (optional) is applied to each per-shard Client before use —
+// the hook for timeouts, retry policy, or a shared http.Client.
+func NewMultiClient(m *shard.Map, configure func(*Client)) *MultiClient {
+	mc := &MultiClient{m: m, clients: make(map[string]*Client, m.Len())}
+	for _, s := range m.Shards() {
+		c := NewClient(s.Addr)
+		if configure != nil {
+			configure(c)
+		}
+		mc.clients[s.Name] = c
+	}
+	return mc
+}
+
+// Map returns the routing map, so harnesses can compute expected
+// placements.
+func (mc *MultiClient) Map() *shard.Map { return mc.m }
+
+// ShardClient returns the per-shard client for direct inspection.
+func (mc *MultiClient) ShardClient(name string) *Client { return mc.clients[name] }
+
+// Admit splits the batch by owning shard, issues the sub-batches
+// concurrently, and reassembles the outcomes in request order. Every
+// request must carry an explicit VM ID (the routing key); the
+// generated schedules always do.
+func (mc *MultiClient) Admit(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error) {
+	groups := make(map[string][]int)
+	for i, req := range reqs {
+		if req.ID <= 0 {
+			return nil, fmt.Errorf("loadgen: admission %d has no vm id (multi-target routing needs one)", i)
+		}
+		name := mc.m.Assign(req.ID).Name
+		groups[name] = append(groups[name], i)
+	}
+	out := make([]api.AdmitResponse, len(reqs))
+	var wg sync.WaitGroup
+	errs := make(map[string]error, len(groups))
+	var mu sync.Mutex
+	for name, idxs := range groups {
+		sub := make([]api.AdmitRequest, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			adms, err := mc.clients[name].Admit(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			for j, i := range idxs {
+				out[i] = adms[j]
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		names := make([]string, 0, len(errs))
+		for n := range errs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("loadgen: admit on shard %s: %w", names[0], errs[names[0]])
+	}
+	return out, nil
+}
+
+// Release routes the release to the shard owning the ID.
+func (mc *MultiClient) Release(ctx context.Context, id int) (bool, error) {
+	return mc.clients[mc.m.Assign(id).Name].Release(ctx, id)
+}
+
+// AdvanceClock fans the advance out to every shard and returns the
+// slowest resulting clock. Shard clocks are monotonic, so replaying an
+// advance is a no-op and a partially failed fan-out is safe to retry.
+func (mc *MultiClient) AdvanceClock(ctx context.Context, now int) (int, error) {
+	type result struct {
+		now int
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		n, err := c.AdvanceClock(ctx, now)
+		return result{now: n, err: err}
+	})
+	minNow := 0
+	for i, res := range results {
+		if res.err != nil {
+			return 0, fmt.Errorf("loadgen: clock on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+		}
+		if i == 0 || res.now < minNow {
+			minNow = res.now
+		}
+	}
+	return minNow, nil
+}
+
+// StateSummary aggregates every shard's summary; the digest is the
+// combined per-shard digest, equal to what a vmgate over the same
+// shards would serve.
+func (mc *MultiClient) StateSummary(ctx context.Context) (StateSummary, error) {
+	type result struct {
+		sum StateSummary
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		sum, err := c.StateSummary(ctx)
+		return result{sum: sum, err: err}
+	})
+	var out StateSummary
+	digests := make(map[string]string, len(results))
+	for i, res := range results {
+		name := mc.m.Shards()[i].Name
+		if res.err != nil {
+			return StateSummary{}, fmt.Errorf("loadgen: state on shard %s: %w", name, res.err)
+		}
+		if i == 0 || res.sum.Now < out.Now {
+			out.Now = res.sum.Now
+		}
+		out.Residents += res.sum.Residents
+		out.TotalEnergy += res.sum.TotalEnergy
+		digests[name] = res.sum.Digest
+	}
+	out.Digest = shard.CombineDigests(digests)
+	return out, nil
+}
+
+// Metrics scrapes every shard and sums series point-wise — meaningful
+// for the counter deltas the report prints (admissions, rejections,
+// releases across the deployment).
+func (mc *MultiClient) Metrics(ctx context.Context) (Metrics, error) {
+	type result struct {
+		m   Metrics
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		m, err := c.Metrics(ctx)
+		return result{m: m, err: err}
+	})
+	sum := make(Metrics)
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("loadgen: metrics on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+		}
+		for k, v := range res.m {
+			sum[k] += v
+		}
+	}
+	return sum, nil
+}
+
+// Retried sums retry attempts across the per-shard clients.
+func (mc *MultiClient) Retried() int {
+	total := 0
+	for _, c := range mc.clients {
+		total += c.Retried()
+	}
+	return total
+}
+
+// WaitReady waits until every shard answers /healthz.
+func (mc *MultiClient) WaitReady(ctx context.Context, d time.Duration) error {
+	type result struct{ err error }
+	results := scatter(mc, func(c *Client) result {
+		return result{err: c.WaitReady(ctx, d)}
+	})
+	for i, res := range results {
+		if res.err != nil {
+			return fmt.Errorf("loadgen: shard %s: %w", mc.m.Shards()[i].Name, res.err)
+		}
+	}
+	return nil
+}
+
+// scatter runs fn against every shard's client concurrently, results in
+// configuration order. (A free function because methods cannot be
+// generic.)
+func scatter[T any](mc *MultiClient, fn func(*Client) T) []T {
+	shards := mc.m.Shards()
+	results := make([]T, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = fn(mc.clients[s.Name])
+		}()
+	}
+	wg.Wait()
+	return results
+}

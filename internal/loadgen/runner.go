@@ -9,7 +9,7 @@ import (
 	"sync"
 	"time"
 
-	"vmalloc/internal/cluster"
+	"vmalloc/internal/api"
 )
 
 // Options tune how a Runner replays a schedule.
@@ -42,6 +42,28 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// API is the client surface the runner drives. A single *Client
+// satisfies it (pointed at one vmserve or at a vmgate, which speaks the
+// same contract), and *MultiClient satisfies it by routing over a shard
+// map — so the same schedule replays unchanged against any topology.
+type API interface {
+	Admit(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error)
+	Release(ctx context.Context, id int) (released bool, err error)
+	AdvanceClock(ctx context.Context, now int) (int, error)
+	StateSummary(ctx context.Context) (StateSummary, error)
+	Metrics(ctx context.Context) (Metrics, error)
+	Retried() int
+}
+
+// StateSummary is the slice of server state the runner's report needs,
+// common to a single shard's state and a vmgate's aggregated state.
+type StateSummary struct {
+	Now         int
+	Residents   int
+	TotalEnergy float64
+	Digest      string
+}
+
 // Runner replays a Schedule against a server, minute-step by
 // minute-step: advance the clock, issue the minute's admissions, then
 // its releases, pacing steps by MinuteInterval. Within a step calls run
@@ -49,7 +71,7 @@ func (o Options) workers() int {
 // the operation order the server observes is reproducible at minute
 // granularity.
 type Runner struct {
-	Client   *Client
+	Client   API
 	Schedule *Schedule
 	Opts     Options
 }
@@ -177,14 +199,14 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			rep.MetricsDelta = after.Delta(before)
 		}
 	}
-	st, digest, err := r.Client.State(ctx)
+	sum, err := r.Client.StateSummary(ctx)
 	if err != nil {
 		return rep, fmt.Errorf("loadgen: final state scrape: %w", err)
 	}
-	rep.FinalNow = st.Now
-	rep.FinalResidents = len(st.VMs)
-	rep.FinalEnergy = st.TotalEnergy
-	rep.StateDigest = digest
+	rep.FinalNow = sum.Now
+	rep.FinalResidents = sum.Residents
+	rep.FinalEnergy = sum.TotalEnergy
+	rep.StateDigest = sum.Digest
 	return rep, nil
 }
 
@@ -232,10 +254,10 @@ func (r *Runner) admitStep(ctx context.Context, rep *Report, co *collector, step
 		chunkSize = len(step.Admits)
 	}
 	type chunkResult struct {
-		adms []cluster.Admission
+		adms []api.AdmitResponse
 		err  error
 	}
-	var chunks [][]cluster.VMRequest
+	var chunks [][]api.AdmitRequest
 	for off := 0; off < len(step.Admits); off += chunkSize {
 		end := off + chunkSize
 		if end > len(step.Admits) {

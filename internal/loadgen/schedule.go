@@ -6,7 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"vmalloc/internal/cluster"
+	"vmalloc/internal/api"
 	"vmalloc/internal/model"
 )
 
@@ -55,7 +55,7 @@ func (s ScheduleSpec) Validate() error {
 // log), then issue the releases.
 type Step struct {
 	Minute   int
-	Admits   []cluster.VMRequest
+	Admits   []api.AdmitRequest
 	Releases []int // VM IDs, ascending
 }
 
@@ -120,7 +120,7 @@ func BuildSchedule(spec ScheduleSpec) (*Schedule, error) {
 			length = 1
 		}
 		vt := types[rng.Intn(len(types))]
-		stepAt(start).Admits = append(stepAt(start).Admits, cluster.VMRequest{
+		stepAt(start).Admits = append(stepAt(start).Admits, api.AdmitRequest{
 			ID:              id,
 			Type:            vt.Name,
 			Demand:          vt.Resources(),

@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vmalloc/internal/api"
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
+	"vmalloc/internal/obs"
+	"vmalloc/internal/shard"
+)
+
+// shardedDeployment is two real vmserve shards behind one real vmgate,
+// all in process, for the sharded soak tests.
+type shardedDeployment struct {
+	m        *shard.Map
+	gate     *shard.Gate
+	gateSrv  *httptest.Server
+	shardSrv map[string]*httptest.Server
+}
+
+func newShardedDeployment(t *testing.T, serversPerShard int) *shardedDeployment {
+	t.Helper()
+	d := &shardedDeployment{shardSrv: make(map[string]*httptest.Server, 2)}
+	var shards []shard.Shard
+	for i, name := range []string{"s0", "s1"} {
+		servers := testServers(serversPerShard)
+		for j := range servers {
+			servers[j].ID = 1000*(i+1) + j // distinct server IDs per shard
+		}
+		cl, err := cluster.Open(cluster.Config{
+			Servers:     servers,
+			IdleTimeout: 5,
+			BatchWindow: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		srv := httptest.NewServer(clusterhttp.New(cl, clusterhttp.Config{Metrics: obs.NewHTTPMetrics()}))
+		t.Cleanup(srv.Close)
+		d.shardSrv[name] = srv
+		shards = append(shards, shard.Shard{Name: name, Addr: srv.URL})
+	}
+	m, err := shard.NewMap(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.m = m
+	d.gate = shard.NewGate(m, shard.Config{Metrics: obs.NewHTTPMetrics()})
+	d.gateSrv = httptest.NewServer(d.gate.Handler())
+	t.Cleanup(d.gateSrv.Close)
+	return d
+}
+
+// verifyResidency checks that every VM resident anywhere in the
+// deployment sits on exactly the shard its ID hashes to, and returns
+// the total resident count and the per-shard digests.
+func (d *shardedDeployment) verifyResidency(t *testing.T) (int, map[string]string) {
+	t.Helper()
+	total := 0
+	digests := make(map[string]string, len(d.shardSrv))
+	for name, srv := range d.shardSrv {
+		st, digest, err := NewClient(srv.URL).State(context.Background())
+		if err != nil {
+			t.Fatalf("state of shard %s: %v", name, err)
+		}
+		digests[name] = digest
+		total += len(st.VMs)
+		for _, p := range st.VMs {
+			if owner := d.m.Assign(p.VM.ID).Name; owner != name {
+				t.Errorf("vm %d resident on shard %s but hashes to %s", p.VM.ID, name, owner)
+			}
+		}
+	}
+	return total, digests
+}
+
+func shardedSoakSpec() ScheduleSpec {
+	spec := ScheduleSpec{
+		Profile:         DiurnalProfile{MeanInterArrival: 0.4, PeakToTrough: 3, Period: 300},
+		NumVMs:          800,
+		MeanLength:      30,
+		ReleaseFraction: 0.4,
+		Seed:            20260805,
+	}
+	if testing.Short() {
+		spec.NumVMs = 200
+	}
+	return spec
+}
+
+// TestShardedSoakThroughGate replays a full seeded schedule through a
+// vmgate fronting two shards, with chunked concurrent admissions (run
+// under -race). Afterwards: zero failed operations, every resident VM
+// on the shard its ID hashes to, and the gate's aggregated digest equal
+// to the combination of the digests the shards themselves serve.
+func TestShardedSoakThroughGate(t *testing.T) {
+	d := newShardedDeployment(t, 24)
+	sched, err := BuildSchedule(shardedSoakSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(d.gateSrv.URL)
+	r := &Runner{Client: client, Schedule: sched, Opts: Options{Workers: 16, Chunk: 8}}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sharded soak reported %d errors", rep.Errors)
+	}
+	if rep.Sent != sched.NumVMs {
+		t.Fatalf("sent %d admissions, want %d", rep.Sent, sched.NumVMs)
+	}
+	t.Logf("gate soak: %d ops, %d accepted, %d rejected, %d released in %s",
+		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Wall.Round(time.Millisecond))
+
+	residents, digests := d.verifyResidency(t)
+	if residents != rep.FinalResidents {
+		t.Errorf("shards hold %d residents, gate reported %d", residents, rep.FinalResidents)
+	}
+	if want := shard.CombineDigests(digests); rep.StateDigest != want {
+		t.Errorf("gate digest %s != combined per-shard digests %s", rep.StateDigest, want)
+	}
+
+	// The gate's full aggregated state agrees with the per-shard truth.
+	gs, hdrDigest, err := client.GateState(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Digest != hdrDigest || gs.Digest != rep.StateDigest {
+		t.Errorf("digest mismatch: body %s header %s report %s", gs.Digest, hdrDigest, rep.StateDigest)
+	}
+	if gs.Admitted != rep.Accepted {
+		t.Errorf("gate admitted %d, report accepted %d", gs.Admitted, rep.Accepted)
+	}
+	for _, ss := range gs.Shards {
+		if digests[ss.Shard] != ss.Digest {
+			t.Errorf("shard %s digest drifted between scrapes", ss.Shard)
+		}
+	}
+}
+
+// TestShardedSoakMultiClient replays the same schedule through a
+// MultiClient routing straight at the shards — no gate in the data path
+// — and demands the same invariants, plus digest agreement with a gate
+// observing the same deployment: routing is a property of the shard
+// map, not of which process evaluates it.
+func TestShardedSoakMultiClient(t *testing.T) {
+	d := newShardedDeployment(t, 24)
+	sched, err := BuildSchedule(shardedSoakSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMultiClient(d.m, nil)
+	if err := mc.WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Client: mc, Schedule: sched, Opts: Options{Workers: 16, Chunk: 8}}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("multi-client soak reported %d errors", rep.Errors)
+	}
+
+	residents, digests := d.verifyResidency(t)
+	if residents != rep.FinalResidents {
+		t.Errorf("shards hold %d residents, report says %d", residents, rep.FinalResidents)
+	}
+	if want := shard.CombineDigests(digests); rep.StateDigest != want {
+		t.Errorf("multi-client digest %s != combined per-shard digests %s", rep.StateDigest, want)
+	}
+	// A gate over the same live deployment serves the same digest.
+	_, gateDigest, err := NewClient(d.gateSrv.URL).GateState(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gateDigest != rep.StateDigest {
+		t.Errorf("gate sees digest %s, multi-client computed %s", gateDigest, rep.StateDigest)
+	}
+	// Summed metrics cover both shards' admissions.
+	met, err := mc.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := met["vmalloc_cluster_admissions_total"]; got != float64(rep.Accepted) {
+		t.Errorf("summed admissions %g, want %d", got, rep.Accepted)
+	}
+}
+
+// TestShardedFailoverScopedErrors kills one shard and verifies, through
+// the typed client, that the gate degrades exactly the dead shard's key
+// range: typed 503 shard_down envelopes for its IDs, normal service for
+// the other shard's.
+func TestShardedFailoverScopedErrors(t *testing.T) {
+	d := newShardedDeployment(t, 4)
+	d.shardSrv["s1"].Close()
+	d.gate.Prober().CheckNow(context.Background())
+
+	idFor := func(name string) int {
+		for id := 1; ; id++ {
+			if d.m.Assign(id).Name == name {
+				return id
+			}
+		}
+	}
+	client := NewClient(d.gateSrv.URL)
+	client.Retries = -1 // a dead shard stays dead; retrying only slows the test
+
+	req := func(id int) []api.AdmitRequest {
+		return []api.AdmitRequest{{ID: id, Demand: testServers(1)[0].Capacity, DurationMinutes: 10}}
+	}
+	_, err := client.Admit(context.Background(), req(idFor("s1")))
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("dead-shard admit error %v, want *api.Error", err)
+	}
+	if ae.Status != 503 || ae.Envelope.Code != api.CodeShardDown {
+		t.Fatalf("dead-shard admit: status %d code %q, want 503 shard_down", ae.Status, ae.Envelope.Code)
+	}
+
+	adms, err := client.Admit(context.Background(), req(idFor("s0")))
+	if err != nil {
+		t.Fatalf("live-shard admit failed: %v (a dead shard must not take the live one with it)", err)
+	}
+	if len(adms) != 1 || !adms[0].Accepted {
+		t.Fatalf("live-shard admit %+v", adms)
+	}
+
+	// Releases to the dead shard's range: same scoped typed failure.
+	_, err = client.Release(context.Background(), idFor("s1"))
+	if !errors.As(err, &ae) || ae.Envelope.Code != api.CodeShardDown {
+		t.Fatalf("dead-shard release error %v, want shard_down envelope", err)
+	}
+}

@@ -60,12 +60,20 @@ func (m *HTTPMetrics) Requests(route string, status int) uint64 {
 }
 
 // Write emits the collected series in Prometheus text exposition
-// format, deterministically ordered.
+// format, deterministically ordered, under the vmserve family names.
 func (m *HTTPMetrics) Write(w io.Writer) {
+	m.WriteNamed(w, "vmalloc_http_requests_total", "vmalloc_http_request_seconds")
+}
+
+// WriteNamed is Write with caller-chosen family names. The vmgate router
+// uses it to export its own edge metrics under vmalloc_gate_http_* so
+// they never collide with the vmalloc_http_* families it merges in from
+// the shards.
+func (m *HTTPMetrics) WriteNamed(w io.Writer, requestsName, latencyName string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	name := "vmalloc_http_requests_total"
+	name := requestsName
 	fmt.Fprintf(w, "# HELP %s HTTP requests served, by route pattern and status.\n# TYPE %s counter\n", name, name)
 	keys := make([]routeStatus, 0, len(m.requests))
 	for k := range m.requests {
@@ -81,7 +89,7 @@ func (m *HTTPMetrics) Write(w io.Writer) {
 		fmt.Fprintf(w, "%s{route=%q,status=\"%d\"} %d\n", name, k.route, k.status, m.requests[k])
 	}
 
-	name = "vmalloc_http_request_seconds"
+	name = latencyName
 	fmt.Fprintf(w, "# HELP %s HTTP request latency by route pattern, in seconds.\n# TYPE %s histogram\n", name, name)
 	routes := make([]string, 0, len(m.latency))
 	for r := range m.latency {

@@ -1,0 +1,530 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmalloc/internal/api"
+	"vmalloc/internal/config"
+	"vmalloc/internal/obs"
+)
+
+// DefaultProxyTimeout bounds one proxied request when Config.Timeout is
+// 0.
+const DefaultProxyTimeout = 10 * time.Second
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0
+// (same ceiling as the shards themselves).
+const DefaultMaxBodyBytes = 8 << 20
+
+// Config configures a Gate. The zero value works.
+type Config struct {
+	// Timeout bounds each proxied request; 0 means DefaultProxyTimeout.
+	Timeout time.Duration
+	// MaxBodyBytes caps inbound request bodies; 0 means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// ProbeInterval is the health-check cadence; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// Client issues proxied requests and probes; nil means a dedicated
+	// client (important: tests fronting httptest servers pass
+	// ts.Client()).
+	Client *http.Client
+	// Logger gets the access log and shard health transitions; nil
+	// discards.
+	Logger *slog.Logger
+	// Metrics collects the gate's own per-route counts and latencies,
+	// exported under vmalloc_gate_http_*; nil disables them.
+	Metrics *obs.HTTPMetrics
+}
+
+// Gate is the stateless routing front for a set of vmserve shards. It
+// serves the same /v1 surface the shards do — admissions routed by VM
+// ID, releases proxied to the owning shard, clock advances fanned out,
+// state and metrics scatter-gathered — plus /v1/shards for the health
+// view. A down shard degrades only its own key range: requests whose
+// VM IDs all hash to live shards keep succeeding, and requests touching
+// the dead shard fail with a scoped, shard-naming api.ErrorEnvelope.
+type Gate struct {
+	m      *Map
+	cfg    Config
+	hc     *http.Client
+	prober *Prober
+
+	// proxyErrs counts transport-level proxy failures per shard,
+	// pre-sized at construction so reads need no lock.
+	proxyErrs map[string]*atomic.Uint64
+}
+
+// NewGate builds a gate over the shard map. Call Run to start health
+// probing and Handler for the HTTP surface.
+func NewGate(m *Map, cfg Config) *Gate {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultProxyTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	g := &Gate{
+		m:   m,
+		cfg: cfg,
+		hc:  hc,
+		prober: NewProber(m, ProberConfig{
+			Interval: cfg.ProbeInterval,
+			Timeout:  cfg.Timeout,
+			Client:   hc,
+			Logger:   cfg.Logger,
+		}),
+		proxyErrs: make(map[string]*atomic.Uint64, m.Len()),
+	}
+	for _, s := range m.Shards() {
+		g.proxyErrs[s.Name] = new(atomic.Uint64)
+	}
+	return g
+}
+
+// Prober exposes the gate's health prober (the daemon runs it; tests
+// force verdicts through it).
+func (g *Gate) Prober() *Prober { return g.prober }
+
+// Run probes shard health until ctx is cancelled.
+func (g *Gate) Run(ctx context.Context) { g.prober.Run(ctx) }
+
+// Handler returns the gate's HTTP surface, wrapped in the same
+// request-id/access-log/metrics middleware the shards use.
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vms", g.handleAdmit)
+	mux.HandleFunc("DELETE /v1/vms/{id}", g.handleRelease)
+	mux.HandleFunc("POST /v1/clock", g.handleClock)
+	mux.HandleFunc("GET /v1/state", g.handleState)
+	mux.HandleFunc("GET /v1/shards", g.handleShards)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return obs.Middleware(mux, g.cfg.Logger, g.cfg.Metrics)
+}
+
+// call proxies one request to a shard and returns the response body, or
+// an *api.Error carrying the status and envelope the gate should relay.
+// An unhealthy shard fails fast without a network round trip; a
+// transport failure marks the shard down on the spot (the data path is
+// the freshest health probe there is).
+func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []byte) (http.Header, []byte, *api.Error) {
+	if !g.prober.Healthy(s.Name) {
+		return nil, nil, g.shardDown(s, errors.New(g.prober.LastError(s.Name)))
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.Addr+path, rd)
+	if err != nil {
+		return nil, nil, &api.Error{Status: http.StatusInternalServerError, Envelope: api.ErrorEnvelope{
+			Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: build request: %v", s.Name, err)}}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.proxyErrs[s.Name].Add(1)
+		g.prober.MarkDown(s.Name, err)
+		return nil, nil, g.shardDown(s, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		g.proxyErrs[s.Name].Add(1)
+		g.prober.MarkDown(s.Name, err)
+		return nil, nil, g.shardDown(s, err)
+	}
+	if resp.StatusCode >= 400 {
+		// The shard answered: it is up, just refusing. Relay its
+		// envelope with the shard named in the message.
+		perr := api.DecodeError(resp.StatusCode, data)
+		perr.Envelope.Message = fmt.Sprintf("shard %s: %s", s.Name, perr.Envelope.Message)
+		return resp.Header, nil, perr
+	}
+	return resp.Header, data, nil
+}
+
+func (g *Gate) shardDown(s Shard, cause error) *api.Error {
+	msg := fmt.Sprintf("shard %s down", s.Name)
+	if cause != nil && cause.Error() != "" {
+		msg += ": " + cause.Error()
+	}
+	return &api.Error{Status: http.StatusServiceUnavailable, Envelope: api.ErrorEnvelope{
+		Code: api.CodeShardDown, Message: msg}}
+}
+
+// handleAdmit splits the batch by owning shard, fans the sub-batches
+// out concurrently, and reassembles the responses in request order.
+// All-or-nothing per request: if any touched shard fails, the whole
+// request fails with that shard's envelope (the client retries the
+// batch; admissions with explicit IDs are idempotent, so re-admitting
+// the half that succeeded folds into "already resident").
+func (g *Gate) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	reqs, err := api.DecodeAdmitRequests(r.Body, g.cfg.MaxBodyBytes)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, api.ErrBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, r, status, api.CodeBadRequest, err)
+		return
+	}
+	groups := make(map[string][]int) // shard name → indices into reqs
+	for i, req := range reqs {
+		if req.ID <= 0 {
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Errorf("request %d has no vm id: the gate routes by id, so every admission must carry an explicit one", i))
+			return
+		}
+		name := g.m.Assign(req.ID).Name
+		groups[name] = append(groups[name], i)
+	}
+
+	type result struct {
+		shard Shard
+		resps []api.AdmitResponse
+		err   *api.Error
+	}
+	results := make([]result, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range g.m.Shards() {
+		idxs := groups[s.Name]
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]api.AdmitRequest, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := result{shard: s}
+			body, merr := json.Marshal(sub)
+			if merr != nil {
+				res.err = &api.Error{Status: http.StatusInternalServerError, Envelope: api.ErrorEnvelope{
+					Code: api.CodeInternal, Message: merr.Error()}}
+			} else {
+				var data []byte
+				_, data, res.err = g.call(r.Context(), s, http.MethodPost, "/v1/vms", body)
+				if res.err == nil {
+					if derr := json.Unmarshal(data, &res.resps); derr != nil {
+						res.err = &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+							Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse response: %v", s.Name, derr)}}
+					} else if len(res.resps) != len(idxs) {
+						res.err = &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+							Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: %d responses for %d requests", s.Name, len(res.resps), len(idxs))}}
+					}
+				}
+			}
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(results, func(a, b int) bool { return results[a].shard.Name < results[b].shard.Name })
+
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	out := make([]api.AdmitResponse, len(reqs))
+	for _, res := range results {
+		for j, i := range groups[res.shard.Name] {
+			out[i] = res.resps[j]
+		}
+	}
+	writeJSON(w, r, http.StatusOK, out)
+}
+
+// foldErrors combines per-shard failures into one envelope: the first
+// failing shard (by name) sets the status and code, and the message
+// names every failed shard so a partially degraded fan-out is fully
+// visible from one error.
+func foldErrors[T any](results []T, get func(T) *api.Error) *api.Error {
+	var first *api.Error
+	var msgs []string
+	for _, res := range results {
+		if e := get(res); e != nil {
+			if first == nil {
+				first = e
+			}
+			msgs = append(msgs, e.Envelope.Message)
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	folded := *first
+	folded.Envelope.Message = strings.Join(msgs, "; ")
+	return &folded
+}
+
+// handleRelease proxies the release to the shard owning the VM ID and
+// relays the shard's response verbatim.
+func (g *Gate) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("bad vm id %q", r.PathValue("id")))
+		return
+	}
+	s := g.m.Assign(id)
+	_, data, perr := g.call(r.Context(), s, http.MethodDelete, "/v1/vms/"+strconv.Itoa(id), nil)
+	if perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client gone
+}
+
+// handleClock fans the advance out to every shard and reports the
+// slowest resulting clock. The shard clock is monotonic, so replaying
+// an advance onto a shard that already took it is a no-op — which makes
+// retrying a partially failed fan-out safe.
+func (g *Gate) handleClock(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, err)
+		return
+	}
+	type result struct {
+		now int
+		err *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodPost, "/v1/clock", body)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var cr api.ClockResponse
+		if derr := json.Unmarshal(data, &cr); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse clock response: %v", s.Name, derr)}}}
+		}
+		return result{now: cr.Now}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	minNow := results[0].now
+	for _, res := range results[1:] {
+		minNow = min(minNow, res.now)
+	}
+	writeJSON(w, r, http.StatusOK, api.ClockResponse{Now: minNow})
+}
+
+// handleState gathers every shard's state into one api.GateStateResponse
+// with cross-shard aggregates and the combined digest. All-or-nothing:
+// a partial view would silently undercount, so a down shard fails the
+// whole read with its name in the envelope.
+func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		st     *api.StateResponse
+		digest string
+		err    *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		hdr, data, perr := g.call(ctx, s, http.MethodGet, "/v1/state", nil)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var st api.StateResponse
+		if derr := json.Unmarshal(data, &st); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse state: %v", s.Name, derr)}}}
+		}
+		digest := hdr.Get(api.StateDigestHeader)
+		if digest == "" {
+			digest = api.DigestBytes(data)
+		}
+		return result{st: &st, digest: digest}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+
+	shards := g.m.Shards()
+	out := api.GateStateResponse{Now: results[0].st.Now}
+	digests := make(map[string]string, len(shards))
+	for i, res := range results {
+		st := res.st
+		out.Now = min(out.Now, st.Now)
+		out.Admitted += st.Admitted
+		out.Released += st.Released
+		out.Residents += len(st.VMs)
+		out.ServersUsed += st.ServersUsed
+		out.TotalEnergy += st.TotalEnergy
+		digests[shards[i].Name] = res.digest
+		out.Shards = append(out.Shards, api.ShardState{
+			Shard: shards[i].Name, Addr: shards[i].Addr, Digest: res.digest, State: st,
+		})
+	}
+	out.Digest = CombineDigests(digests)
+
+	b, err := api.EncodeGateState(&out)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.StateDigestHeader, out.Digest)
+	w.Write(b) //nolint:errcheck // client gone
+}
+
+// scatter runs fn against every shard concurrently and returns the
+// results in configuration order. (A free function because methods
+// cannot be generic.)
+func scatter[T any](g *Gate, ctx context.Context, fn func(context.Context, Shard) T) []T {
+	shards := g.m.Shards()
+	results := make([]T, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = fn(ctx, s)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func (g *Gate) handleShards(w http.ResponseWriter, r *http.Request) {
+	hs := g.prober.Snapshot()
+	writeJSON(w, r, http.StatusOK, api.ShardsResponse{Count: len(hs), Shards: hs})
+}
+
+// handleHealthz is 200 only when every shard is healthy; a degraded
+// gate says which shards are down so orchestration can route around it.
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var down []string
+	for _, h := range g.prober.Snapshot() {
+		if !h.Healthy {
+			down = append(down, h.Name)
+		}
+	}
+	if len(down) > 0 {
+		writeError(w, r, http.StatusServiceUnavailable, api.CodeShardDown,
+			fmt.Errorf("shards down: %s", strings.Join(down, ", ")))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck // client gone
+}
+
+// handleMetrics scrapes every healthy shard's /metrics concurrently,
+// merges the expositions under an injected shard label, and appends the
+// gate's own families (vmalloc_gate_*). A down or failing shard is
+// skipped rather than failing the scrape — its absence is itself
+// visible as vmalloc_gate_shard_up 0.
+func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	shards := g.m.Shards()
+	payloads := make([][]byte, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, data, perr := g.call(r.Context(), s, http.MethodGet, "/metrics", nil)
+			if perr == nil {
+				payloads[i] = data
+			}
+		}()
+	}
+	wg.Wait()
+
+	byName := make(map[string][]byte, len(shards))
+	order := make([]string, 0, len(shards))
+	for i, s := range shards {
+		if payloads[i] != nil {
+			order = append(order, s.Name)
+			byName[s.Name] = payloads[i]
+		}
+	}
+	var buf bytes.Buffer
+	MergeExpositions(&buf, order, byName)
+	g.writeOwnMetrics(&buf)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone
+}
+
+// writeOwnMetrics emits the gate's own families. They live under
+// vmalloc_gate_* precisely so they can never collide with the shard
+// families merged above (which include vmalloc_http_* and vmalloc_go_*
+// from each shard).
+func (g *Gate) writeOwnMetrics(w io.Writer) {
+	name := "vmalloc_gate_shard_up"
+	fmt.Fprintf(w, "# HELP %s 1 while the prober considers the shard healthy.\n# TYPE %s gauge\n", name, name)
+	for _, h := range g.prober.Snapshot() {
+		up := 0
+		if h.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "%s{shard=%q} %d\n", name, h.Name, up)
+	}
+	name = "vmalloc_gate_proxy_errors_total"
+	fmt.Fprintf(w, "# HELP %s Transport-level proxy failures per shard.\n# TYPE %s counter\n", name, name)
+	for _, s := range g.m.Shards() {
+		fmt.Fprintf(w, "%s{shard=%q} %d\n", name, s.Name, g.proxyErrs[s.Name].Load())
+	}
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.WriteNamed(w, "vmalloc_gate_http_requests_total", "vmalloc_gate_http_request_seconds")
+	}
+	b := config.Build()
+	name = "vmalloc_gate_build_info"
+	fmt.Fprintf(w, "# HELP %s Build identity of the running vmgate binary (constant 1).\n# TYPE %s gauge\n", name, name)
+	fmt.Fprintf(w, "%s{version=%q,goversion=%q,revision=%q,modified=\"%t\"} 1\n",
+		name, b.Version, b.GoVersion, b.Revision, b.Modified)
+}
+
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	if env, ok := v.(api.ErrorEnvelope); ok && env.RequestID == "" {
+		env.RequestID = obs.RequestID(r.Context())
+		v = env
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+// writeError writes an api.ErrorEnvelope with the gate's request id, so
+// a failure seen by a client joins the gate's access log (and, for
+// proxied failures, the shard's flight recorder) on one id.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	writeJSON(w, r, status, api.ErrorEnvelope{Code: code, Message: err.Error()})
+}

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"vmalloc/internal/api"
+)
+
+// DefaultProbeInterval is the per-shard health-check cadence when
+// ProberConfig.Interval is 0.
+const DefaultProbeInterval = time.Second
+
+// maxBackoffProbes caps the probe backoff at Interval << maxBackoffProbes
+// (x32), so a long-dead shard is still noticed within ~half a minute of
+// coming back at the default cadence.
+const maxBackoffProbes = 5
+
+// ProberConfig configures a Prober. The zero value works.
+type ProberConfig struct {
+	// Interval between probes of a healthy shard; 0 means
+	// DefaultProbeInterval. Failing shards back off exponentially from
+	// here (doubling per consecutive failure, capped at 32×).
+	Interval time.Duration
+	// Timeout for one probe request; 0 means Interval (min 1s).
+	Timeout time.Duration
+	// Client issues the probes; nil means http.DefaultClient.
+	Client *http.Client
+	// Logger gets one line per health transition; nil discards.
+	Logger *slog.Logger
+}
+
+// Prober tracks each shard's health by polling its /healthz and by
+// accepting verdicts from the gate's own proxy attempts (a failed proxy
+// marks the shard down immediately — the data path is the freshest
+// probe there is). Safe for concurrent use.
+type Prober struct {
+	cfg    ProberConfig
+	shards []Shard
+
+	mu    sync.Mutex
+	state map[string]*shardHealth
+}
+
+type shardHealth struct {
+	healthy bool
+	lastErr string
+	fails   int       // consecutive probe failures, drives backoff
+	next    time.Time // earliest next probe
+}
+
+// NewProber builds a prober over the map's shards. All shards start
+// healthy-until-proven-otherwise so a gate serves immediately; the
+// first probe pass (Run's first tick, or an explicit CheckNow) replaces
+// optimism with verdicts.
+func NewProber(m *Map, cfg ProberConfig) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = max(cfg.Interval, time.Second)
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	p := &Prober{
+		cfg:    cfg,
+		shards: m.Shards(),
+		state:  make(map[string]*shardHealth, m.Len()),
+	}
+	for _, s := range p.shards {
+		p.state[s.Name] = &shardHealth{healthy: true}
+	}
+	return p
+}
+
+// Run probes until ctx is cancelled, starting with an immediate pass.
+func (p *Prober) Run(ctx context.Context) {
+	p.CheckNow(ctx)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.checkDue(ctx, time.Now())
+		}
+	}
+}
+
+// CheckNow probes every shard once, ignoring backoff schedules. Used at
+// startup and by tests that want a deterministic verdict.
+func (p *Prober) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.probe(ctx, s)
+		}()
+	}
+	wg.Wait()
+}
+
+// checkDue probes the shards whose backoff window has elapsed.
+func (p *Prober) checkDue(ctx context.Context, now time.Time) {
+	var due []Shard
+	p.mu.Lock()
+	for _, s := range p.shards {
+		if !now.Before(p.state[s.Name].next) {
+			due = append(due, s)
+		}
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, s := range due {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.probe(ctx, s)
+		}()
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(ctx context.Context, s Shard) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+	defer cancel()
+	err := p.probeOnce(ctx, s)
+	if err != nil {
+		p.MarkDown(s.Name, err)
+		return
+	}
+	p.MarkUp(s.Name)
+}
+
+func (p *Prober) probeOnce(ctx context.Context, s Shard) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.Addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck // drain for keep-alive
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// MarkDown records a failed probe or proxy attempt: the shard is
+// unhealthy and its next probe backs off exponentially.
+func (p *Prober) MarkDown(name string, cause error) {
+	p.mu.Lock()
+	st, ok := p.state[name]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	wasHealthy := st.healthy
+	st.healthy = false
+	st.lastErr = cause.Error()
+	if st.fails < maxBackoffProbes {
+		st.fails++
+	}
+	st.next = time.Now().Add(p.cfg.Interval << st.fails)
+	p.mu.Unlock()
+	if wasHealthy && p.cfg.Logger != nil {
+		p.cfg.Logger.Warn("shard down", "shard", name, "error", cause.Error())
+	}
+}
+
+// MarkUp records a successful probe: the shard is healthy and back on
+// the regular cadence.
+func (p *Prober) MarkUp(name string) {
+	p.mu.Lock()
+	st, ok := p.state[name]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	wasHealthy := st.healthy
+	st.healthy = true
+	st.lastErr = ""
+	st.fails = 0
+	st.next = time.Now().Add(p.cfg.Interval)
+	p.mu.Unlock()
+	if !wasHealthy && p.cfg.Logger != nil {
+		p.cfg.Logger.Info("shard up", "shard", name)
+	}
+}
+
+// Healthy reports the current verdict for one shard.
+func (p *Prober) Healthy(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[name]
+	return ok && st.healthy
+}
+
+// LastError returns the most recent failure message for an unhealthy
+// shard, or "".
+func (p *Prober) LastError(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[name]; ok {
+		return st.lastErr
+	}
+	return ""
+}
+
+// Snapshot returns every shard's health in configuration order.
+func (p *Prober) Snapshot() []api.ShardHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]api.ShardHealth, 0, len(p.shards))
+	for _, s := range p.shards {
+		st := p.state[s.Name]
+		out = append(out, api.ShardHealth{
+			Name:    s.Name,
+			Addr:    s.Addr,
+			Healthy: st.healthy,
+			Error:   st.lastErr,
+		})
+	}
+	return out
+}

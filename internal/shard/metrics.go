@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// family is one merged metric family: the first shard's HELP/TYPE
+// declaration plus every shard's samples, each carrying an injected
+// shard label.
+type family struct {
+	help    string
+	typ     string
+	samples []string
+}
+
+// MergeExpositions merges per-shard Prometheus text expositions into
+// one valid exposition: every sample gains a shard="name" label (first
+// label, before any existing ones), and families that appear on several
+// shards are regrouped contiguously under a single HELP/TYPE
+// declaration (first-declaring shard wins, in the given shard order).
+// Without the regrouping a plain concatenation would declare e.g.
+// vmalloc_cluster_admissions_total twice, which scrapers reject.
+func MergeExpositions(w io.Writer, order []string, payloads map[string][]byte) {
+	fams := make(map[string]*family)
+	var famOrder []string
+	lookup := func(name string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{}
+			fams[name] = f
+			famOrder = append(famOrder, name)
+		}
+		return f
+	}
+	for _, shardName := range order {
+		var cur *family
+		for _, line := range strings.Split(string(payloads[shardName]), "\n") {
+			switch {
+			case line == "":
+				continue
+			case strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE "):
+				name, _, _ := strings.Cut(line[len("# HELP "):], " ")
+				f := lookup(name)
+				if strings.HasPrefix(line, "# HELP ") {
+					if f.help == "" {
+						f.help = line
+					}
+				} else if f.typ == "" {
+					f.typ = line
+				}
+				cur = f
+			case strings.HasPrefix(line, "#"):
+				continue
+			default:
+				f := cur
+				if f == nil {
+					// Sample before any declaration: group it under its
+					// own series name so the output stays contiguous.
+					f = lookup(sampleName(line))
+				}
+				f.samples = append(f.samples, injectLabel(line, "shard", shardName))
+			}
+		}
+	}
+	for _, name := range famOrder {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintln(w, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintln(w, f.typ)
+		}
+		for _, s := range f.samples {
+			fmt.Fprintln(w, s)
+		}
+	}
+}
+
+// sampleName extracts the series name from a sample line.
+func sampleName(line string) string {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return line[:i]
+	}
+	name, _, _ := strings.Cut(line, " ")
+	return name
+}
+
+// injectLabel rewrites one sample line to carry key="value" as its
+// first label. Label values elsewhere on the line may contain spaces
+// and braces inside quotes, but the opening brace of the label set (if
+// any) is always the first '{', and a bare sample's name never contains
+// a space — so both rewrites are single-split.
+func injectLabel(line, key, value string) string {
+	label := fmt.Sprintf("%s=%q", key, value)
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		if i+1 < len(line) && line[i+1] == '}' {
+			return line[:i+1] + label + line[i+1:]
+		}
+		return line[:i+1] + label + "," + line[i+1:]
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return line
+	}
+	return name + "{" + label + "} " + rest
+}

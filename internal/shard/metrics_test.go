@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/promlint"
+)
+
+// TestInjectLabel covers the three sample shapes: no labels, existing
+// labels (including label values with spaces and braces), and an empty
+// label set.
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`up 1`, `up{shard="a"} 1`},
+		{`reqs{route="POST /v1/vms",status="200"} 5`, `reqs{shard="a",route="POST /v1/vms",status="200"} 5`},
+		{`odd{} 2`, `odd{shard="a"} 2`},
+		{`hist_bucket{le="+Inf"} 7`, `hist_bucket{shard="a",le="+Inf"} 7`},
+		{`weird{route="GET /x{y}"} 3`, `weird{shard="a",route="GET /x{y}"} 3`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c.in, "shard", "a"); got != c.want {
+			t.Errorf("injectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestMergeExpositions: families shared across shards are regrouped
+// under one declaration, every sample gains the shard label, and the
+// result passes the same lint as a single shard's exposition.
+func TestMergeExpositions(t *testing.T) {
+	a := `# HELP vm_admissions_total VMs admitted.
+# TYPE vm_admissions_total counter
+vm_admissions_total 3
+# HELP vm_lat_seconds Latency.
+# TYPE vm_lat_seconds histogram
+vm_lat_seconds_bucket{le="0.1"} 2
+vm_lat_seconds_bucket{le="+Inf"} 3
+vm_lat_seconds_sum 0.2
+vm_lat_seconds_count 3
+`
+	b := `# HELP vm_admissions_total VMs admitted.
+# TYPE vm_admissions_total counter
+vm_admissions_total 5
+# HELP vm_only_b A family only shard b has.
+# TYPE vm_only_b gauge
+vm_only_b 1
+# HELP vm_lat_seconds Latency.
+# TYPE vm_lat_seconds histogram
+vm_lat_seconds_bucket{le="0.1"} 1
+vm_lat_seconds_bucket{le="+Inf"} 1
+vm_lat_seconds_sum 0.01
+vm_lat_seconds_count 1
+`
+	var buf bytes.Buffer
+	MergeExpositions(&buf, []string{"a", "b"}, map[string][]byte{"a": []byte(a), "b": []byte(b)})
+	out := buf.String()
+
+	promlint.Lint(t, out)
+	for _, want := range []string{
+		`vm_admissions_total{shard="a"} 3`,
+		`vm_admissions_total{shard="b"} 5`,
+		`vm_only_b{shard="b"} 1`,
+		`vm_lat_seconds_bucket{shard="b",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE vm_admissions_total counter"); n != 1 {
+		t.Errorf("family vm_admissions_total declared %d times, want 1", n)
+	}
+	if n := strings.Count(out, "# TYPE vm_lat_seconds histogram"); n != 1 {
+		t.Errorf("family vm_lat_seconds declared %d times, want 1", n)
+	}
+	// Families must stay contiguous: both shards' admissions samples
+	// appear before the next family's declaration.
+	if i, j := strings.Index(out, `vm_admissions_total{shard="b"}`), strings.Index(out, "# HELP vm_lat_seconds"); i > j {
+		t.Errorf("shard b's admissions sample appears after the next family declaration\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+// Package shard implements the vmgate routing layer: a deterministic
+// VM-ID→shard map (rendezvous hashing), a health prober with per-shard
+// backoff, and a stateless HTTP gate that fronts several vmserve shards
+// while speaking the same internal/api wire contract on both sides.
+//
+// The gate holds no durable state of its own — every fact lives on some
+// shard — so any number of gates can front the same shard set, and a
+// gate restart loses nothing. The routing function is pure: the same
+// (shard set, VM ID) pair always yields the same shard, across gates
+// and across restarts, which is what makes admission retries through a
+// gate land on the shard that already holds the VM.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Shard is one vmserve backend: a stable routing name and the base URL
+// it serves on. The name, not the address, is the routing identity —
+// moving a shard to a new address keeps its key range; renaming it
+// remaps everything.
+type Shard struct {
+	Name string
+	Addr string
+}
+
+// Map is an immutable set of shards with a deterministic VM-ID→shard
+// assignment. Immutability is the point: a Map is built once at startup
+// from configuration, and every routing decision over its lifetime is a
+// pure function of (shard names, VM ID).
+type Map struct {
+	shards []Shard
+}
+
+// NewMap builds a Map over the given shards. Names must be non-empty
+// and unique and addresses non-empty; order does not affect routing
+// (assignment depends only on the name set) but is preserved for
+// display and scatter-gather ordering.
+func NewMap(shards []Shard) (*Map, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard map needs at least one shard")
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if s.Name == "" {
+			return nil, fmt.Errorf("shard with empty name (addr %q)", s.Addr)
+		}
+		if s.Addr == "" {
+			return nil, fmt.Errorf("shard %q has an empty address", s.Name)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	m := &Map{shards: make([]Shard, len(shards))}
+	copy(m.shards, shards)
+	return m, nil
+}
+
+// ParseTargets builds a Map from "name=url" strings (the repeatable
+// -shard flag of cmd/vmgate). A bare URL with no '=' gets a generated
+// name ("shard0", "shard1", …) — convenient for throwaway setups, but
+// note the generated name depends on flag order.
+func ParseTargets(targets []string) (*Map, error) {
+	shards := make([]Shard, 0, len(targets))
+	for i, t := range targets {
+		name, addr, ok := strings.Cut(t, "=")
+		if !ok {
+			name, addr = fmt.Sprintf("shard%d", i), t
+		}
+		shards = append(shards, Shard{Name: strings.TrimSpace(name), Addr: strings.TrimRight(strings.TrimSpace(addr), "/")})
+	}
+	return NewMap(shards)
+}
+
+// Shards returns the shards in configuration order.
+func (m *Map) Shards() []Shard {
+	out := make([]Shard, len(m.shards))
+	copy(out, m.shards)
+	return out
+}
+
+// Len returns the number of shards.
+func (m *Map) Len() int { return len(m.shards) }
+
+// ByName returns the shard with the given name.
+func (m *Map) ByName(name string) (Shard, bool) {
+	for _, s := range m.shards {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// Assign routes a VM ID to its owning shard by rendezvous (highest
+// random weight) hashing: every shard scores the ID and the highest
+// score wins. Unlike modulo hashing, adding or removing one shard
+// remaps only the keys that shard wins or held — every other ID keeps
+// its assignment, so a shard-set change never shuffles the whole
+// cluster's residency.
+func (m *Map) Assign(id int) Shard {
+	best := m.shards[0]
+	bestScore := score(m.shards[0].Name, id)
+	for _, s := range m.shards[1:] {
+		sc := score(s.Name, id)
+		if sc > bestScore || (sc == bestScore && s.Name < best.Name) {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}
+
+// score is the rendezvous weight of (shard, id): FNV-1a 64 over the
+// shard name, a NUL separator, and the ID's big-endian bytes, pushed
+// through a 64-bit avalanche finalizer. The finalizer matters: raw
+// FNV-1a barely diffuses a trailing one-byte change, so without it the
+// per-name hashes differ by ~2^60 while per-ID deltas stay tiny and one
+// shard wins every comparison.
+func score(name string, id int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	h.Write(b[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer: a bijective full-avalanche
+// mix, so every input bit flips about half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// CombineDigests folds per-shard state digests into one deployment
+// fingerprint: hex SHA-256 over "name<space>digest\n" lines sorted by
+// shard name. Sorting makes it independent of gather order, and the
+// line format keeps it shell-reproducible:
+//
+//	printf 'a %s\nb %s\n' "$da" "$db" | sha256sum
+//
+// matches CombineDigests(map[string]string{"a": da, "b": db}).
+func CombineDigests(digests map[string]string) string {
+	names := make([]string, 0, len(digests))
+	for n := range digests {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s %s\n", n, digests[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

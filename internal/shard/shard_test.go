@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func mustMap(t *testing.T, shards ...Shard) *Map {
+	t.Helper()
+	m, err := NewMap(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAssignDeterministic: the assignment is a pure function of (shard
+// names, id) — stable across Map instances (i.e. across gate restarts)
+// and independent of configuration order.
+func TestAssignDeterministic(t *testing.T) {
+	a := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"})
+	b := mustMap(t, Shard{"c", "http://c"}, Shard{"a", "http://a"}, Shard{"b", "http://b"})
+	for id := 1; id <= 1000; id++ {
+		if got, want := a.Assign(id), b.Assign(id); got.Name != want.Name {
+			t.Fatalf("id %d: order-dependent assignment %q vs %q", id, got.Name, want.Name)
+		}
+	}
+	// Fresh map, same names: same assignment (restart stability).
+	c := mustMap(t, Shard{"a", "http://other-a"}, Shard{"b", "http://other-b"}, Shard{"c", "http://other-c"})
+	for id := 1; id <= 1000; id++ {
+		if a.Assign(id).Name != c.Assign(id).Name {
+			t.Fatalf("id %d: assignment changed across map rebuilds", id)
+		}
+	}
+}
+
+// TestAssignBalance: rendezvous hashing spreads IDs roughly evenly —
+// no shard should own a wildly disproportionate share.
+func TestAssignBalance(t *testing.T) {
+	m := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"}, Shard{"d", "http://d"})
+	counts := map[string]int{}
+	const n = 4000
+	for id := 1; id <= n; id++ {
+		counts[m.Assign(id).Name]++
+	}
+	for name, c := range counts {
+		// Perfect balance is 1000 each; accept ±30%.
+		if c < 700 || c > 1300 {
+			t.Errorf("shard %s owns %d of %d ids (want ~%d)", name, c, n, n/len(counts))
+		}
+	}
+}
+
+// TestAssignRemapScope: removing one shard remaps exactly the keys that
+// shard held — every other key keeps its assignment. This is the
+// rendezvous property that makes shard-set changes survivable.
+func TestAssignRemapScope(t *testing.T) {
+	full := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"})
+	without := mustMap(t, Shard{"a", "http://a"}, Shard{"c", "http://c"})
+	for id := 1; id <= 2000; id++ {
+		before := full.Assign(id).Name
+		after := without.Assign(id).Name
+		if before == "b" {
+			if after == "b" {
+				t.Fatalf("id %d still assigned to removed shard", id)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("id %d moved %s→%s though its shard was not removed", id, before, after)
+		}
+	}
+}
+
+// TestNewMapValidation: empty sets, empty names/addresses and duplicate
+// names are construction errors, not latent routing surprises.
+func TestNewMapValidation(t *testing.T) {
+	cases := [][]Shard{
+		nil,
+		{{Name: "", Addr: "http://a"}},
+		{{Name: "a", Addr: ""}},
+		{{Name: "a", Addr: "http://a"}, {Name: "a", Addr: "http://b"}},
+	}
+	for i, shards := range cases {
+		if _, err := NewMap(shards); err == nil {
+			t.Errorf("case %d: NewMap(%v) accepted invalid input", i, shards)
+		}
+	}
+}
+
+// TestParseTargets: name=url pairs parse, bare URLs get generated
+// names, and trailing slashes are trimmed.
+func TestParseTargets(t *testing.T) {
+	m, err := ParseTargets([]string{"alpha=http://h1:8080/", "http://h2:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := m.Shards()
+	if shards[0].Name != "alpha" || shards[0].Addr != "http://h1:8080" {
+		t.Errorf("shard 0 = %+v", shards[0])
+	}
+	if shards[1].Name != "shard1" || shards[1].Addr != "http://h2:8080" {
+		t.Errorf("shard 1 = %+v", shards[1])
+	}
+}
+
+// TestCombineDigests: order-independent, name-sensitive, and
+// reproducible from the documented "name digest\n" line format (the CI
+// smoke recomputes it with printf | sha256sum).
+func TestCombineDigests(t *testing.T) {
+	d := map[string]string{"b": "222", "a": "111"}
+	got := CombineDigests(d)
+	sum := sha256.Sum256([]byte("a 111\nb 222\n"))
+	if want := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("CombineDigests = %s, want %s", got, want)
+	}
+	if CombineDigests(map[string]string{"a": "111", "b": "222"}) != got {
+		t.Error("CombineDigests depends on map construction order")
+	}
+	if CombineDigests(map[string]string{"a": "222", "b": "111"}) == got {
+		t.Error("CombineDigests ignores which shard holds which digest")
+	}
+}
+
+// TestAssignGolden pins a handful of concrete assignments so an
+// accidental change to the hash function (which would strand every
+// resident VM on a mis-routed shard after a gate upgrade) fails loudly.
+func TestAssignGolden(t *testing.T) {
+	m := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"})
+	got := ""
+	for id := 1; id <= 16; id++ {
+		got += m.Assign(id).Name
+	}
+	const want = "abbbaaaaaaabbbab"
+	if got != want {
+		t.Fatalf("assignment sequence for ids 1..16 = %q, want %q (hash function changed?)", got, want)
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	shards := make([]Shard, 8)
+	for i := range shards {
+		shards[i] = Shard{Name: fmt.Sprintf("shard%d", i), Addr: "http://x"}
+	}
+	m, err := NewMap(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		m.Assign(i)
+	}
+}
