@@ -81,6 +81,8 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		retries   = fs.Int("retries", 2, "retries per failed request (-1 = none)")
 		backoff   = fs.Duration("backoff", 50*time.Millisecond, "first retry backoff, doubling per retry")
 		noClock   = fs.Bool("no-clock", false, "do not drive /v1/clock (the server's clock is advanced elsewhere)")
+		consEvery = fs.Int("consolidate-every", 0, "POST /v1/consolidate after the tick of every fleet minute that is a multiple of this (0 = never)")
+		consPol   = fs.String("consolidate-policy", "", "victim-selection policy for those passes: min-migration-time or min-utilization (empty = server default)")
 		wait      = fs.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before the run (0 = don't)")
 		jsonOut   = fs.String("out", "", "write the full JSON report to this file (\"-\" = stdout)")
 		digestly  = fs.Bool("digest", false, "print only the outcome digest (for shell comparisons)")
@@ -154,10 +156,12 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		Client:   client,
 		Schedule: sched,
 		Opts: loadgen.Options{
-			Workers:        *workers,
-			MinuteInterval: *minute,
-			Chunk:          *chunk,
-			SkipClock:      *noClock,
+			Workers:           *workers,
+			MinuteInterval:    *minute,
+			Chunk:             *chunk,
+			SkipClock:         *noClock,
+			ConsolidateEvery:  *consEvery,
+			ConsolidatePolicy: *consPol,
 		},
 	}
 	logger.Info("replaying",
@@ -176,6 +180,7 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		"accepted", rep.Accepted,
 		"rejected", rep.Rejected,
 		"releases", rep.Releases,
+		"migrations", rep.Migrations,
 		"errors", rep.Errors,
 		"retries", rep.Retries,
 		"wall", rep.Wall,

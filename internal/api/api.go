@@ -132,11 +132,16 @@ type PlacedVM struct {
 // StateResponse reproduces the served bytes, which is what makes the
 // X-Vmalloc-State-Digest header meaningful to clients.
 type StateResponse struct {
-	Now             int              `json:"now"`
-	Policy          string           `json:"policy"`
-	IdleTimeout     int              `json:"idleTimeoutMinutes"`
-	Admitted        int              `json:"admitted"`
-	Released        int              `json:"released"`
+	Now         int    `json:"now"`
+	Policy      string `json:"policy"`
+	IdleTimeout int    `json:"idleTimeoutMinutes"`
+	Admitted    int    `json:"admitted"`
+	Released    int    `json:"released"`
+	// Migrations counts live migrations over the cluster lifetime;
+	// MigrationSaved sums the planner's net Eq. 17 saving estimates. Both
+	// are journaled facts and replay byte-identically.
+	Migrations      int              `json:"migrations"`
+	MigrationSaved  float64          `json:"migrationSavedWattMinutes"`
 	Transitions     int              `json:"transitions"`
 	ServersUsed     int              `json:"serversUsed"`
 	Energy          energy.Breakdown `json:"energy"`
@@ -194,11 +199,13 @@ type GateStateResponse struct {
 	// Now is the slowest shard's clock: every shard is at least here.
 	Now int `json:"now"`
 	// Aggregates over all shards.
-	Admitted    int     `json:"admitted"`
-	Released    int     `json:"released"`
-	Residents   int     `json:"residents"`
-	ServersUsed int     `json:"serversUsed"`
-	TotalEnergy float64 `json:"totalEnergyWattMinutes"`
+	Admitted       int     `json:"admitted"`
+	Released       int     `json:"released"`
+	Migrations     int     `json:"migrations"`
+	MigrationSaved float64 `json:"migrationSavedWattMinutes"`
+	Residents      int     `json:"residents"`
+	ServersUsed    int     `json:"serversUsed"`
+	TotalEnergy    float64 `json:"totalEnergyWattMinutes"`
 	// Digest is the combined per-shard digest, also served as the
 	// X-Vmalloc-State-Digest header.
 	Digest string       `json:"digest"`

@@ -25,6 +25,15 @@ const (
 	// request's key range; the envelope message names the shard. Only the
 	// down shard's key range is affected.
 	CodeShardDown = "shard_down"
+	// CodeMigrationInfeasible: POST /v1/migrations named a move the
+	// current fleet state cannot satisfy — the target lacks capacity over
+	// the VM's remaining interval, cannot wake by the handoff minute, or
+	// the VM has no remaining minutes to move. The fleet is untouched.
+	CodeMigrationInfeasible = "migration_infeasible"
+	// CodeConsolidationBusy: POST /v1/consolidate raced an in-flight
+	// consolidation pass; at most one runs at a time. Retry after the
+	// current pass finishes.
+	CodeConsolidationBusy = "consolidation_busy"
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal = "internal"
 )

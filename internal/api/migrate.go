@@ -1,0 +1,176 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Victim-selection policies accepted by ConsolidateRequest.Policy. They
+// order which servers drain first and which VMs move first within a
+// drain; both execute full evacuations under the same pay-for-itself
+// rule.
+const (
+	// PolicyMinMigrationTime prefers the cheapest moves: servers with the
+	// least resident memory drain first, smallest-memory VMs first
+	// (migration time is proportional to memory, the MMT heuristic).
+	PolicyMinMigrationTime = "min-migration-time"
+	// PolicyMinUtilization drains the least CPU-utilised servers first,
+	// lowest-demand VMs first.
+	PolicyMinUtilization = "min-utilization"
+)
+
+// MigrationRecord is the uniform wire shape of one live migration. The
+// same record type appears everywhere a migration is reported — the GET
+// /v1/migrations history, the POST /v1/migrations and /v1/consolidate
+// responses, and a vmgate's merged views — never a per-route variant.
+type MigrationRecord struct {
+	// Seq is the journal sequence number of the migrate record; migrations
+	// are durable mutations and replay byte-identically.
+	Seq int64 `json:"seq"`
+	// VM is the migrated VM's ID.
+	VM int `json:"vm"`
+	// From and To are server IDs (not indexes).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Time is the fleet minute the migration executed.
+	Time int `json:"time"`
+	// Handoff is the first minute the target hosts the VM: the minute
+	// after Time for a started VM, the VM's own start otherwise.
+	Handoff int `json:"handoff"`
+	// Start and End are the VM's (start, end) identity — unchanged by the
+	// migration, by construction.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Policy is the victim-selection policy of the consolidation pass that
+	// planned the move, or "manual" for a direct POST /v1/migrations.
+	Policy string `json:"policy,omitempty"`
+	// SavedWattMinutes is the planner's net Eq. 17 estimate for the move
+	// (a consolidation pass apportions its donor-drain saving evenly over
+	// the drain's moves); 0 for manual migrations.
+	SavedWattMinutes float64 `json:"savedWattMinutes"`
+	// CostWattMinutes is the migration overhead the pay-for-itself rule
+	// charged: cost-per-GB × the VM's memory demand.
+	CostWattMinutes float64 `json:"costWattMinutes"`
+	// Shard names the owning shard in vmgate-merged views; empty from a
+	// single vmserve.
+	Shard string `json:"shard,omitempty"`
+}
+
+// MigrateRequest is the body of POST /v1/migrations: move one resident VM
+// to a named server now. The response is the resulting MigrationRecord.
+type MigrateRequest struct {
+	// VM is the resident VM to move; required.
+	VM int `json:"vm"`
+	// Server is the target server's ID (not index); required.
+	Server *int `json:"server"`
+}
+
+// ConsolidateRequest is the body of POST /v1/consolidate. An empty body
+// is valid: every field has a server-side default.
+type ConsolidateRequest struct {
+	// Policy overrides the configured victim-selection policy for this
+	// pass (PolicyMinMigrationTime or PolicyMinUtilization).
+	Policy string `json:"policy,omitempty"`
+	// MaxMoves caps the number of migrations this pass may execute; 0
+	// means the configured default (unlimited when that is also 0).
+	MaxMoves int `json:"maxMoves,omitempty"`
+}
+
+// ConsolidateResponse is the body of a successful POST /v1/consolidate:
+// one pass's outcome. A pass that finds nothing worth moving is a
+// success with zero moves — the pay-for-itself rule refusing a drain is
+// the intended behaviour, not an error.
+type ConsolidateResponse struct {
+	// Clock is the fleet minute the pass ran at (a vmgate reports the
+	// slowest shard's).
+	Clock int `json:"clock"`
+	// Policy is the victim-selection policy the pass used.
+	Policy string `json:"policy"`
+	// Donors is the number of under-utilised servers whose drain was
+	// evaluated; Executed counts the migrations actually performed.
+	Donors   int `json:"donors"`
+	Executed int `json:"executed"`
+	// EnergySavedWattMinutes is the summed net Eq. 17 saving of the
+	// executed drains.
+	EnergySavedWattMinutes float64 `json:"energySavedWattMinutes"`
+	// Moves lists the executed migrations.
+	Moves []MigrationRecord `json:"moves"`
+}
+
+// MigrationsResponse is the body of GET /v1/migrations. Count is the
+// cluster-lifetime migration total; Migrations is the retained history
+// (bounded, oldest evicted first), oldest first.
+type MigrationsResponse struct {
+	Count      int               `json:"count"`
+	Migrations []MigrationRecord `json:"migrations"`
+}
+
+// DecodeMigrateRequest parses a POST /v1/migrations body, enforcing the
+// same size limit discipline as DecodeAdmitRequests. Both vmserve and
+// vmgate decode migration bodies through this one function.
+func DecodeMigrateRequest(r io.Reader, limit int64) (MigrateRequest, error) {
+	var req MigrateRequest
+	data, err := readLimited(r, limit)
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		return req, fmt.Errorf("parse request: %w", err)
+	}
+	if req.VM < 1 {
+		return req, fmt.Errorf("missing or invalid vm id %d", req.VM)
+	}
+	if req.Server == nil {
+		return req, errors.New("missing target server")
+	}
+	return req, nil
+}
+
+// DecodeConsolidateRequest parses a POST /v1/consolidate body. An empty
+// body decodes to the zero request (all server-side defaults).
+func DecodeConsolidateRequest(r io.Reader, limit int64) (ConsolidateRequest, error) {
+	var req ConsolidateRequest
+	data, err := readLimited(r, limit)
+	if err != nil {
+		return req, err
+	}
+	if len(data) == 0 {
+		return req, nil
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		return req, fmt.Errorf("parse request: %w", err)
+	}
+	if req.Policy != "" && req.Policy != PolicyMinMigrationTime && req.Policy != PolicyMinUtilization {
+		return req, fmt.Errorf("unknown policy %q (want %q or %q)", req.Policy, PolicyMinMigrationTime, PolicyMinUtilization)
+	}
+	if req.MaxMoves < 0 {
+		return req, fmt.Errorf("negative maxMoves %d", req.MaxMoves)
+	}
+	return req, nil
+}
+
+// readLimited reads a whole body, refusing more than limit bytes with
+// ErrBodyTooLarge, and treats whitespace-only bodies as empty.
+func readLimited(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrBodyTooLarge, limit)
+	}
+	trimmed := 0
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+		default:
+			trimmed++
+		}
+	}
+	if trimmed == 0 {
+		return nil, nil
+	}
+	return data, nil
+}

@@ -18,12 +18,18 @@ func populated() map[string]any {
 	vm := model.VM{ID: 7, Type: "c4.large", Demand: model.Resources{CPU: 2, Mem: 4}, Start: 3, End: 42}
 	st := &StateResponse{
 		Now: 9, Policy: "mincost", IdleTimeout: 2,
-		Admitted: 5, Released: 1, Transitions: 3, ServersUsed: 2,
+		Admitted: 5, Released: 1, Migrations: 2, MigrationSaved: 1.25,
+		Transitions: 3, ServersUsed: 2,
 		Energy:      energy.Breakdown{Run: 1.5, Idle: 2.25, Transition: 0.5},
 		TotalEnergy: 4.25, TotalStartDelay: 6, MaxStartDelay: 4,
 		Servers: []ServerState{{ID: 1, Type: "A", State: "active", VMs: 2}},
 		VMs:     []PlacedVM{{VM: vm, Server: 0, Start: 3}},
 	}
+	mig := MigrationRecord{
+		Seq: 11, VM: 7, From: 1, To: 2, Time: 9, Handoff: 10, Start: 3, End: 42,
+		Policy: PolicyMinMigrationTime, SavedWattMinutes: 3.5, CostWattMinutes: 0.4, Shard: "a",
+	}
+	target := 2
 	now := 17
 	return map[string]any{
 		"AdmitRequest":  &AdmitRequest{ID: 7, Type: "c4.large", Demand: model.Resources{CPU: 2, Mem: 4}, Start: 3, DurationMinutes: 40},
@@ -31,16 +37,24 @@ func populated() map[string]any {
 		"ReleaseResponse": &ReleaseResponse{
 			VM: vm, Server: 1, Start: 3,
 		},
-		"ClockRequest":  &ClockRequest{Now: &now},
-		"ClockResponse": &ClockResponse{Now: 17},
-		"StateResponse": st,
+		"ClockRequest":       &ClockRequest{Now: &now},
+		"ClockResponse":      &ClockResponse{Now: 17},
+		"StateResponse":      st,
+		"MigrateRequest":     &MigrateRequest{VM: 7, Server: &target},
+		"ConsolidateRequest": &ConsolidateRequest{Policy: PolicyMinUtilization, MaxMoves: 3},
+		"ConsolidateResponse": &ConsolidateResponse{
+			Clock: 9, Policy: PolicyMinMigrationTime, Donors: 2, Executed: 1,
+			EnergySavedWattMinutes: 3.5, Moves: []MigrationRecord{mig},
+		},
+		"MigrationsResponse": &MigrationsResponse{Count: 4, Migrations: []MigrationRecord{mig}},
 		"DecisionsResponse": &DecisionsResponse{Count: 1, Decisions: []obs.Decision{{
 			Seq: 1, RequestID: "abc", Batch: 2, Op: obs.OpAdmit, VM: 7, Server: 2,
 			Start: 3, End: 42, Clock: 3, Candidates: 4, Infeasible: 1,
 		}}},
 		"ShardsResponse": &ShardsResponse{Count: 1, Shards: []ShardHealth{{Name: "a", Addr: "http://x", Healthy: true, Error: "e"}}},
 		"GateStateResponse": &GateStateResponse{
-			Now: 9, Admitted: 5, Released: 1, Residents: 4, ServersUsed: 2,
+			Now: 9, Admitted: 5, Released: 1, Migrations: 2, MigrationSaved: 1.25,
+			Residents: 4, ServersUsed: 2,
 			TotalEnergy: 4.25, Digest: "d",
 			Shards: []ShardState{{Shard: "a", Addr: "http://x", Digest: "d1", State: st}},
 		},
@@ -104,14 +118,18 @@ func TestUnknownFieldTolerance(t *testing.T) {
 // a breaking change to deployed clients: add a /v2 instead.
 func TestWireFieldNames(t *testing.T) {
 	pins := map[string][]string{
-		"AdmitRequest":      {"id", "type", "demand", "start", "durationMinutes"},
-		"AdmitResponse":     {"id", "accepted", "server", "start", "end", "reason"},
-		"ReleaseResponse":   {"vm", "server", "start"},
-		"ClockRequest":      {"now"},
-		"ClockResponse":     {"now"},
-		"StateResponse":     {"now", "policy", "idleTimeoutMinutes", "admitted", "released", "transitions", "serversUsed", "energy", "totalEnergyWattMinutes", "totalStartDelayMinutes", "maxStartDelayMinutes", "servers", "vms"},
-		"DecisionsResponse": {"count", "decisions"},
-		"ErrorEnvelope":     {"code", "error", "requestId"},
+		"AdmitRequest":        {"id", "type", "demand", "start", "durationMinutes"},
+		"AdmitResponse":       {"id", "accepted", "server", "start", "end", "reason"},
+		"ReleaseResponse":     {"vm", "server", "start"},
+		"ClockRequest":        {"now"},
+		"ClockResponse":       {"now"},
+		"StateResponse":       {"now", "policy", "idleTimeoutMinutes", "admitted", "released", "migrations", "migrationSavedWattMinutes", "transitions", "serversUsed", "energy", "totalEnergyWattMinutes", "totalStartDelayMinutes", "maxStartDelayMinutes", "servers", "vms"},
+		"DecisionsResponse":   {"count", "decisions"},
+		"ErrorEnvelope":       {"code", "error", "requestId"},
+		"MigrateRequest":      {"vm", "server"},
+		"ConsolidateRequest":  {"policy", "maxMoves"},
+		"ConsolidateResponse": {"clock", "policy", "donors", "executed", "energySavedWattMinutes", "moves"},
+		"MigrationsResponse":  {"count", "migrations"},
 	}
 	vals := populated()
 	for name, want := range pins {
@@ -158,6 +176,43 @@ func TestDecodeAdmitRequests(t *testing.T) {
 	// Unknown fields inside an admission body are tolerated.
 	if _, err := DecodeAdmitRequests(strings.NewReader(`{"durationMinutes":1,"futureKnob":true}`), 1<<20); err != nil {
 		t.Fatalf("unknown field refused: %v", err)
+	}
+}
+
+// TestDecodeMigrateRequest covers the POST /v1/migrations body decoder:
+// required fields, the size limit, and unknown-field tolerance.
+func TestDecodeMigrateRequest(t *testing.T) {
+	req, err := DecodeMigrateRequest(strings.NewReader(`{"vm":7,"server":2,"future":1}`), 1<<20)
+	if err != nil || req.VM != 7 || req.Server == nil || *req.Server != 2 {
+		t.Fatalf("valid body: %v %+v", err, req)
+	}
+	if _, err := DecodeMigrateRequest(strings.NewReader(`{"server":2}`), 1<<20); err == nil {
+		t.Fatal("missing vm accepted")
+	}
+	if _, err := DecodeMigrateRequest(strings.NewReader(`{"vm":7}`), 1<<20); err == nil {
+		t.Fatal("missing server accepted")
+	}
+	if _, err := DecodeMigrateRequest(strings.NewReader(`{"vm":7,"server":2}`), 4); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized body: %v", err)
+	}
+}
+
+// TestDecodeConsolidateRequest: an empty (or whitespace) body is the zero
+// request; policies are validated at decode time.
+func TestDecodeConsolidateRequest(t *testing.T) {
+	req, err := DecodeConsolidateRequest(strings.NewReader("  \n"), 1<<20)
+	if err != nil || req.Policy != "" || req.MaxMoves != 0 {
+		t.Fatalf("empty body: %v %+v", err, req)
+	}
+	req, err = DecodeConsolidateRequest(strings.NewReader(`{"policy":"min-utilization","maxMoves":3}`), 1<<20)
+	if err != nil || req.Policy != PolicyMinUtilization || req.MaxMoves != 3 {
+		t.Fatalf("valid body: %v %+v", err, req)
+	}
+	if _, err := DecodeConsolidateRequest(strings.NewReader(`{"policy":"random"}`), 1<<20); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := DecodeConsolidateRequest(strings.NewReader(`{"maxMoves":-1}`), 1<<20); err == nil {
+		t.Fatal("negative maxMoves accepted")
 	}
 }
 

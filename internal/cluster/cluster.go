@@ -34,8 +34,10 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vmalloc/internal/api"
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/model"
@@ -46,6 +48,16 @@ import (
 // DefaultSnapshotEvery is the number of journaled mutations between
 // automatic snapshots when Config.SnapshotEvery is 0.
 const DefaultSnapshotEvery = 256
+
+// DefaultDonorUtilization is the donor CPU-utilisation threshold when
+// Config.DonorUtilization is 0: active servers below half capacity are
+// drain candidates.
+const DefaultDonorUtilization = 0.5
+
+// migrationHistoryLimit bounds the retained migration history (the GET
+// /v1/migrations backing store); the oldest records are evicted first.
+// The lifetime count in State.Migrations is not affected by eviction.
+const migrationHistoryLimit = 1024
 
 // ErrClosed is returned by mutating calls after Close.
 var ErrClosed = errors.New("cluster: closed")
@@ -75,6 +87,24 @@ type NotResidentError struct {
 
 func (e *NotResidentError) Error() string {
 	return fmt.Sprintf("cluster: vm %d is not resident", e.ID)
+}
+
+// ErrConsolidationBusy is returned by Consolidate when another
+// consolidation pass is already in flight; at most one runs at a time.
+var ErrConsolidationBusy = errors.New("cluster: consolidation pass already running")
+
+// MigrationInfeasibleError reports a migration request the current fleet
+// state cannot satisfy: the target is unknown, lacks capacity over the
+// VM's remaining interval, cannot wake by the handoff minute, or the VM
+// has no remaining minutes to move. The fleet is untouched.
+type MigrationInfeasibleError struct {
+	VM     int
+	Server int // target server ID
+	Reason string
+}
+
+func (e *MigrationInfeasibleError) Error() string {
+	return fmt.Sprintf("cluster: cannot migrate vm %d to server %d: %s", e.VM, e.Server, e.Reason)
 }
 
 // Config configures a Cluster.
@@ -112,9 +142,27 @@ type Config struct {
 	// load tests, where the journal's logical replay guarantees are under
 	// test and the physical durability of a throwaway directory is not.
 	DisableFsync bool
+	// MigrationCostPerGB is the Eq. 17 migration overhead in watt-minutes
+	// per GB of a VM's memory demand. The pay-for-itself rule charges it
+	// against every planned move, so a higher cost makes consolidation
+	// more conservative. 0 treats migrations as free.
+	MigrationCostPerGB float64
+	// ConsolidatePolicy is the default victim-selection policy for
+	// consolidation passes: api.PolicyMinMigrationTime (the default when
+	// empty) or api.PolicyMinUtilization.
+	ConsolidatePolicy string
+	// MaxMigrationsPerPass caps the moves one consolidation pass may
+	// execute; 0 means unlimited.
+	MaxMigrationsPerPass int
+	// DonorUtilization is the CPU-utilisation fraction below which an
+	// active server is considered a drain candidate; 0 means
+	// DefaultDonorUtilization. The pay-for-itself rule still decides
+	// whether any candidate actually drains.
+	DonorUtilization float64
 	// Recorder, when non-nil, receives one obs.Decision per admission,
-	// rejection and release — the flight recorder behind the service's
-	// debug surface. Recording is passive: it never changes a placement.
+	// rejection, release and migration — the flight recorder behind the
+	// service's debug surface. Recording is passive: it never changes a
+	// placement.
 	Recorder *obs.FlightRecorder
 	// Logger receives the cluster's structured service log (journal
 	// failures, snapshots, batch traces at debug level). Nil discards.
@@ -189,6 +237,18 @@ type Cluster struct {
 	sinceSnapshot int
 	closed        bool
 	met           metrics
+	// migHistory is the retained migration history (bounded, oldest
+	// evicted), rebuilt on restart from the snapshot plus journal replay;
+	// migSaved sums the planner's net-saving estimates over the cluster's
+	// lifetime; volMigSeq numbers migrations on volatile clusters, where
+	// there is no journal sequence to borrow.
+	migHistory []api.MigrationRecord
+	migSaved   float64
+	volMigSeq  int64
+	// consolidating single-flights Consolidate: a trigger that races an
+	// in-flight pass fails fast with ErrConsolidationBusy instead of
+	// queueing behind it.
+	consolidating atomic.Bool
 
 	admitCh   chan *admitCall
 	stopCh    chan struct{}
@@ -257,6 +317,8 @@ func (c *Cluster) restore() error {
 			return fmt.Errorf("%w: snapshot: %v", ErrCorruptJournal, err)
 		}
 		c.nextID = snap.NextID
+		c.migSaved = snap.MigrationSaved
+		c.migHistory = append(c.migHistory, snap.Migrations...)
 		lastSeq = snap.LastSeq
 	} else {
 		c.fleet = online.NewFleet(c.cfg.Servers, c.cfg.IdleTimeout)
@@ -308,6 +370,22 @@ func (c *Cluster) apply(r record) error {
 		if _, err := c.fleet.Release(r.ID); err != nil {
 			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
 		}
+	case opMigrate:
+		c.fleet.AdvanceTo(r.T)
+		from, handoff, err := c.fleet.Migrate(r.ID, r.Server)
+		if err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
+		}
+		// A journaled migration executed against this exact state once;
+		// replaying it must reproduce the same move.
+		if from.Server != r.From {
+			return fmt.Errorf("cluster: journal seq %d: replayed source index %d, recorded %d", r.Seq, from.Server, r.From)
+		}
+		if handoff != r.Handoff {
+			return fmt.Errorf("cluster: journal seq %d: replayed handoff %d, recorded %d", r.Seq, handoff, r.Handoff)
+		}
+		p, _ := c.fleet.Resident(r.ID)
+		c.recordMigrationLocked(r.Seq, p, r.From, r.T, handoff, r.Policy, r.Saved, r.Cost)
 	case opTick:
 		c.fleet.AdvanceTo(r.T)
 	default:
@@ -719,6 +797,157 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 	return p, jerr
 }
 
+// Migrate moves one resident VM to the server with the given ID at the
+// current clock minute, preserving the VM's (start, end) identity (see
+// online.Fleet.Migrate). It is the "manual" migration path behind POST
+// /v1/migrations: no pay-for-itself gate applies — the caller asked for
+// exactly this move — but the migration cost is still charged into the
+// record. Infeasible moves return a *MigrationInfeasibleError and leave
+// the fleet untouched; unknown VMs return a *NotResidentError.
+func (c *Cluster) Migrate(ctx context.Context, vmID, serverID int) (api.MigrationRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return api.MigrationRecord{}, ErrClosed
+	}
+	if c.jfail != nil {
+		return api.MigrationRecord{}, c.jfail
+	}
+	d := obs.Decision{
+		RequestID: obs.RequestID(ctx),
+		Op:        obs.OpMigrate,
+		VM:        vmID,
+		Server:    serverID,
+		Clock:     c.fleet.Now(),
+		Stages:    obs.StageTimings{Decode: obs.DecodeSpan(ctx)},
+	}
+	fail := func(err error) (api.MigrationRecord, error) {
+		if c.rec != nil {
+			d.Reason = err.Error()
+			c.rec.Record(d)
+		}
+		return api.MigrationRecord{}, err
+	}
+	to := -1
+	for i := range c.cfg.Servers {
+		if c.cfg.Servers[i].ID == serverID {
+			to = i
+			break
+		}
+	}
+	if to < 0 {
+		return fail(&MigrationInfeasibleError{VM: vmID, Server: serverID, Reason: "unknown server id"})
+	}
+	if _, ok := c.fleet.Resident(vmID); !ok {
+		return fail(&NotResidentError{ID: vmID})
+	}
+	commitT0 := time.Now()
+	from, handoff, err := c.fleet.Migrate(vmID, to)
+	d.Stages.Commit = time.Since(commitT0)
+	if err != nil {
+		var me *online.MigrateError
+		if errors.As(err, &me) {
+			return fail(&MigrationInfeasibleError{VM: vmID, Server: serverID, Reason: me.Reason})
+		}
+		return fail(err)
+	}
+	cost := c.cfg.MigrationCostPerGB * from.VM.Demand.Mem
+	rec, jerr := c.journalMigrationLocked(&d, from, to, handoff, "manual", 0, cost)
+	c.maybeSnapshotLocked()
+	return rec, jerr
+}
+
+// journalMigrationLocked finishes one executed fleet migration: it
+// journals the migrate record (append + fsync), adds it to the retained
+// history, bumps the metrics and records the flight decision d (Server,
+// From, Start/End and stage timings are filled in here). The returned
+// error is the sticky journal failure, if the append or sync broke it —
+// the migration itself already took effect in memory, exactly like an
+// admission that breaks the journal.
+func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, to, handoff int, policy string, saved, cost float64) (api.MigrationRecord, error) {
+	now := c.fleet.Now()
+	seq := c.volMigSeq + 1
+	var jerr error
+	if c.jr != nil {
+		seq = c.jr.seq + 1
+		jT0 := time.Now()
+		jerr = c.jr.append(record{
+			Op:      opMigrate,
+			T:       now,
+			ID:      from.VM.ID,
+			Server:  to,
+			From:    from.Server,
+			Handoff: handoff,
+			Policy:  policy,
+			Saved:   saved,
+			Cost:    cost,
+		})
+		d.Stages.Journal = time.Since(jT0)
+		if jerr == nil {
+			syncT0 := time.Now()
+			jerr = c.jr.sync()
+			d.Stages.Sync = time.Since(syncT0)
+			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
+		}
+		if jerr != nil {
+			jerr = c.journalFailedLocked(jerr)
+		}
+	} else {
+		c.volMigSeq = seq
+	}
+	moved := from
+	moved.Server = to
+	rec := c.recordMigrationLocked(seq, moved, from.Server, now, handoff, policy, saved, cost)
+	c.met.migrations++
+	c.met.migrationSaved += saved
+	c.sinceSnapshot++
+	if c.rec != nil {
+		d.Server = rec.To
+		d.From = rec.From
+		d.Start, d.End = rec.Start, rec.End
+		d.SavedWattMinutes = saved
+		c.rec.Record(*d)
+	}
+	return rec, jerr
+}
+
+// recordMigrationLocked appends one migration to the retained history
+// (bounded by migrationHistoryLimit) and accumulates the saved estimate.
+// It is shared by the live path and journal replay, so a restored
+// cluster's history and MigrationSaved match the one that wrote the log.
+// p is the post-move placement (Server is the target index).
+func (c *Cluster) recordMigrationLocked(seq int64, p online.PlacedVM, fromIdx, t, handoff int, policy string, saved, cost float64) api.MigrationRecord {
+	rec := api.MigrationRecord{
+		Seq:              seq,
+		VM:               p.VM.ID,
+		From:             c.cfg.Servers[fromIdx].ID,
+		To:               c.cfg.Servers[p.Server].ID,
+		Time:             t,
+		Handoff:          handoff,
+		Start:            p.Start,
+		End:              p.End(),
+		Policy:           policy,
+		SavedWattMinutes: saved,
+		CostWattMinutes:  cost,
+	}
+	c.migHistory = append(c.migHistory, rec)
+	if len(c.migHistory) > migrationHistoryLimit {
+		c.migHistory = append(c.migHistory[:0], c.migHistory[len(c.migHistory)-migrationHistoryLimit:]...)
+	}
+	c.migSaved += saved
+	return rec
+}
+
+// Migrations returns the cluster-lifetime migration count and a copy of
+// the retained history (bounded, oldest first).
+func (c *Cluster) Migrations() (int, []api.MigrationRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]api.MigrationRecord, len(c.migHistory))
+	copy(out, c.migHistory)
+	return c.fleet.Migrated(), out
+}
+
 // AdvanceTo moves the fleet clock forward to minute t, processing
 // departures, wake-ups and idle checks on the way. Earlier times are a
 // no-op (the clock is monotonic).
@@ -770,11 +999,16 @@ type ServerState struct {
 // State to the one that wrote it. Rejection counts are deliberately
 // absent (rejections are not journaled); they live in the metrics.
 type State struct {
-	Now             int              `json:"now"`
-	Policy          string           `json:"policy"`
-	IdleTimeout     int              `json:"idleTimeoutMinutes"`
-	Admitted        int              `json:"admitted"`
-	Released        int              `json:"released"`
+	Now         int    `json:"now"`
+	Policy      string `json:"policy"`
+	IdleTimeout int    `json:"idleTimeoutMinutes"`
+	Admitted    int    `json:"admitted"`
+	Released    int    `json:"released"`
+	// Migrations counts live migrations over the cluster lifetime and
+	// MigrationSaved sums the planner's net Eq. 17 saving estimates —
+	// both journaled, so they replay byte-identically.
+	Migrations      int              `json:"migrations"`
+	MigrationSaved  float64          `json:"migrationSavedWattMinutes"`
 	Transitions     int              `json:"transitions"`
 	ServersUsed     int              `json:"serversUsed"`
 	Energy          energy.Breakdown `json:"energy"`
@@ -802,6 +1036,8 @@ func (c *Cluster) stateLocked() *State {
 		IdleTimeout:     c.cfg.IdleTimeout,
 		Admitted:        c.fleet.Admitted(),
 		Released:        c.fleet.Released(),
+		Migrations:      c.fleet.Migrated(),
+		MigrationSaved:  c.migSaved,
 		Transitions:     c.fleet.Transitions(),
 		ServersUsed:     c.fleet.ServersUsed(),
 		Energy:          c.fleet.EnergyAt(c.fleet.Now()),
@@ -887,7 +1123,12 @@ func (c *Cluster) snapshotLocked() error {
 	if c.jr == nil {
 		return nil
 	}
-	err := c.jr.snapshot(&snapshotFile{NextID: c.nextID, Fleet: c.fleet.Snapshot()})
+	err := c.jr.snapshot(&snapshotFile{
+		NextID:         c.nextID,
+		Fleet:          c.fleet.Snapshot(),
+		MigrationSaved: c.migSaved,
+		Migrations:     c.migHistory,
+	})
 	if err != nil {
 		c.met.snapshotErrors++
 		c.log.Error("snapshot failed", "err", err)

@@ -47,6 +47,36 @@ func realJournal(tb testing.TB) []byte {
 	return data
 }
 
+// realMigrationJournal materializes a journal holding a genuine migrate
+// record: two co-located VMs, one migrated onto a woken server.
+func realMigrationJournal(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	c := mustOpenTB(tb, Config{Servers: testServers(4), IdleTimeout: 2, Dir: dir, SnapshotEvery: -1, MigrationCostPerGB: 0.5})
+	reqs := []VMRequest{
+		{ID: 1, Demand: model.Resources{CPU: 2, Mem: 2}, Start: 1, DurationMinutes: 20},
+		{ID: 2, Demand: model.Resources{CPU: 2, Mem: 4}, Start: 1, DurationMinutes: 30},
+	}
+	if _, err := c.Admit(context.Background(), reqs); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		tb.Fatal(err)
+	}
+	onto := c.State().VMs[0].Server
+	if _, err := c.Migrate(context.Background(), 2, testServers(4)[(onto+1)%4].ID); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
 func mustOpenTB(tb testing.TB, cfg Config) *Cluster {
 	tb.Helper()
 	c, err := Open(cfg)
@@ -87,8 +117,19 @@ func FuzzJournalReplay(f *testing.F) {
 	// Admit whose departure event time (end+1) would overflow MaxInt.
 	f.Add([]byte(fmt.Sprintf(`{"seq":1,"op":"admit","t":1,"vm":{"id":9,"demand":{"cpu":1,"mem":1},"start":%d,"end":%d},"server":0,"start":%d}`+"\n",
 		math.MaxInt-1, math.MaxInt, math.MaxInt-1)))
-	// Unknown op with history after it.
+	// A migrate of a VM that was never admitted: opMigrate is a known op
+	// now, so replay must refuse the inconsistent history, not panic.
 	f.Add([]byte(`{"seq":1,"op":"migrate","t":3}` + "\n" + `{"seq":2,"op":"tick","t":4}` + "\n"))
+	// A genuine history ending in a live migration must replay cleanly.
+	migBase := realMigrationJournal(f)
+	f.Add(migBase)
+	// The same history with a second migrate whose recorded handoff cannot
+	// reproduce: replay must refuse the cross-check, never half-apply.
+	f.Add(append(append([]byte{}, migBase...),
+		[]byte(`{"seq":99,"op":"migrate","t":6,"id":1,"server":2,"from":0,"handoff":3}`+"\n")...))
+	// A migrate onto an out-of-range server index.
+	f.Add(append(append([]byte{}, migBase...),
+		[]byte(`{"seq":99,"op":"migrate","t":6,"id":1,"server":40,"from":0,"handoff":7}`+"\n")...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

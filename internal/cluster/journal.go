@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vmalloc/internal/api"
 	"vmalloc/internal/model"
 	"vmalloc/internal/online"
 )
@@ -40,20 +41,31 @@ const (
 	opAdmit   = "admit"
 	opRelease = "release"
 	opTick    = "tick"
+	opMigrate = "migrate"
 )
 
 // record is one journaled mutation. T is the fleet clock the mutation was
 // applied at; replay advances to T before re-applying, which reproduces
 // the exact post-mutation state (Commit re-derives the actual start, and
-// the recorded Start cross-checks it).
+// the recorded Start cross-checks it; Migrate re-derives the handoff
+// minute, cross-checked against Handoff).
 type record struct {
 	Seq    int64     `json:"seq"`
 	Op     string    `json:"op"`
 	T      int       `json:"t"`
 	VM     *model.VM `json:"vm,omitempty"`
-	Server int       `json:"server,omitempty"`
+	Server int       `json:"server,omitempty"` // admit/migrate: target server index
 	Start  int       `json:"start,omitempty"`
-	ID     int       `json:"id,omitempty"`
+	ID     int       `json:"id,omitempty"` // release/migrate: the VM
+	// Migrate-only fields. From is the source server index and Handoff the
+	// first minute the target hosts the VM (both cross-checked on replay);
+	// Policy, Saved and Cost carry the planner's outcome so the migration
+	// history — not just the fleet state — replays byte-identically.
+	From    int     `json:"from,omitempty"`
+	Handoff int     `json:"handoff,omitempty"`
+	Policy  string  `json:"policy,omitempty"`
+	Saved   float64 `json:"saved,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
 }
 
 // snapshotFile is the serialised snapshot.json.
@@ -61,6 +73,11 @@ type snapshotFile struct {
 	LastSeq int64                 `json:"lastSeq"`
 	NextID  int                   `json:"nextID"`
 	Fleet   *online.FleetSnapshot `json:"fleet"`
+	// MigrationSaved and Migrations persist the consolidation surface
+	// across compaction: the summed planner estimates and the retained
+	// migration history (bounded; see migrationHistoryLimit).
+	MigrationSaved float64               `json:"migrationSavedWattMinutes,omitempty"`
+	Migrations     []api.MigrationRecord `json:"migrations,omitempty"`
 }
 
 // journal is the append side of the log. All methods are called under the

@@ -20,6 +20,9 @@ type metrics struct {
 	admissions     uint64
 	rejections     uint64
 	releases       uint64
+	migrations     uint64
+	consolidations uint64
+	migrationSaved float64 // summed planner net-saving estimates, watt-minutes
 	batches        uint64
 	snapshots      uint64
 	snapshotErrors uint64
@@ -28,6 +31,9 @@ type metrics struct {
 	infeasible     int64
 	batchSize      *obs.Histogram
 	scanSeconds    *obs.Histogram
+	// consolidateSeconds observes each consolidation pass's wall time
+	// (planning and execution, under the cluster lock).
+	consolidateSeconds *obs.Histogram
 	// queueWaitSeconds observes, per Admit call, how long the call sat in
 	// the micro-batch queue before its batch started; fsyncSeconds
 	// observes each batch's journal fsync. Both are the cumulative
@@ -39,10 +45,11 @@ type metrics struct {
 
 func newMetrics() metrics {
 	return metrics{
-		batchSize:        obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
-		scanSeconds:      obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
-		queueWaitSeconds: obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
-		fsyncSeconds:     obs.NewHistogram(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		batchSize:          obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		scanSeconds:        obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		queueWaitSeconds:   obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		fsyncSeconds:       obs.NewHistogram(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		consolidateSeconds: obs.NewHistogram(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
 	}
 }
 
@@ -69,6 +76,11 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	counter("admissions_total", "VMs admitted over the cluster's lifetime.", c.met.admissions)
 	counter("rejections_total", "Admission requests rejected (no capacity or invalid).", c.met.rejections)
 	counter("releases_total", "VMs released before their scheduled end.", c.met.releases)
+	counter("migrations_total", "Live migrations executed (consolidation passes and direct requests).", c.met.migrations)
+	counter("consolidations_total", "Consolidation passes run.", c.met.consolidations)
+	full := metricsPrefix + "_migration_energy_saved_watt_minutes"
+	fmt.Fprintf(&buf, "# HELP %s Net energy saved by executed migrations (planner's Eq. 17 estimate), in watt-minutes.\n# TYPE %s counter\n%s %s\n",
+		full, full, full, formatFloat(c.met.migrationSaved))
 	counter("batches_total", "Admission batches processed.", c.met.batches)
 	counter("snapshots_total", "Snapshots written.", c.met.snapshots)
 	counter("snapshot_errors_total", "Snapshot attempts that failed.", c.met.snapshotErrors)
@@ -83,6 +95,7 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 
 	c.met.batchSize.Write(&buf, metricsPrefix+"_batch_size", "VM requests per admission batch.")
 	c.met.scanSeconds.Write(&buf, metricsPrefix+"_scan_seconds", "Candidate-scan wall time per batch, in seconds.")
+	c.met.consolidateSeconds.Write(&buf, metricsPrefix+"_consolidate_seconds", "Consolidation pass wall time (plan and execute), in seconds.")
 	c.met.queueWaitSeconds.Write(&buf, metricsPrefix+"_queue_wait_seconds", "Per-call wait in the micro-batch queue before batch processing started, in seconds.")
 	c.met.fsyncSeconds.Write(&buf, metricsPrefix+"_fsync_seconds", "Journal fsync wall time per batch, in seconds.")
 
@@ -96,7 +109,7 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	gauge("scan_workers", "Candidate-scan worker pool size.", strconv.Itoa(c.scan.Workers()))
 
 	b := c.fleet.EnergyAt(now)
-	full := metricsPrefix + "_energy_watt_minutes"
+	full = metricsPrefix + "_energy_watt_minutes"
 	fmt.Fprintf(&buf, "# HELP %s Cumulative energy by component, in watt-minutes.\n# TYPE %s gauge\n", full, full)
 	fmt.Fprintf(&buf, "%s{component=\"run\"} %s\n", full, formatFloat(b.Run))
 	fmt.Fprintf(&buf, "%s{component=\"idle\"} %s\n", full, formatFloat(b.Idle))

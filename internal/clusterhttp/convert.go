@@ -48,6 +48,8 @@ func toAPIState(st *cluster.State) *api.StateResponse {
 		IdleTimeout:     st.IdleTimeout,
 		Admitted:        st.Admitted,
 		Released:        st.Released,
+		Migrations:      st.Migrations,
+		MigrationSaved:  st.MigrationSaved,
 		Transitions:     st.Transitions,
 		ServersUsed:     st.ServersUsed,
 		Energy:          st.Energy,
@@ -62,6 +64,21 @@ func toAPIState(st *cluster.State) *api.StateResponse {
 	}
 	for i, p := range st.VMs {
 		out.VMs[i] = api.PlacedVM{VM: p.VM, Server: p.Server, Start: p.Start}
+	}
+	return out
+}
+
+func toAPIConsolidation(res *cluster.ConsolidationResult) api.ConsolidateResponse {
+	out := api.ConsolidateResponse{
+		Clock:                  res.Clock,
+		Policy:                 res.Policy,
+		Donors:                 res.Donors,
+		Executed:               res.Executed,
+		EnergySavedWattMinutes: res.Saved,
+		Moves:                  res.Moves,
+	}
+	if out.Moves == nil {
+		out.Moves = []api.MigrationRecord{} // a move-less pass is [], not null
 	}
 	return out
 }

@@ -16,6 +16,18 @@
 //	POST   /v1/clock           api.ClockRequest {"now": t} advances the
 //	                           fleet clock to minute t; earlier times are
 //	                           a no-op (the clock is monotonic)
+//	POST   /v1/migrations      api.MigrateRequest {"vm", "server"} live-
+//	                           migrates one resident VM to a named server
+//	                           now; responds with the resulting
+//	                           api.MigrationRecord
+//	GET    /v1/migrations      migration history (api.MigrationsResponse,
+//	                           oldest first, bounded), filterable by ?vm=
+//	                           and trimmed to the newest ?limit=
+//	POST   /v1/consolidate     run one consolidation pass
+//	                           (api.ConsolidateRequest, empty body valid);
+//	                           responds with the pass's
+//	                           api.ConsolidateResponse; a concurrent pass
+//	                           is refused with 409 consolidation_busy
 //	GET    /v1/state           consistent cluster state
 //	                           (api.StateResponse, deterministic JSON);
 //	                           the X-Vmalloc-State-Digest response header
@@ -38,7 +50,8 @@
 // flight-recorder decisions the request caused, and echoed inside every
 // api.ErrorEnvelope the handler writes. Non-2xx responses always carry
 // an envelope with a machine-readable code: bad_request, not_resident,
-// journal_broken, overloaded or internal.
+// migration_infeasible, consolidation_busy, journal_broken, overloaded
+// or internal.
 package clusterhttp
 
 import (
@@ -155,6 +168,79 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, api.ClockResponse{Now: c.Now()})
 	})
+	mux.HandleFunc("POST /v1/migrations", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		req, err := api.DecodeMigrateRequest(r.Body, limit)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, api.ErrBodyTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, r, status, api.CodeBadRequest, err)
+			return
+		}
+		ctx := obs.WithDecodeSpan(r.Context(), time.Since(t0))
+		rec, err := c.Migrate(ctx, req.VM, *req.Server)
+		if err != nil {
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("GET /v1/migrations", func(w http.ResponseWriter, r *http.Request) {
+		vm, limitN := 0, 0
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"vm", &vm}, {"limit", &limitN}} {
+			v := r.URL.Query().Get(p.name)
+			if v == "" {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+					fmt.Errorf("bad %s %q", p.name, v))
+				return
+			}
+			*p.dst = n
+		}
+		count, hist := c.Migrations()
+		if vm > 0 {
+			kept := hist[:0]
+			for _, m := range hist {
+				if m.VM == vm {
+					kept = append(kept, m)
+				}
+			}
+			hist = kept
+		}
+		if limitN > 0 && len(hist) > limitN {
+			hist = hist[len(hist)-limitN:]
+		}
+		writeJSON(w, http.StatusOK, api.MigrationsResponse{Count: count, Migrations: hist})
+	})
+	mux.HandleFunc("POST /v1/consolidate", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		req, err := api.DecodeConsolidateRequest(r.Body, limit)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, api.ErrBodyTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, r, status, api.CodeBadRequest, err)
+			return
+		}
+		ctx := obs.WithDecodeSpan(r.Context(), time.Since(t0))
+		res, err := c.Consolidate(ctx, cluster.ConsolidateOptions{Policy: req.Policy, MaxMoves: req.MaxMoves})
+		if err != nil {
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toAPIConsolidation(res))
+	})
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		b, err := api.EncodeState(toAPIState(c.State()))
 		if err != nil {
@@ -209,6 +295,10 @@ func classify(err error) (int, string) {
 		return http.StatusServiceUnavailable, api.CodeOverloaded
 	case errors.As(err, new(*cluster.NotResidentError)):
 		return http.StatusNotFound, api.CodeNotResident
+	case errors.As(err, new(*cluster.MigrationInfeasibleError)):
+		return http.StatusConflict, api.CodeMigrationInfeasible
+	case errors.Is(err, cluster.ErrConsolidationBusy):
+		return http.StatusConflict, api.CodeConsolidationBusy
 	default:
 		return http.StatusInternalServerError, api.CodeInternal
 	}
@@ -234,10 +324,10 @@ func parseDecisionFilter(r *http.Request) (obs.Filter, error) {
 		*p.dst = n
 	}
 	switch op := q.Get("op"); op {
-	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease:
+	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease, obs.OpMigrate:
 		f.Op = op
 	default:
-		return f, fmt.Errorf("bad op %q (want admit, reject or release)", op)
+		return f, fmt.Errorf("bad op %q (want admit, reject, release or migrate)", op)
 	}
 	return f, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -115,6 +116,121 @@ func TestStateBytesMatchCluster(t *testing.T) {
 	}
 	if !bytes.Equal(served, reencoded) {
 		t.Fatalf("api re-encode diverged from served bytes\nserved: %.300s\nre-enc: %.300s", served, reencoded)
+	}
+}
+
+// TestMigrationRoutes drives the consolidation surface end to end over
+// HTTP: a manual migration, the history endpoint with its filters, and a
+// consolidation pass with typed request and response bodies.
+func TestMigrationRoutes(t *testing.T) {
+	c := testCluster(t)
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	if _, err := http.Post(srv.URL+"/v1/vms", "application/json",
+		strings.NewReader(`[{"id":1,"demand":{"cpu":2,"mem":2},"start":1,"durationMinutes":50},{"id":2,"demand":{"cpu":2,"mem":2},"start":1,"durationMinutes":60}]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Both VMs packed onto one server: find it, then move VM 2 elsewhere.
+	st := c.State()
+	from := st.Servers[st.VMs[0].Server].ID
+	to := from%4 + 1
+	status, body := post("/v1/migrations", `{"vm":2,"server":`+strconv.Itoa(to)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("migrate: %d %s", status, body)
+	}
+	var rec api.MigrationRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.VM != 2 || rec.From != from || rec.To != to || rec.Policy != "manual" {
+		t.Errorf("migration record %+v, want vm 2 from %d to %d", rec, from, to)
+	}
+
+	// Infeasible retry: the VM already lives on the target.
+	if status, body = post("/v1/migrations", `{"vm":2,"server":`+strconv.Itoa(to)+`}`); status != http.StatusConflict {
+		t.Errorf("repeat migrate: %d %s, want 409", status, body)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Code != api.CodeMigrationInfeasible {
+		t.Errorf("repeat migrate envelope %s (err %v), want code migration_infeasible", body, err)
+	}
+	if status, body = post("/v1/migrations", `{"vm":99,"server":1}`); status != http.StatusNotFound {
+		t.Errorf("unknown vm: %d %s, want 404", status, body)
+	}
+
+	// Let the migration target finish waking, then a consolidation pass
+	// with an empty body drains the two half-empty servers back together.
+	if status, body = post("/v1/clock", `{"now":5}`); status != http.StatusOK {
+		t.Fatalf("clock: %d %s", status, body)
+	}
+	status, body = post("/v1/consolidate", "")
+	if status != http.StatusOK {
+		t.Fatalf("consolidate: %d %s", status, body)
+	}
+	var cres api.ConsolidateResponse
+	if err := json.Unmarshal(body, &cres); err != nil {
+		t.Fatal(err)
+	}
+	if cres.Policy != api.PolicyMinMigrationTime || cres.Executed != 1 || len(cres.Moves) != 1 {
+		t.Errorf("consolidation %+v, want one default-policy move", cres)
+	}
+	if status, body = post("/v1/consolidate", `{"policy":"sideways"}`); status != http.StatusBadRequest {
+		t.Errorf("bad policy: %d %s, want 400", status, body)
+	}
+
+	// History: both migrations, newest trimmed by ?limit=, filtered by ?vm=.
+	get := func(path string) api.MigrationsResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var mr api.MigrationsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+	all := get("/v1/migrations")
+	if all.Count != 2 || len(all.Migrations) != 2 {
+		t.Fatalf("history %+v, want 2 records", all)
+	}
+	if last := get("/v1/migrations?limit=1"); len(last.Migrations) != 1 || last.Migrations[0] != all.Migrations[1] {
+		t.Errorf("limit=1 returned %+v, want the newest record", last.Migrations)
+	}
+	if one := get("/v1/migrations?vm=2"); len(one.Migrations) != 1 || one.Migrations[0].VM != 2 {
+		t.Errorf("vm=2 filter returned %+v", one.Migrations)
+	}
+
+	// The state carries the aggregates.
+	st = c.State()
+	if st.Migrations != 2 || st.MigrationSaved != cres.EnergySavedWattMinutes {
+		t.Errorf("state migrations=%d saved=%g, want 2 and %g", st.Migrations, st.MigrationSaved, cres.EnergySavedWattMinutes)
+	}
+}
+
+// TestClassifyConsolidation pins the new error-code mappings without
+// having to stage the races that produce them over HTTP.
+func TestClassifyConsolidation(t *testing.T) {
+	if status, code := classify(&cluster.MigrationInfeasibleError{VM: 1, Server: 2, Reason: "x"}); status != http.StatusConflict || code != api.CodeMigrationInfeasible {
+		t.Errorf("MigrationInfeasibleError → %d %s", status, code)
+	}
+	if status, code := classify(cluster.ErrConsolidationBusy); status != http.StatusConflict || code != api.CodeConsolidationBusy {
+		t.Errorf("ErrConsolidationBusy → %d %s", status, code)
 	}
 }
 

@@ -253,6 +253,57 @@ func (c *Client) AdvanceClock(ctx context.Context, now int) (int, error) {
 	return resp.Now, nil
 }
 
+// MigrateVM moves a resident VM onto the named server
+// (POST /v1/migrations) and returns the journaled migration record.
+// Retry-safe in the Admit sense: a retried call whose first attempt
+// landed comes back 409 migration_infeasible ("already on the target"),
+// which distinguishes it from a genuinely infeasible move only by the
+// retry — so that fold is left to the caller, who knows the intent.
+func (c *Client) MigrateVM(ctx context.Context, vm, server int) (api.MigrationRecord, error) {
+	body, err := json.Marshal(api.MigrateRequest{VM: vm, Server: &server})
+	if err != nil {
+		return api.MigrationRecord{}, err
+	}
+	var rec api.MigrationRecord
+	if _, err := c.do(ctx, http.MethodPost, "/v1/migrations", body, &rec); err != nil {
+		return api.MigrationRecord{}, err
+	}
+	return rec, nil
+}
+
+// Consolidate runs one consolidation pass (POST /v1/consolidate).
+// Idempotent by the pay-for-itself rule: a pass that already drained
+// everything profitable leaves nothing for a replayed pass to move, so
+// retries are safe — except a 409 consolidation_busy, which means a
+// pass (possibly this call's first attempt) is still running and is
+// returned as the error for the caller to back off on.
+func (c *Client) Consolidate(ctx context.Context, req api.ConsolidateRequest) (*api.ConsolidateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp := new(api.ConsolidateResponse)
+	if _, err := c.do(ctx, http.MethodPost, "/v1/consolidate", body, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Migrations fetches the migration history (GET /v1/migrations). query
+// is a raw query string such as "vm=7&limit=10", or "" for the full
+// retained history.
+func (c *Client) Migrations(ctx context.Context, query string) (*api.MigrationsResponse, error) {
+	path := "/v1/migrations"
+	if query != "" {
+		path += "?" + query
+	}
+	resp := new(api.MigrationsResponse)
+	if _, err := c.do(ctx, http.MethodGet, path, nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // State fetches the consistent cluster state and its digest (the
 // X-Vmalloc-State-Digest header, equal to api.DigestBytes over the
 // body). Only meaningful against a single vmserve; a vmgate serves an

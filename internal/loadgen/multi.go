@@ -3,7 +3,9 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -121,6 +123,104 @@ func (mc *MultiClient) AdvanceClock(ctx context.Context, now int) (int, error) {
 		}
 	}
 	return minNow, nil
+}
+
+// MigrateVM routes the manual migration to the shard owning the VM ID
+// and stamps the owning shard on the returned record, mirroring what a
+// vmgate would serve.
+func (mc *MultiClient) MigrateVM(ctx context.Context, vm, server int) (api.MigrationRecord, error) {
+	name := mc.m.Assign(vm).Name
+	rec, err := mc.clients[name].MigrateVM(ctx, vm, server)
+	if err != nil {
+		return api.MigrationRecord{}, err
+	}
+	rec.Shard = name
+	return rec, nil
+}
+
+// Consolidate fans one pass out to every shard and merges the outcomes
+// the way a vmgate does: summed donors/moves/savings, the slowest
+// shard's clock, the concatenated shard-stamped move list in
+// (time, shard, seq) order.
+func (mc *MultiClient) Consolidate(ctx context.Context, req api.ConsolidateRequest) (*api.ConsolidateResponse, error) {
+	type result struct {
+		cr  *api.ConsolidateResponse
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		cr, err := c.Consolidate(ctx, req)
+		return result{cr: cr, err: err}
+	})
+	out := &api.ConsolidateResponse{Moves: []api.MigrationRecord{}}
+	for i, res := range results {
+		name := mc.m.Shards()[i].Name
+		if res.err != nil {
+			return nil, fmt.Errorf("loadgen: consolidate on shard %s: %w", name, res.err)
+		}
+		if i == 0 {
+			out.Clock = res.cr.Clock
+			out.Policy = res.cr.Policy
+		}
+		if res.cr.Clock < out.Clock {
+			out.Clock = res.cr.Clock
+		}
+		out.Donors += res.cr.Donors
+		out.Executed += res.cr.Executed
+		out.EnergySavedWattMinutes += res.cr.EnergySavedWattMinutes
+		for _, m := range res.cr.Moves {
+			m.Shard = name
+			out.Moves = append(out.Moves, m)
+		}
+	}
+	sortMigrations(out.Moves)
+	return out, nil
+}
+
+// Migrations merges every shard's history, shard-stamped and ordered by
+// (time, shard, seq); a limit= in the query trims the merged list to
+// its newest entries, as a vmgate would.
+func (mc *MultiClient) Migrations(ctx context.Context, query string) (*api.MigrationsResponse, error) {
+	type result struct {
+		mr  *api.MigrationsResponse
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		mr, err := c.Migrations(ctx, query)
+		return result{mr: mr, err: err}
+	})
+	out := &api.MigrationsResponse{Migrations: []api.MigrationRecord{}}
+	for i, res := range results {
+		name := mc.m.Shards()[i].Name
+		if res.err != nil {
+			return nil, fmt.Errorf("loadgen: migrations on shard %s: %w", name, res.err)
+		}
+		out.Count += res.mr.Count
+		for _, m := range res.mr.Migrations {
+			m.Shard = name
+			out.Migrations = append(out.Migrations, m)
+		}
+	}
+	sortMigrations(out.Migrations)
+	if vals, err := url.ParseQuery(query); err == nil {
+		if n, err := strconv.Atoi(vals.Get("limit")); err == nil && n > 0 && len(out.Migrations) > n {
+			out.Migrations = out.Migrations[len(out.Migrations)-n:]
+		}
+	}
+	return out, nil
+}
+
+// sortMigrations orders a merged record list deterministically: by
+// fleet minute, then owning shard, then journal sequence.
+func sortMigrations(ms []api.MigrationRecord) {
+	sort.SliceStable(ms, func(a, b int) bool {
+		if ms[a].Time != ms[b].Time {
+			return ms[a].Time < ms[b].Time
+		}
+		if ms[a].Shard != ms[b].Shard {
+			return ms[a].Shard < ms[b].Shard
+		}
+		return ms[a].Seq < ms[b].Seq
+	})
 }
 
 // StateSummary aggregates every shard's summary; the digest is the

@@ -70,6 +70,12 @@ type Report struct {
 	ReleaseSkips int `json:"releaseSkips"`
 	// ClockTicks counts /v1/clock advances (steps plus the final drain).
 	ClockTicks int `json:"clockTicks"`
+	// Consolidations counts completed consolidation passes
+	// (Options.ConsolidateEvery); Migrations sums their executed moves
+	// and MigrationSaved their planner-side net savings in watt-minutes.
+	Consolidations int     `json:"consolidations,omitempty"`
+	Migrations     int     `json:"migrations,omitempty"`
+	MigrationSaved float64 `json:"migrationSavedWattMinutes,omitempty"`
 	// Errors counts operations that failed after every retry — transport
 	// failures and 5xx responses. A healthy run reports 0.
 	Errors int `json:"errors"`
@@ -115,6 +121,8 @@ var metricsDeltaKeys = []string{
 	"vmalloc_cluster_snapshots_total",
 	"vmalloc_cluster_journal_errors_total",
 	"vmalloc_cluster_scan_candidates_total",
+	"vmalloc_cluster_migrations_total",
+	"vmalloc_cluster_consolidations_total",
 }
 
 // String renders the report as the vmload CLI's human-readable summary.
@@ -124,6 +132,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "admissions: %d sent, %d accepted, %d rejected\n", r.Sent, r.Accepted, r.Rejected)
 	fmt.Fprintf(&b, "releases:   %d ok, %d missed, %d skipped (vm never admitted)\n", r.Releases, r.ReleaseMisses, r.ReleaseSkips)
 	fmt.Fprintf(&b, "clock:      %d ticks; errors %d, retries %d, behind-steps %d\n", r.ClockTicks, r.Errors, r.Retries, r.BehindSteps)
+	if r.Consolidations > 0 {
+		fmt.Fprintf(&b, "consolidation: %d passes, %d migrations, %.2f Wmin saved\n", r.Consolidations, r.Migrations, r.MigrationSaved)
+	}
 	fmt.Fprintf(&b, "latency admit:   %s\n", r.AdmitLatency)
 	if r.ReleaseLatency.Count > 0 {
 		fmt.Fprintf(&b, "latency release: %s\n", r.ReleaseLatency)

@@ -33,6 +33,13 @@ type Options struct {
 	// SkipClock disables the per-step /v1/clock advances (and the final
 	// drain tick), for servers whose clock is driven elsewhere.
 	SkipClock bool
+	// ConsolidateEvery triggers a consolidation pass
+	// (POST /v1/consolidate) after the clock tick of every step whose
+	// minute is a multiple of this value; 0 never consolidates.
+	ConsolidateEvery int
+	// ConsolidatePolicy is the victim-selection policy for those passes;
+	// "" lets the server pick its configured default.
+	ConsolidatePolicy string
 }
 
 func (o Options) workers() int {
@@ -50,6 +57,7 @@ type API interface {
 	Admit(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error)
 	Release(ctx context.Context, id int) (released bool, err error)
 	AdvanceClock(ctx context.Context, now int) (int, error)
+	Consolidate(ctx context.Context, req api.ConsolidateRequest) (*api.ConsolidateResponse, error)
 	StateSummary(ctx context.Context) (StateSummary, error)
 	Metrics(ctx context.Context) (Metrics, error)
 	Retried() int
@@ -177,6 +185,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		if !r.Opts.SkipClock {
 			r.tick(ctx, rep, co, step.Minute)
 		}
+		if r.Opts.ConsolidateEvery > 0 && step.Minute%r.Opts.ConsolidateEvery == 0 {
+			r.consolidate(ctx, rep, co, step.Minute)
+		}
 		r.admitStep(ctx, rep, co, step, accepted, outcomes)
 		r.releaseStep(ctx, rep, co, step, accepted, outcomes)
 	}
@@ -228,6 +239,20 @@ func (r *Runner) pace(ctx context.Context, rep *Report, start time.Time, minute 
 	if now.Sub(target) > r.Opts.MinuteInterval {
 		rep.BehindSteps++
 	}
+}
+
+// consolidate runs one pay-for-itself pass between the tick and the
+// minute's admissions. The step barrier means no pass races another, so
+// a consolidation_busy here is a genuine failure, not contention.
+func (r *Runner) consolidate(ctx context.Context, rep *Report, co *collector, minute int) {
+	res, err := r.Client.Consolidate(ctx, api.ConsolidateRequest{Policy: r.Opts.ConsolidatePolicy})
+	if err != nil {
+		co.err(fmt.Errorf("consolidate at minute %d: %w", minute, err))
+		return
+	}
+	rep.Consolidations++
+	rep.Migrations += res.Executed
+	rep.MigrationSaved += res.EnergySavedWattMinutes
 }
 
 func (r *Runner) tick(ctx context.Context, rep *Report, co *collector, minute int) {

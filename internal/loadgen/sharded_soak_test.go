@@ -106,7 +106,8 @@ func TestShardedSoakThroughGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := NewClient(d.gateSrv.URL)
-	r := &Runner{Client: client, Schedule: sched, Opts: Options{Workers: 16, Chunk: 8}}
+	r := &Runner{Client: client, Schedule: sched,
+		Opts: Options{Workers: 16, Chunk: 8, ConsolidateEvery: 30, ConsolidatePolicy: api.PolicyMinUtilization}}
 	rep, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -117,8 +118,26 @@ func TestShardedSoakThroughGate(t *testing.T) {
 	if rep.Sent != sched.NumVMs {
 		t.Fatalf("sent %d admissions, want %d", rep.Sent, sched.NumVMs)
 	}
-	t.Logf("gate soak: %d ops, %d accepted, %d rejected, %d released in %s",
-		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Wall.Round(time.Millisecond))
+	t.Logf("gate soak: %d ops, %d accepted, %d rejected, %d released, %d migrated in %s",
+		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Migrations, rep.Wall.Round(time.Millisecond))
+	if rep.Consolidations == 0 {
+		t.Fatal("gate soak ran no consolidation passes")
+	}
+
+	// The gate's merged migration history reconciles with the runner's
+	// count, every record stamped with a shard that really owns its VM.
+	hist, err := client.Migrations(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count != rep.Migrations {
+		t.Errorf("gate history holds %d migrations, report executed %d", hist.Count, rep.Migrations)
+	}
+	for _, m := range hist.Migrations {
+		if owner := d.m.Assign(m.VM).Name; m.Shard != owner {
+			t.Errorf("migration %+v stamped %s, vm hashes to %s", m, m.Shard, owner)
+		}
+	}
 
 	residents, digests := d.verifyResidency(t)
 	if residents != rep.FinalResidents {
@@ -161,7 +180,8 @@ func TestShardedSoakMultiClient(t *testing.T) {
 	if err := mc.WaitReady(context.Background(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	r := &Runner{Client: mc, Schedule: sched, Opts: Options{Workers: 16, Chunk: 8}}
+	r := &Runner{Client: mc, Schedule: sched,
+		Opts: Options{Workers: 16, Chunk: 8, ConsolidateEvery: 30, ConsolidatePolicy: api.PolicyMinUtilization}}
 	rep, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +212,9 @@ func TestShardedSoakMultiClient(t *testing.T) {
 	}
 	if got := met["vmalloc_cluster_admissions_total"]; got != float64(rep.Accepted) {
 		t.Errorf("summed admissions %g, want %d", got, rep.Accepted)
+	}
+	if got := met["vmalloc_cluster_migrations_total"]; got != float64(rep.Migrations) {
+		t.Errorf("summed migrations %g, want %d", got, rep.Migrations)
 	}
 }
 

@@ -96,7 +96,10 @@ func TestSoakJournalReplay(t *testing.T) {
 	r := &Runner{
 		Client:   client,
 		Schedule: sched,
-		Opts:     Options{Workers: 16, Chunk: 8},
+		// Consolidate every 60 fleet minutes: the diurnal trough leaves
+		// under-utilised servers for the pay-for-itself drains, so the
+		// journal gets real migrate records to replay below.
+		Opts: Options{Workers: 16, Chunk: 8, ConsolidateEvery: 60},
 	}
 
 	// Read the recorder concurrently with the load — both in-process and
@@ -130,6 +133,14 @@ func TestSoakJournalReplay(t *testing.T) {
 	}
 	t.Logf("soak: %d ops, %d accepted, %d rejected, %d released in %s",
 		sched.Ops(), rep.Accepted, rep.Rejected, rep.Releases, rep.Wall.Round(time.Millisecond))
+	if rep.Consolidations == 0 {
+		t.Fatal("soak ran no consolidation passes")
+	}
+	if !testing.Short() && rep.Migrations == 0 {
+		t.Fatal("full soak executed no migrations: the replay below would not cover migrate records")
+	}
+	t.Logf("consolidation: %d passes, %d migrations, %.2f Wmin saved",
+		rep.Consolidations, rep.Migrations, rep.MigrationSaved)
 
 	verifyDecisionTrace(t, client, recorder, rep)
 
@@ -197,7 +208,7 @@ func verifyDecisionTrace(t *testing.T, client *Client, rec *obs.FlightRecorder, 
 	for _, id := range client.IssuedRequestIDs() {
 		issued[id] = true
 	}
-	var admits, rejects, releases int
+	var admits, rejects, releases, migrates int
 	for _, d := range ds {
 		if d.RequestID == "" || !issued[d.RequestID] {
 			t.Fatalf("decision carries request id %q the client never issued: %+v", d.RequestID, d)
@@ -223,6 +234,14 @@ func verifyDecisionTrace(t *testing.T, client *Client, rec *obs.FlightRecorder, 
 			if d.Reason == "" {
 				releases++ // successful release; failed ones carry a reason
 			}
+		case obs.OpMigrate:
+			migrates++
+			if d.Server == 0 || d.From == 0 {
+				t.Fatalf("migrate decision without endpoints: %+v", d)
+			}
+			if d.Stages.Journal <= 0 {
+				t.Fatalf("migrate decision without a journal stage: %+v", d)
+			}
 		default:
 			t.Fatalf("unknown op in decision %+v", d)
 		}
@@ -230,6 +249,9 @@ func verifyDecisionTrace(t *testing.T, client *Client, rec *obs.FlightRecorder, 
 	if admits != rep.Accepted || rejects != rep.Rejected || releases != rep.Releases {
 		t.Fatalf("recorder saw %d/%d/%d admit/reject/release, report says %d/%d/%d",
 			admits, rejects, releases, rep.Accepted, rep.Rejected, rep.Releases)
+	}
+	if migrates != rep.Migrations {
+		t.Fatalf("recorder saw %d migrate decisions, report says %d", migrates, rep.Migrations)
 	}
 	t.Logf("trace: %d decisions, all matched to %d issued request ids", len(ds), len(issued))
 }

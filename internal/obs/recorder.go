@@ -16,6 +16,11 @@ const (
 	// OpRelease is an early release of a resident VM (Reason is set when
 	// the release failed, e.g. the VM was not resident).
 	OpRelease = "release"
+	// OpMigrate is a live migration of a resident VM between servers —
+	// planned by a consolidation pass or requested directly. Server is the
+	// target, From the source; Reason is set when the migration was
+	// refused as infeasible.
+	OpMigrate = "migrate"
 )
 
 // StageTimings are the per-stage wall durations of one decision, the
@@ -47,13 +52,18 @@ type Decision struct {
 	// Batch numbers the admission batch that processed the operation
 	// (releases are not batched and leave it 0).
 	Batch uint64 `json:"batch,omitempty"`
-	// Op is OpAdmit, OpReject or OpRelease.
+	// Op is OpAdmit, OpReject, OpRelease or OpMigrate.
 	Op string `json:"op"`
 	// VM is the VM id the decision is about.
 	VM int `json:"vm,omitempty"`
 	// Server is the hosting server's ID (not index) for admits and
-	// successful releases.
+	// successful releases; the target server for migrations.
 	Server int `json:"server,omitempty"`
+	// From is the source server's ID for migrations.
+	From int `json:"from,omitempty"`
+	// SavedWattMinutes is the planner's net energy-saving estimate for a
+	// consolidation-planned migration.
+	SavedWattMinutes float64 `json:"savedWattMinutes,omitempty"`
 	// Start and End bound the admitted VM's occupancy, in fleet minutes.
 	Start int `json:"start,omitempty"`
 	End   int `json:"end,omitempty"`
@@ -191,6 +201,7 @@ func (r *FlightRecorder) Dump(log *slog.Logger) int {
 			"op", d.Op,
 			"vm", d.VM,
 			"server", d.Server,
+			"from", d.From,
 			"clock", d.Clock,
 			"reason", d.Reason,
 			"candidates", d.Candidates,

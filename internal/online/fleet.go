@@ -54,6 +54,7 @@ type Fleet struct {
 	maxDelay   int
 	admitted   int
 	released   int
+	migrated   int
 }
 
 // NewFleet returns an all-sleeping fleet with the clock at 0. idleTimeout
@@ -85,6 +86,9 @@ func (fl *Fleet) Admitted() int { return fl.admitted }
 
 // Released returns the number of VMs removed early via Release.
 func (fl *Fleet) Released() int { return fl.released }
+
+// Migrated returns the number of live migrations performed via Migrate.
+func (fl *Fleet) Migrated() int { return fl.migrated }
 
 // StartDelayTotal returns the summed minutes admitted VMs waited for a
 // wake-up beyond their requested start.
@@ -262,6 +266,113 @@ func (fl *Fleet) Release(id int) (PlacedVM, error) {
 	return p, nil
 }
 
+// MigrateError reports that a requested migration is infeasible on the
+// current fleet state: the target cannot host the VM's remaining interval,
+// or there is no remaining interval to move.
+type MigrateError struct {
+	VM     int
+	Server int // target server ID (not index)
+	Reason string
+}
+
+func (e *MigrateError) Error() string {
+	return fmt.Sprintf("online: cannot migrate vm %d to server %d: %s", e.VM, e.Server, e.Reason)
+}
+
+// Migrate moves a resident VM to server index `to` at the current clock
+// minute, atomically: the source keeps the minutes the VM already consumed
+// (through the current minute, exactly as Release accounts them), and the
+// target hosts the remainder — the handoff minute, returned to the caller,
+// is the next minute for a started VM and the VM's (unchanged) start for
+// one that has not started yet. The VM's (start, end) identity is
+// preserved: only the hosting server changes, so a migration never delays
+// or extends the VM.
+//
+// Run cost for the remaining minutes is transferred between the two
+// servers' marginal rates (refunded at the source's P¹, charged at the
+// target's). A sleeping target is woken exactly as Commit would, but only
+// if the wake completes by the handoff minute — waking may never shift the
+// start. The source's stale departure event is neutralised by the same
+// identity guard that protects releases; a fresh departure is scheduled on
+// the target.
+//
+// On success Migrate returns the VM's placement before the move and the
+// handoff minute. Infeasible requests return a *MigrateError and leave the
+// fleet untouched.
+func (fl *Fleet) Migrate(id, to int) (PlacedVM, int, error) {
+	p, ok := fl.resident[id]
+	if !ok {
+		return PlacedVM{}, 0, fmt.Errorf("online: vm %d is not resident", id)
+	}
+	if to < 0 || to >= len(fl.view.units) {
+		return PlacedVM{}, 0, fmt.Errorf("online: server index %d out of range", to)
+	}
+	dst := fl.view.units[to]
+	if to == p.Server {
+		return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID, Reason: "vm already hosted there"}
+	}
+	now := fl.view.now
+	handoff := maxInt(p.Start, now+1)
+	end := p.End()
+	if handoff > end {
+		return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID, Reason: "no remaining minutes to move"}
+	}
+	wake := false
+	switch dst.state {
+	case Waking:
+		if dst.wakeDone > handoff {
+			return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID,
+				Reason: fmt.Sprintf("target wakes at %d, after the handoff minute %d", dst.wakeDone, handoff)}
+		}
+	case PowerSaving:
+		if done := now + int(math.Ceil(dst.srv.TransitionTime)); done > handoff {
+			return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID,
+				Reason: fmt.Sprintf("target cannot wake before the handoff minute %d", handoff)}
+		}
+		wake = true
+	}
+	if !p.VM.Demand.Fits(dst.srv.Capacity) {
+		return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID, Reason: "vm exceeds server capacity"}
+	}
+	cpu, mem := dst.res.MaxUsage(handoff, end)
+	if cpu+p.VM.Demand.CPU > dst.srv.Capacity.CPU || mem+p.VM.Demand.Mem > dst.srv.Capacity.Mem {
+		return PlacedVM{}, 0, &MigrateError{VM: id, Server: dst.srv.ID, Reason: "target lacks capacity over the remaining interval"}
+	}
+
+	src := fl.view.units[p.Server]
+	remaining := float64(end - handoff + 1)
+	fl.energy.Run -= src.srv.UnitCPUPower() * p.VM.Demand.CPU * remaining
+	fl.energy.Run += dst.srv.UnitCPUPower() * p.VM.Demand.CPU * remaining
+	src.res.Truncate(id, now)
+	if _, kept := src.res.Get(id); kept {
+		// Same as Release: the consumed stub [Start, now] must be reclaimed
+		// once it is entirely past, since the VM's natural departure event
+		// now fails the identity check on the source.
+		fl.push(event{time: now + 1, kind: evCleanup, srv: p.Server, vmID: id})
+	}
+	fl.vacate(p.Server, now)
+	if wake {
+		dst.state = Waking
+		dst.wakeDone = now + int(math.Ceil(dst.srv.TransitionTime))
+		dst.transitions++
+		fl.energy.Transition += dst.srv.TransitionCost()
+		fl.push(event{time: dst.wakeDone, kind: evWakeDone, srv: to})
+	}
+	dst.res.Add(id, timeline.Reservation{
+		Interval: timeline.Interval{Start: handoff, End: end},
+		CPU:      p.VM.Demand.CPU,
+		Mem:      p.VM.Demand.Mem,
+	})
+	dst.vms++
+	dst.used = true
+	moved := p
+	moved.Server = to
+	fl.resident[id] = moved
+	fl.migrated++
+	fl.push(event{time: end + 1, kind: evDeparture, srv: to, vmID: id})
+	return p, handoff, nil
+}
+
 // vacate decrements a unit's VM count and, when it empties while active,
 // starts the idle countdown.
 func (fl *Fleet) vacate(i, now int) {
@@ -340,6 +451,7 @@ type FleetSnapshot struct {
 	MaxDelay   int              `json:"maxDelayMinutes"`
 	Admitted   int              `json:"admitted"`
 	Released   int              `json:"released"`
+	Migrated   int              `json:"migrated,omitempty"`
 	Units      []UnitSnapshot   `json:"units"`
 	Residents  []PlacedVM       `json:"residents"`
 }
@@ -364,6 +476,7 @@ func (fl *Fleet) Snapshot() *FleetSnapshot {
 		MaxDelay:   fl.maxDelay,
 		Admitted:   fl.admitted,
 		Released:   fl.released,
+		Migrated:   fl.migrated,
 		Units:      make([]UnitSnapshot, len(fl.view.units)),
 		Residents:  fl.Residents(),
 	}
@@ -394,6 +507,7 @@ func RestoreFleet(servers []model.Server, idleTimeout int, snap *FleetSnapshot) 
 	fl.maxDelay = snap.MaxDelay
 	fl.admitted = snap.Admitted
 	fl.released = snap.Released
+	fl.migrated = snap.Migrated
 	for i, us := range snap.Units {
 		u := fl.view.units[i]
 		u.state = us.State

@@ -99,6 +99,20 @@ func (f *FleetView) Fits(i int, v model.VM, start int) bool {
 	return cpu+v.Demand.CPU <= u.srv.Capacity.CPU && mem+v.Demand.Mem <= u.srv.Capacity.Mem
 }
 
+// MaxUsage returns the peak committed CPU and memory on server i over
+// [start, end] — the headroom check behind Fits, exposed for planners
+// (the consolidation pass) that need the raw maxima to combine with their
+// own tentative reservations.
+func (f *FleetView) MaxUsage(i, start, end int) (cpu, mem float64) {
+	return f.units[i].res.MaxUsage(start, end)
+}
+
+// IdleSince returns the minute server i last dropped to zero committed
+// VMs while active. It is only meaningful while the server is active and
+// empty (Running(i) == 0): the server sleeps once the idle timeout
+// elapses from this minute.
+func (f *FleetView) IdleSince(i int) int { return f.units[i].idleSince }
+
 // StartTime returns the earliest time v could start on server i if chosen
 // now: immediately if the server is active or can be woken by v.Start,
 // otherwise when the wake-up completes.

@@ -114,6 +114,9 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/vms", g.handleAdmit)
 	mux.HandleFunc("DELETE /v1/vms/{id}", g.handleRelease)
 	mux.HandleFunc("POST /v1/clock", g.handleClock)
+	mux.HandleFunc("POST /v1/migrations", g.handleMigrate)
+	mux.HandleFunc("GET /v1/migrations", g.handleMigrations)
+	mux.HandleFunc("POST /v1/consolidate", g.handleConsolidate)
 	mux.HandleFunc("GET /v1/state", g.handleState)
 	mux.HandleFunc("GET /v1/shards", g.handleShards)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -307,6 +310,174 @@ func (g *Gate) handleRelease(w http.ResponseWriter, r *http.Request) {
 	w.Write(data) //nolint:errcheck // client gone
 }
 
+// handleMigrate routes a manual migration to the shard owning the VM ID
+// and relays the shard's api.MigrationRecord with the owning shard
+// stamped, so a gate client sees the same record shape a direct shard
+// client does, plus provenance.
+func (g *Gate) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeMigrateRequest(r.Body, g.cfg.MaxBodyBytes)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, api.ErrBodyTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, r, status, api.CodeBadRequest, err)
+		return
+	}
+	s := g.m.Assign(req.VM)
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, merr)
+		return
+	}
+	_, data, perr := g.call(r.Context(), s, http.MethodPost, "/v1/migrations", body)
+	if perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	var rec api.MigrationRecord
+	if derr := json.Unmarshal(data, &rec); derr != nil {
+		writeError(w, r, http.StatusBadGateway, api.CodeInternal,
+			fmt.Errorf("shard %s: parse migration record: %v", s.Name, derr))
+		return
+	}
+	rec.Shard = s.Name
+	writeJSON(w, r, http.StatusOK, rec)
+}
+
+// handleMigrations scatter-gathers every shard's migration history into
+// one merged api.MigrationsResponse: records stamped with their owning
+// shard, ordered by (time, shard, seq), the newest ?limit= kept.
+// All-or-nothing like the state read: a partial history would silently
+// undercount.
+func (g *Gate) handleMigrations(w http.ResponseWriter, r *http.Request) {
+	for _, p := range []string{"vm", "limit"} {
+		v := r.URL.Query().Get(p)
+		if v == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(v); err != nil || n < 0 {
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("bad %s %q", p, v))
+			return
+		}
+	}
+	query := ""
+	if r.URL.RawQuery != "" {
+		query = "?" + r.URL.RawQuery
+	}
+	type result struct {
+		mr  api.MigrationsResponse
+		err *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodGet, "/v1/migrations"+query, nil)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var mr api.MigrationsResponse
+		if derr := json.Unmarshal(data, &mr); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse migrations: %v", s.Name, derr)}}}
+		}
+		return result{mr: mr}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	shards := g.m.Shards()
+	out := api.MigrationsResponse{Migrations: []api.MigrationRecord{}}
+	for i, res := range results {
+		out.Count += res.mr.Count
+		for _, m := range res.mr.Migrations {
+			m.Shard = shards[i].Name
+			out.Migrations = append(out.Migrations, m)
+		}
+	}
+	sortMigrations(out.Migrations)
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, _ := strconv.Atoi(v); n > 0 && len(out.Migrations) > n {
+			out.Migrations = out.Migrations[len(out.Migrations)-n:]
+		}
+	}
+	writeJSON(w, r, http.StatusOK, out)
+}
+
+// handleConsolidate fans one consolidation pass out to every shard and
+// aggregates the outcomes: summed donors/moves/savings, the merged
+// shard-stamped move list, the slowest shard's clock. Shards consolidate
+// independently — a VM never crosses shards, so per-shard passes compose
+// into exactly the fleet-wide pass. A shard already running a pass folds
+// to 409 consolidation_busy; a retry is safe (the pay-for-itself rule
+// makes passes idempotent once nothing profitable remains).
+func (g *Gate) handleConsolidate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, err)
+		return
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		writeError(w, r, http.StatusRequestEntityTooLarge, api.CodeBadRequest, api.ErrBodyTooLarge)
+		return
+	}
+	if _, derr := api.DecodeConsolidateRequest(bytes.NewReader(body), g.cfg.MaxBodyBytes); derr != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, derr)
+		return
+	}
+	type result struct {
+		cr  api.ConsolidateResponse
+		err *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodPost, "/v1/consolidate", body)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var cr api.ConsolidateResponse
+		if derr := json.Unmarshal(data, &cr); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse consolidation: %v", s.Name, derr)}}}
+		}
+		return result{cr: cr}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	shards := g.m.Shards()
+	out := api.ConsolidateResponse{
+		Clock:  results[0].cr.Clock,
+		Policy: results[0].cr.Policy,
+		Moves:  []api.MigrationRecord{},
+	}
+	for i, res := range results {
+		out.Clock = min(out.Clock, res.cr.Clock)
+		out.Donors += res.cr.Donors
+		out.Executed += res.cr.Executed
+		out.EnergySavedWattMinutes += res.cr.EnergySavedWattMinutes
+		for _, m := range res.cr.Moves {
+			m.Shard = shards[i].Name
+			out.Moves = append(out.Moves, m)
+		}
+	}
+	sortMigrations(out.Moves)
+	writeJSON(w, r, http.StatusOK, out)
+}
+
+// sortMigrations orders a merged record list deterministically: by fleet
+// minute, then owning shard, then journal sequence.
+func sortMigrations(ms []api.MigrationRecord) {
+	sort.SliceStable(ms, func(a, b int) bool {
+		if ms[a].Time != ms[b].Time {
+			return ms[a].Time < ms[b].Time
+		}
+		if ms[a].Shard != ms[b].Shard {
+			return ms[a].Shard < ms[b].Shard
+		}
+		return ms[a].Seq < ms[b].Seq
+	})
+}
+
 // handleClock fans the advance out to every shard and reports the
 // slowest resulting clock. The shard clock is monotonic, so replaying
 // an advance onto a shard that already took it is a no-op — which makes
@@ -383,6 +554,8 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 		out.Now = min(out.Now, st.Now)
 		out.Admitted += st.Admitted
 		out.Released += st.Released
+		out.Migrations += st.Migrations
+		out.MigrationSaved += st.MigrationSaved
 		out.Residents += len(st.VMs)
 		out.ServersUsed += st.ServersUsed
 		out.TotalEnergy += st.TotalEnergy

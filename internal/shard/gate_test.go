@@ -513,3 +513,133 @@ func TestGateRequestIDPropagation(t *testing.T) {
 		t.Errorf("shard decisions %+v, want one carrying gate-prop-1", ds.Decisions)
 	}
 }
+
+// TestGateMigrationSurface drives the consolidation API through the
+// gate: a manual migration routed by VM ID, a fleet-wide consolidation
+// pass merged across shards, the shard-stamped history — and the pinned
+// isolation guarantee that migrations on one shard never move another
+// shard's state digest.
+func TestGateMigrationSurface(t *testing.T) {
+	d := newDeployment(t)
+	ids0 := d.idsFor("s0", 2)
+	ids1 := d.idsFor("s1", 2)
+	resp, err := http.Post(d.gateSrv.URL+"/v1/vms", "application/json",
+		strings.NewReader(admitBody(append(append([]int{}, ids0...), ids1...))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(d.gateSrv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Both s0 VMs pack onto one server; move one to a second server so a
+	// later consolidation has a drain to find. The gate must route the
+	// migrate to s0 by VM ID and stamp the owning shard on the record.
+	st0, _ := shardState(t, d.shardSrv["s0"])
+	from := st0.Servers[st0.VMs[0].Server].ID
+	to := from + 1
+	if from != 100 {
+		to = 100
+	}
+	_, before1 := shardState(t, d.shardSrv["s1"])
+	status, body := post("/v1/migrations", fmt.Sprintf(`{"vm":%d,"server":%d}`, ids0[1], to))
+	if status != http.StatusOK {
+		t.Fatalf("gate migrate: %d %s", status, body)
+	}
+	var rec api.MigrationRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.VM != ids0[1] || rec.From != from || rec.To != to || rec.Shard != "s0" {
+		t.Errorf("record %+v, want vm %d from %d to %d on shard s0", rec, ids0[1], from, to)
+	}
+	if _, after1 := shardState(t, d.shardSrv["s1"]); after1 != before1 {
+		t.Fatalf("migrating a VM on s0 changed s1's digest: %s != %s", after1, before1)
+	}
+
+	// Error envelopes relay through the gate with their codes intact.
+	ghost := d.idsFor("s0", 3)[2] // routed to s0, never admitted
+	if status, body = post("/v1/migrations", fmt.Sprintf(`{"vm":%d,"server":%d}`, ghost, from)); status != http.StatusNotFound {
+		t.Errorf("unknown vm through gate: %d %s, want 404", status, body)
+	}
+
+	// Wake finished, consolidate fleet-wide: only s0 has two half-empty
+	// active servers, so the merged pass executes exactly one move there.
+	if status, body = post("/v1/clock", `{"now":5}`); status != http.StatusOK {
+		t.Fatalf("clock: %d %s", status, body)
+	}
+	_, before1 = shardState(t, d.shardSrv["s1"])
+	status, body = post("/v1/consolidate", `{"policy":"min-utilization"}`)
+	if status != http.StatusOK {
+		t.Fatalf("gate consolidate: %d %s", status, body)
+	}
+	var cres api.ConsolidateResponse
+	if err := json.Unmarshal(body, &cres); err != nil {
+		t.Fatal(err)
+	}
+	if cres.Policy != api.PolicyMinUtilization || cres.Executed != 1 || len(cres.Moves) != 1 || cres.Moves[0].Shard != "s0" {
+		t.Errorf("merged consolidation %+v, want one move on s0", cres)
+	}
+	if cres.Clock != 5 {
+		t.Errorf("merged clock %d, want 5", cres.Clock)
+	}
+	if cres.EnergySavedWattMinutes <= 0 {
+		t.Errorf("merged saving %g, want > 0", cres.EnergySavedWattMinutes)
+	}
+	if _, after1 := shardState(t, d.shardSrv["s1"]); after1 != before1 {
+		t.Fatalf("consolidation that moved nothing on s1 changed its digest: %s != %s", after1, before1)
+	}
+	if status, body = post("/v1/consolidate", `{"policy":"sideways"}`); status != http.StatusBadRequest {
+		t.Errorf("bad policy through gate: %d %s, want 400", status, body)
+	}
+
+	// Merged history: both records, stamped s0, ordered, limit honoured.
+	get := func(path string) api.MigrationsResponse {
+		t.Helper()
+		resp, err := http.Get(d.gateSrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var mr api.MigrationsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+	all := get("/v1/migrations")
+	if all.Count != 2 || len(all.Migrations) != 2 {
+		t.Fatalf("merged history %+v, want 2 records", all)
+	}
+	for _, m := range all.Migrations {
+		if m.Shard != "s0" {
+			t.Errorf("record %+v not stamped with its owning shard", m)
+		}
+	}
+	if last := get("/v1/migrations?limit=1"); len(last.Migrations) != 1 || last.Migrations[0] != all.Migrations[1] {
+		t.Errorf("limit=1 returned %+v, want the newest record", last.Migrations)
+	}
+
+	// The gate state sums the migration aggregates across shards.
+	resp, err = http.Get(d.gateSrv.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var gs api.GateStateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gs); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Migrations != 2 || gs.MigrationSaved != cres.EnergySavedWattMinutes {
+		t.Errorf("gate state migrations=%d saved=%g, want 2 and %g", gs.Migrations, gs.MigrationSaved, cres.EnergySavedWattMinutes)
+	}
+}
