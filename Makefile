@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs every Go micro-benchmark once (a smoke pass: regressions in
+# benchmark code itself surface here, numbers do not).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# baseline refreshes the committed performance snapshot. Run it on the
+# reference machine and commit the result; BENCH_7.json is the document
+# reviews compare against.
+baseline:
+	$(GO) run ./cmd/vmbench -out BENCH_7.json

@@ -1,0 +1,272 @@
+// Command vmbench captures the repo's committed performance baseline:
+// it measures the three numbers regressions hide in — end-to-end
+// admission throughput through the vmserve HTTP stack, the candidate
+// scan cost per VM placed, and the journal fsync tail — and writes them
+// as one JSON document (BENCH_7.json at the repo root is the committed
+// snapshot; `make bench` refreshes it).
+//
+// Everything runs in-process against real components: a volatile
+// cluster behind the real clusterhttp handler driven by the real
+// loadgen client for throughput, an online fleet for the scan
+// micro-benchmark, and a journaled cluster with fsync enabled (the
+// flight recorder's per-decision sync stage is the sample source) for
+// the fsync percentiles. Numbers are machine-dependent; compare runs
+// from the same machine only.
+//
+// Usage:
+//
+//	vmbench -out BENCH_7.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"vmalloc/internal/api"
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
+	"vmalloc/internal/loadgen"
+	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
+	"vmalloc/internal/online"
+)
+
+// Result is the committed baseline document.
+type Result struct {
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numCPU"`
+	// Timestamp is when this baseline was captured (RFC 3339, UTC).
+	Timestamp string `json:"timestamp"`
+
+	// Admission throughput through the full HTTP stack.
+	AdmitOps         int     `json:"admitOps"`
+	AdmitChunk       int     `json:"admitChunk"`
+	AdmissionsPerSec float64 `json:"admissionsPerSec"`
+
+	// Candidate scan cost (online.MinCostPolicy over a growing fleet).
+	ScanVMs     int     `json:"scanVMs"`
+	ScanServers int     `json:"scanServers"`
+	ScanNsPerVM float64 `json:"scanNsPerVM"`
+
+	// Journal fsync latency, sampled from single-admission batches.
+	FsyncSamples      int     `json:"fsyncSamples"`
+	JournalFsyncP50Ms float64 `json:"journalFsyncP50Ms"`
+	JournalFsyncP99Ms float64 `json:"journalFsyncP99Ms"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmbench", flag.ContinueOnError)
+	var (
+		out          = fs.String("out", "BENCH_7.json", "write the baseline JSON here (\"-\" = stdout only)")
+		admits       = fs.Int("admits", 4000, "admissions to push through the HTTP stack")
+		chunk        = fs.Int("chunk", 100, "admissions per HTTP call")
+		scanVMs      = fs.Int("scan-vms", 2000, "VMs to place in the scan micro-benchmark")
+		scanServers  = fs.Int("scan-servers", 256, "fleet size for the scan micro-benchmark")
+		fsyncSamples = fs.Int("fsync-samples", 400, "journaled single-admission batches to sample")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res := Result{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	ctx := context.Background()
+
+	if err := benchAdmissions(ctx, *admits, *chunk, &res); err != nil {
+		return fmt.Errorf("admission throughput: %w", err)
+	}
+	if err := benchScan(*scanVMs, *scanServers, &res); err != nil {
+		return fmt.Errorf("candidate scan: %w", err)
+	}
+	if err := benchFsync(ctx, *fsyncSamples, &res); err != nil {
+		return fmt.Errorf("journal fsync: %w", err)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	if *out != "" && *out != "-" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchServers is a fleet big enough that every benchmark admission is
+// accepted: throughput should measure the placement path, not the
+// cheaper rejection path.
+func benchServers(n int) []model.Server {
+	out := make([]model.Server, n)
+	for i := range out {
+		out[i] = model.Server{
+			ID:             i + 1,
+			Capacity:       model.Resources{CPU: 128, Mem: 256},
+			PIdle:          100,
+			PPeak:          200,
+			TransitionTime: 1,
+		}
+	}
+	return out
+}
+
+// benchAdmissions measures end-to-end admissions/sec: loadgen client →
+// HTTP → handler → micro-batch pipeline → placement, on a volatile
+// cluster.
+func benchAdmissions(ctx context.Context, n, chunk int, res *Result) error {
+	cl, err := cluster.Open(cluster.Config{Servers: benchServers(64), IdleTimeout: 5})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: clusterhttp.New(cl, clusterhttp.Config{})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := loadgen.NewClient("http://" + ln.Addr().String())
+	start := time.Now()
+	for id := 1; id <= n; id += chunk {
+		batch := make([]api.AdmitRequest, 0, chunk)
+		for j := id; j < id+chunk && j <= n; j++ {
+			batch = append(batch, api.AdmitRequest{
+				ID:              j,
+				Demand:          model.Resources{CPU: 1, Mem: 1},
+				DurationMinutes: 60,
+			})
+		}
+		adms, err := client.Admit(ctx, batch)
+		if err != nil {
+			return err
+		}
+		for _, a := range adms {
+			if !a.Accepted {
+				return fmt.Errorf("vm %d rejected (%s): size the bench fleet up", a.ID, a.Reason)
+			}
+		}
+	}
+	res.AdmitOps = n
+	res.AdmitChunk = chunk
+	res.AdmissionsPerSec = float64(n) / time.Since(start).Seconds()
+	return nil
+}
+
+// benchScan times online.MinCostPolicy.Place over a growing fleet — the
+// candidate scan every admission pays, isolated from HTTP, batching and
+// journaling.
+func benchScan(n, servers int, res *Result) error {
+	fl := online.NewFleet(benchServers(servers), 5)
+	fl.AdvanceTo(1)
+	pol := &online.MinCostPolicy{}
+	var total time.Duration
+	for id := 1; id <= n; id++ {
+		v := model.VM{ID: id, Demand: model.Resources{CPU: 1, Mem: 1}, Start: 1, End: 1 << 20}
+		t0 := time.Now()
+		idx, err := pol.Place(fl.View(), v)
+		total += time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("placing vm %d: %w", id, err)
+		}
+		if _, err := fl.Commit(idx, v); err != nil {
+			return fmt.Errorf("committing vm %d: %w", id, err)
+		}
+	}
+	res.ScanVMs = n
+	res.ScanServers = servers
+	res.ScanNsPerVM = float64(total.Nanoseconds()) / float64(n)
+	return nil
+}
+
+// benchFsync samples the journal's per-batch fsync from the flight
+// recorder's sync stage: a journaled cluster (fsync ON), one admission
+// per batch, sequentially, so every sample is one real fsync.
+func benchFsync(ctx context.Context, samples int, res *Result) error {
+	dir, err := os.MkdirTemp("", "vmbench-journal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rec := obs.NewFlightRecorder(samples + 16)
+	cl, err := cluster.Open(cluster.Config{
+		Servers:       benchServers(64),
+		IdleTimeout:   5,
+		Dir:           dir,
+		SnapshotEvery: -1,
+		Recorder:      rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	for i := 0; i < samples; i++ {
+		adms, err := cl.Admit(ctx, []cluster.VMRequest{{
+			Demand:          model.Resources{CPU: 1, Mem: 1},
+			DurationMinutes: 30,
+		}})
+		if err != nil {
+			return err
+		}
+		if len(adms) != 1 || !adms[0].Accepted {
+			return fmt.Errorf("sample %d not accepted: %+v", i, adms)
+		}
+	}
+
+	var syncs []time.Duration
+	for _, d := range rec.Decisions(obs.Filter{Op: obs.OpAdmit}) {
+		if d.Stages.Sync > 0 {
+			syncs = append(syncs, d.Stages.Sync)
+		}
+	}
+	if len(syncs) == 0 {
+		return fmt.Errorf("no fsync samples recorded")
+	}
+	sort.Slice(syncs, func(i, j int) bool { return syncs[i] < syncs[j] })
+	res.FsyncSamples = len(syncs)
+	res.JournalFsyncP50Ms = float64(percentile(syncs, 50).Nanoseconds()) / 1e6
+	res.JournalFsyncP99Ms = float64(percentile(syncs, 99).Nanoseconds()) / 1e6
+	return nil
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}

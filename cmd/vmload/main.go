@@ -15,11 +15,17 @@
 // would, and the report's state digest is the combined per-shard
 // digest a gate over the same shards serves.
 //
+// Instead of a synthetic profile, -trace replays a real request log: a
+// CSV trace (id,type,cpu,mem,start,end — the internal/trace format) is
+// mapped onto the same minute-step timeline, one admission per VM at
+// its start minute, with the natural departures driven by the clock.
+//
 // Usage:
 //
 //	vmload -addr http://127.0.0.1:8080 -profile diurnal -vms 2000 -seed 7
 //	vmload -addr http://127.0.0.1:8080 -minute 20ms -period 1440   # a day in ~29s
 //	vmload -addr a=http://10.0.0.1:8080 -addr b=http://10.0.0.2:8080 -vms 2000
+//	vmload -addr http://127.0.0.1:8080 -trace requests.csv -minute 0
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -37,6 +44,7 @@ import (
 	"vmalloc/internal/loadgen"
 	"vmalloc/internal/obs"
 	"vmalloc/internal/shard"
+	"vmalloc/internal/trace"
 )
 
 func main() {
@@ -67,6 +75,7 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 	fs.Var(&addrs, "addr", "target base URL, as url or name=url (default http://127.0.0.1:8080; repeat to shard-route across several vmserves)")
 	var (
 		profile   = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
+		traceFile = fs.String("trace", "", "replay this CSV trace (id,type,cpu,mem,start,end) instead of generating a synthetic schedule")
 		vms       = fs.Int("vms", 500, "number of VM admission requests to generate")
 		meanIA    = fs.Float64("mean-interarrival", 0.5, "mean inter-arrival time (fleet minutes, paper §IV-B)")
 		meanLen   = fs.Float64("mean-length", 60, "mean VM length (fleet minutes, exponential)")
@@ -102,24 +111,47 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		return err
 	}
 
-	var prof loadgen.Profile
-	switch *profile {
-	case "poisson":
-		prof = loadgen.PoissonProfile{MeanInterArrival: *meanIA}
-	case "diurnal":
-		prof = loadgen.DiurnalProfile{MeanInterArrival: *meanIA, PeakToTrough: *peak, Period: *period}
-	default:
-		return fmt.Errorf("unknown profile %q (want poisson or diurnal)", *profile)
-	}
-	sched, err := loadgen.BuildSchedule(loadgen.ScheduleSpec{
-		Profile:         prof,
-		NumVMs:          *vms,
-		MeanLength:      *meanLen,
-		ReleaseFraction: *relFrac,
-		Seed:            *seed,
-	})
-	if err != nil {
-		return err
+	// Either a real trace or a synthetic profile drives the run; the
+	// report's profile field names which.
+	var sched *loadgen.Schedule
+	profName := *profile
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		vmsList, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sched, err = loadgen.TraceSchedule(vmsList)
+		if err != nil {
+			return err
+		}
+		profName = "trace:" + filepath.Base(*traceFile)
+	} else {
+		var prof loadgen.Profile
+		switch *profile {
+		case "poisson":
+			prof = loadgen.PoissonProfile{MeanInterArrival: *meanIA}
+		case "diurnal":
+			prof = loadgen.DiurnalProfile{MeanInterArrival: *meanIA, PeakToTrough: *peak, Period: *period}
+		default:
+			return fmt.Errorf("unknown profile %q (want poisson or diurnal)", *profile)
+		}
+		profName = prof.Name()
+		var err error
+		sched, err = loadgen.BuildSchedule(loadgen.ScheduleSpec{
+			Profile:         prof,
+			NumVMs:          *vms,
+			MeanLength:      *meanLen,
+			ReleaseFraction: *relFrac,
+			Seed:            *seed,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	if len(addrs) == 0 {
@@ -185,7 +217,7 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		"retries", rep.Retries,
 		"wall", rep.Wall,
 	)
-	rep.Profile = prof.Name()
+	rep.Profile = profName
 	rep.Seed = *seed
 
 	switch {

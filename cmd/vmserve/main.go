@@ -5,10 +5,14 @@
 //
 // The HTTP API is internal/clusterhttp (POST/DELETE /v1/vms, POST
 // /v1/clock, POST/GET /v1/migrations, POST /v1/consolidate, GET
-// /v1/state, GET /v1/debug/decisions, /healthz, /metrics); cmd/vmload
-// is the matching load generator. -consolidate-interval runs the
-// pay-for-itself consolidation pass on a background cadence in addition
-// to the on-demand endpoint.
+// /v1/policies, GET /v1/state, GET /v1/debug/decisions, /healthz,
+// /metrics); cmd/vmload is the matching load generator.
+// -consolidate-interval runs the pay-for-itself consolidation pass on a
+// background cadence in addition to the on-demand endpoint.
+// -shadow-policy (repeatable) registers challenger policies in the
+// shadow arena: each scores the live admission stream on its own
+// counterfactual fleet replica, readable via GET /v1/policies and the
+// vmalloc_arena_* metrics, without ever touching a live placement.
 //
 // Observability: logs are structured (log/slog; -log-format text|json),
 // every request gets/propagates an X-Request-Id, the last -decisions
@@ -40,6 +44,7 @@ import (
 	"time"
 
 	"vmalloc/internal/api"
+	"vmalloc/internal/arena"
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/config"
@@ -58,8 +63,20 @@ func main() {
 	}
 }
 
+// stringList is a repeatable string flag (-shadow-policy a -shadow-policy b).
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmserve", flag.ContinueOnError)
+	var shadows stringList
+	fs.Var(&shadows, "shadow-policy", "run this policy as a shadow challenger on a counterfactual fleet replica, as policy or name=policy (repeatable; see GET /v1/policies)")
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		fleetFile  = fs.String("fleet", "", "fleet JSON file: an instance or a bare server array (overrides -servers)")
@@ -109,6 +126,34 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			*consPolicy, api.PolicyMinMigrationTime, api.PolicyMinUtilization)
 	}
 	recorder := obs.NewFlightRecorder(*decisions)
+
+	// Shadow arena: each -shadow-policy challenger gets a counterfactual
+	// replica of the same fleet. Replicas start empty even when the
+	// journal restores live state — the arena scores the traffic of this
+	// process's lifetime, which is the only stream it observes.
+	var ar *arena.Arena
+	if len(shadows) > 0 {
+		ar = arena.New(arena.Config{
+			Servers:     fleet,
+			IdleTimeout: *idle,
+			Recorder:    recorder,
+			Logger:      logger.With("component", "arena"),
+		})
+		for _, spec := range shadows {
+			name, polName := spec, spec
+			if i := strings.IndexByte(spec, '='); i >= 0 {
+				name, polName = spec[:i], spec[i+1:]
+			}
+			sp, err := pickPolicy(polName, *penalty, *seed)
+			if err != nil {
+				return fmt.Errorf("-shadow-policy %q: %w", spec, err)
+			}
+			if err := ar.Register(name, sp); err != nil {
+				return fmt.Errorf("-shadow-policy %q: %w", spec, err)
+			}
+		}
+	}
+
 	c, err := cluster.Open(cluster.Config{
 		Servers:            fleet,
 		Policy:             pol,
@@ -123,9 +168,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		DonorUtilization:   *donorUtil,
 		Recorder:           recorder,
 		Logger:             logger.With("component", "cluster"),
+		Arena:              ar,
 	})
 	if err != nil {
 		return err
+	}
+	if ar != nil {
+		ar.Start()
+		// Deferred: runs after the shutdown path's c.Close(), when no more
+		// offers can arrive; Close drains whatever is still queued.
+		defer ar.Close()
 	}
 
 	// Background consolidation: a pay-for-itself drain pass on a wall-

@@ -1,0 +1,210 @@
+package arena
+
+import (
+	"strings"
+	"testing"
+
+	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
+	"vmalloc/internal/online"
+)
+
+func testServers(n int) []model.Server {
+	out := make([]model.Server, n)
+	for i := range out {
+		out[i] = model.Server{
+			ID:             i + 1,
+			Capacity:       model.Resources{CPU: 10, Mem: 16},
+			PIdle:          100,
+			PPeak:          200,
+			TransitionTime: 1,
+		}
+	}
+	return out
+}
+
+// rejectAllPolicy is the maximally divergent challenger: it refuses
+// every VM, so its divergence count must equal the champion's
+// acceptance count.
+type rejectAllPolicy struct{}
+
+func (rejectAllPolicy) Name() string { return "test/reject-all" }
+
+func (rejectAllPolicy) Place(f *online.FleetView, v model.VM) (int, error) {
+	return 0, &online.NoCapacityError{VM: v}
+}
+
+func vm(id int, cpu float64, start, end int) model.VM {
+	return model.VM{ID: id, Demand: model.Resources{CPU: cpu, Mem: 1}, Start: start, End: end}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	a := New(Config{Servers: testServers(2), IdleTimeout: 2})
+	if err := a.Register("", &online.MinCostPolicy{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := a.Register("x", nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if err := a.Register("mincost", &online.MinCostPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("mincost", &online.MinCostPolicy{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	a.Start()
+	defer a.Close()
+	if err := a.Register("late", &online.MinCostPolicy{}); err == nil {
+		t.Fatal("registration after Start accepted")
+	}
+	if got := a.Challengers(); len(got) != 1 || got[0] != "mincost" {
+		t.Fatalf("challengers = %v", got)
+	}
+}
+
+// TestCounterfactualScoring drives one batch, a release and a tick
+// through two challengers with known behavior and checks every counter
+// the reports and metrics expose.
+func TestCounterfactualScoring(t *testing.T) {
+	rec := obs.NewFlightRecorder(64)
+	a := New(Config{Servers: testServers(2), IdleTimeout: 2, Recorder: rec})
+	if err := a.Register("mincost", &online.MinCostPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("reject-all", rejectAllPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+
+	// Champion accepted VM 1 on server ID 1 and rejected VM 2 (demand 100
+	// fits nowhere, so every sane challenger rejects it too).
+	a.OfferBatch(1, []AdmitOutcome{
+		{RequestID: "r1", VM: vm(1, 1, 1, 30), Server: 1, Accepted: true},
+		{RequestID: "r2", VM: vm(2, 100, 1, 30), Server: 0, Accepted: false},
+	})
+	a.OfferRelease(5, 1)
+	a.OfferTick(40)
+	a.Close()
+
+	reports, stats := a.Reports()
+	if stats.Batches != 1 || stats.Events != 3 || stats.Dropped != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	// Sorted by name: mincost first.
+	mc, ra := reports[0], reports[1]
+	if mc.Name != "mincost" || ra.Name != "reject-all" {
+		t.Fatalf("report order: %s, %s", mc.Name, ra.Name)
+	}
+	if mc.Decisions != 2 || mc.Divergences != 0 || mc.Rejections != 1 {
+		t.Fatalf("mincost report = %+v", mc)
+	}
+	if mc.ChampionRejections != 1 {
+		t.Fatalf("championRejections = %d", mc.ChampionRejections)
+	}
+	if mc.Clock != 40 || mc.Residents != 0 {
+		t.Fatalf("mincost clock/residents = %d/%d", mc.Clock, mc.Residents)
+	}
+	if !(mc.EnergyWattMinutes > 0) {
+		t.Fatalf("mincost counterfactual energy = %g, want > 0 (it hosted VM 1)", mc.EnergyWattMinutes)
+	}
+	// reject-all diverges exactly on the champion's acceptance.
+	if ra.Decisions != 2 || ra.Divergences != 1 || ra.Rejections != 2 {
+		t.Fatalf("reject-all report = %+v", ra)
+	}
+
+	// One OpShadow decision per challenger per admission, stamped with
+	// the challenger and the champion's verdict.
+	ds := rec.Decisions(obs.Filter{Op: obs.OpShadow})
+	if len(ds) != 4 {
+		t.Fatalf("got %d shadow decisions, want 4", len(ds))
+	}
+	var divergent int
+	for _, d := range ds {
+		if d.Policy == "" || d.RequestID == "" {
+			t.Fatalf("shadow decision missing policy or request id: %+v", d)
+		}
+		if d.Divergent {
+			divergent++
+		}
+	}
+	if divergent != 1 {
+		t.Fatalf("recorded %d divergent decisions, want 1", divergent)
+	}
+
+	var sb strings.Builder
+	a.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"vmalloc_arena_batches_total 1",
+		"vmalloc_arena_events_total 3",
+		"vmalloc_arena_dropped_events_total 0",
+		"vmalloc_arena_champion_rejections_total 1",
+		`vmalloc_arena_decisions_total{policy="mincost"} 2`,
+		`vmalloc_arena_divergences_total{policy="reject-all"} 1`,
+		`vmalloc_arena_rejections_total{policy="reject-all"} 2`,
+		`vmalloc_arena_energy_watt_minutes{policy="mincost"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestOverflowDropsNotBlocks fills the queue of an unstarted arena: the
+// offers past capacity must drop (and count) without ever blocking the
+// caller.
+func TestOverflowDropsNotBlocks(t *testing.T) {
+	a := New(Config{Servers: testServers(1), IdleTimeout: 2, QueueSize: 4})
+	if err := a.Register("mincost", &online.MinCostPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.OfferTick(i + 1)
+	}
+	if got := a.dropped.Load(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	a.Start()
+	a.Close()
+	_, stats := a.Reports()
+	if stats.Dropped != 6 || stats.Events != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Post-close offers drop too.
+	a.OfferTick(99)
+	if got := a.dropped.Load(); got != 7 {
+		t.Fatalf("post-close dropped = %d, want 7", got)
+	}
+}
+
+func TestCloseWithoutStart(t *testing.T) {
+	a := New(Config{Servers: testServers(1), IdleTimeout: 2})
+	a.Close()
+	a.Close() // idempotent
+	a.OfferTick(1)
+	if got := a.dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+}
+
+func TestNilArenaIsSafe(t *testing.T) {
+	var a *Arena
+	a.OfferBatch(1, []AdmitOutcome{{VM: vm(1, 1, 1, 2), Server: 1, Accepted: true}})
+	a.OfferRelease(1, 1)
+	a.OfferTick(1)
+	if got := a.Challengers(); got != nil {
+		t.Fatalf("challengers = %v", got)
+	}
+	reports, stats := a.Reports()
+	if reports != nil || stats != (Stats{}) {
+		t.Fatalf("reports = %v, stats = %+v", reports, stats)
+	}
+	var sb strings.Builder
+	a.WriteMetrics(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil arena wrote metrics: %q", sb.String())
+	}
+}

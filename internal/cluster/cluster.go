@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"vmalloc/internal/api"
+	"vmalloc/internal/arena"
 	"vmalloc/internal/core"
 	"vmalloc/internal/energy"
 	"vmalloc/internal/model"
@@ -167,6 +168,12 @@ type Config struct {
 	// Logger receives the cluster's structured service log (journal
 	// failures, snapshots, batch traces at debug level). Nil discards.
 	Logger *slog.Logger
+	// Arena, when non-nil, receives the cluster's admission batches,
+	// releases and clock advances for counterfactual shadow evaluation
+	// of challenger policies. Forwarding is strictly off the hot path:
+	// non-blocking offers into the arena's bounded queue, never a wait,
+	// never a change to a live placement or to the state digest.
+	Arena *arena.Arena
 }
 
 // VMRequest is one admission request.
@@ -559,6 +566,12 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		journaled bool
 	}
 	var pend []pendDecision
+	// shadow collects the champion's verdicts for the policy arena: every
+	// item that reached the candidate scan, in batch order, with the
+	// normalized VM exactly as the fleet saw it. Journal-broken skips are
+	// excluded — the champion never judged those, so challengers must not
+	// score them either.
+	var shadow []arena.AdmitOutcome
 	var jerr error
 	appended := false
 	placed := 0
@@ -600,6 +613,9 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 				d.Op, d.Reason = obs.OpReject, adm.Reason
 				pend = append(pend, pendDecision{d: d})
 			}
+			if c.cfg.Arena != nil {
+				shadow = append(shadow, arena.AdmitOutcome{RequestID: it.call.reqID, VM: it.vm})
+			}
 			continue
 		}
 		commitT0 := time.Now()
@@ -611,6 +627,9 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			if c.rec != nil {
 				d.Op, d.Reason = obs.OpReject, adm.Reason
 				pend = append(pend, pendDecision{d: d})
+			}
+			if c.cfg.Arena != nil {
+				shadow = append(shadow, arena.AdmitOutcome{RequestID: it.call.reqID, VM: it.vm})
 			}
 			continue
 		}
@@ -636,7 +655,13 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			d.Start, d.End = adm.Start, adm.End
 			pend = append(pend, pendDecision{d: d, journaled: c.jr != nil && jerr == nil})
 		}
+		if c.cfg.Arena != nil {
+			shadow = append(shadow, arena.AdmitOutcome{
+				RequestID: it.call.reqID, VM: it.vm, Server: adm.Server, Accepted: true,
+			})
+		}
 	}
+	c.cfg.Arena.OfferBatch(batchID, shadow)
 	var syncDur time.Duration
 	if c.jr != nil && jerr == nil && appended {
 		syncT0 := time.Now()
@@ -772,6 +797,9 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 	}
 	c.met.releases++
 	c.sinceSnapshot++
+	// The release took effect in memory (journal failures below don't
+	// undo it), so the challenger replicas must see it too.
+	c.cfg.Arena.OfferRelease(c.fleet.Now(), id)
 	var jerr error
 	if c.jr != nil {
 		jT0 := time.Now()
@@ -964,6 +992,7 @@ func (c *Cluster) AdvanceTo(t int) error {
 		return nil
 	}
 	c.fleet.AdvanceTo(t)
+	c.cfg.Arena.OfferTick(t)
 	if c.jr == nil {
 		return nil
 	}
@@ -984,6 +1013,17 @@ func (c *Cluster) Now() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.fleet.Now()
+}
+
+// PolicyArena returns the configured shadow-policy arena, or nil when
+// none is wired in.
+func (c *Cluster) PolicyArena() *arena.Arena {
+	return c.cfg.Arena
+}
+
+// PolicyName returns the champion placement policy's name.
+func (c *Cluster) PolicyName() string {
+	return c.policy.Name()
 }
 
 // ServerState is one server's externally visible state.

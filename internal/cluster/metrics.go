@@ -132,6 +132,11 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	}
 	c.mu.Unlock()
 
+	// Arena families (vmalloc_arena_*) carry their own prefix; the arena
+	// has its own lock and its apply goroutine never takes c.mu, so this
+	// runs outside the cluster lock.
+	c.cfg.Arena.WriteMetrics(&buf)
+
 	_, err := w.Write(buf.Bytes())
 	return err
 }

@@ -68,6 +68,47 @@ func toAPIState(st *cluster.State) *api.StateResponse {
 	return out
 }
 
+// toAPIPolicies assembles the GET /v1/policies body: the champion's
+// identity and energy from the live cluster, each challenger's
+// counterfactual figures straight from its arena replica. The two reads
+// are not atomic with each other — a batch can land between them — so
+// deltas are against the champion's figures as of this response, which
+// is the only consistency a shadow readout can promise.
+func toAPIPolicies(c *cluster.Cluster) *api.PoliciesResponse {
+	st := c.State()
+	out := &api.PoliciesResponse{
+		Champion:                  st.Policy,
+		ChampionEnergyWattMinutes: st.TotalEnergy,
+		Now:                       st.Now,
+		Policies:                  []api.PolicyReport{},
+	}
+	reports, stats := c.PolicyArena().Reports()
+	out.EvaluatedBatches = stats.Batches
+	out.DroppedEvents = stats.Dropped
+	for _, r := range reports {
+		pct := 0.0
+		if r.Decisions > 0 {
+			pct = 100 * float64(r.Divergences) / float64(r.Decisions)
+		}
+		out.Policies = append(out.Policies, api.PolicyReport{
+			Name:                   r.Name,
+			Policy:                 r.Policy,
+			Decisions:              r.Decisions,
+			Divergences:            r.Divergences,
+			DivergencePct:          pct,
+			Rejections:             r.Rejections,
+			ChampionRejections:     r.ChampionRejections,
+			RejectionDelta:         int64(r.Rejections) - int64(r.ChampionRejections),
+			EnergyWattMinutes:      r.EnergyWattMinutes,
+			EnergyDeltaWattMinutes: r.EnergyWattMinutes - st.TotalEnergy,
+			Residents:              r.Residents,
+			Clock:                  r.Clock,
+		})
+	}
+	out.Count = len(out.Policies)
+	return out
+}
+
 func toAPIConsolidation(res *cluster.ConsolidationResult) api.ConsolidateResponse {
 	out := api.ConsolidateResponse{
 		Clock:                  res.Clock,

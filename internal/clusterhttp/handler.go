@@ -28,6 +28,11 @@
 //	                           responds with the pass's
 //	                           api.ConsolidateResponse; a concurrent pass
 //	                           is refused with 409 consolidation_busy
+//	GET    /v1/policies        shadow-policy arena readout
+//	                           (api.PoliciesResponse): per-challenger
+//	                           counterfactual divergence, rejection and
+//	                           energy figures next to the champion's; an
+//	                           arena-less server serves an empty list
 //	GET    /v1/state           consistent cluster state
 //	                           (api.StateResponse, deterministic JSON);
 //	                           the X-Vmalloc-State-Digest response header
@@ -241,6 +246,9 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, toAPIConsolidation(res))
 	})
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, toAPIPolicies(c))
+	})
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		b, err := api.EncodeState(toAPIState(c.State()))
 		if err != nil {
@@ -324,10 +332,10 @@ func parseDecisionFilter(r *http.Request) (obs.Filter, error) {
 		*p.dst = n
 	}
 	switch op := q.Get("op"); op {
-	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease, obs.OpMigrate:
+	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease, obs.OpMigrate, obs.OpShadow:
 		f.Op = op
 	default:
-		return f, fmt.Errorf("bad op %q (want admit, reject, release or migrate)", op)
+		return f, fmt.Errorf("bad op %q (want admit, reject, release, migrate or shadow)", op)
 	}
 	return f, nil
 }

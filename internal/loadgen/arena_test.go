@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vmalloc/internal/arena"
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
+	"vmalloc/internal/online"
+)
+
+// TestArenaNeutrality is the shadow-arena acceptance harness: the same
+// seeded diurnal schedule runs twice against fresh clusters — once with
+// three shadow challengers attached, once with the arena off — and the
+// two runs must be byte-identical in both outcome and state digests
+// (the arena never touches the live placement path). Meanwhile the
+// arena-on run must actually evaluate the traffic: every challenger
+// scores every admission, and the "control" challenger — the same
+// policy as the live champion — must reproduce the champion's decisions
+// exactly, down to the float energy accumulation of its replica fleet.
+// Run under -race; /v1/policies is polled concurrently with the load to
+// exercise the reader paths.
+func TestArenaNeutrality(t *testing.T) {
+	spec := ScheduleSpec{
+		Profile:         DiurnalProfile{MeanInterArrival: 0.3, PeakToTrough: 3, Period: 360},
+		NumVMs:          500,
+		MeanLength:      30,
+		ReleaseFraction: 0.3,
+		Seed:            20260807,
+	}
+	if testing.Short() {
+		spec.NumVMs = 150
+	}
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arena-on run.
+	ar := arena.New(arena.Config{
+		Servers:     testServers(16),
+		IdleTimeout: 5,
+		// Large enough that nothing drops: the control-exactness check
+		// below needs the full event stream.
+		QueueSize: 1 << 15,
+	})
+	for _, c := range []struct {
+		name   string
+		policy online.Policy
+	}{
+		{"control", &online.MinCostPolicy{}}, // same policy as the live champion
+		{"delay-aware", &online.DelayAwareMinCostPolicy{PenaltyPerMinute: 50}},
+		{"ffps", online.NewFirstFitPolicy(7)},
+	} {
+		if err := ar.Register(c.name, c.policy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ar.Start()
+	repOn, liveEnergy, liveNow := runArenaLoad(t, sched, ar)
+	ar.Close() // drain every queued event before reading reports
+
+	// Arena-off control run.
+	repOff, _, _ := runArenaLoad(t, sched, nil)
+
+	// Neutrality: digests byte-identical with and without the arena.
+	if repOn.OutcomeDigest != repOff.OutcomeDigest {
+		t.Fatalf("outcome digest changed with arena on:\non:  %s\noff: %s",
+			repOn.OutcomeDigest, repOff.OutcomeDigest)
+	}
+	if repOn.StateDigest == "" || repOn.StateDigest != repOff.StateDigest {
+		t.Fatalf("state digest changed with arena on:\non:  %s\noff: %s",
+			repOn.StateDigest, repOff.StateDigest)
+	}
+
+	// The runner's report picked up the arena table over /v1/policies.
+	if repOn.Champion != "online/mincost" {
+		t.Fatalf("report champion = %q", repOn.Champion)
+	}
+	if repOn.ArenaBatches == 0 {
+		t.Fatal("report shows zero evaluated batches")
+	}
+	if len(repOn.Policies) != 3 {
+		t.Fatalf("report carries %d policy rows, want 3", len(repOn.Policies))
+	}
+
+	reports, stats := ar.Reports()
+	if stats.Dropped != 0 {
+		t.Fatalf("arena dropped %d events; size the queue up", stats.Dropped)
+	}
+	if stats.Batches == 0 || len(reports) != 3 {
+		t.Fatalf("arena stats = %+v with %d reports", stats, len(reports))
+	}
+	var divergences uint64
+	for _, r := range reports {
+		if r.Decisions == 0 {
+			t.Fatalf("challenger %s evaluated no admissions", r.Name)
+		}
+		if int(r.Decisions) != repOn.Sent {
+			t.Fatalf("challenger %s judged %d admissions, runner sent %d", r.Name, r.Decisions, repOn.Sent)
+		}
+		if r.Clock != liveNow {
+			t.Fatalf("challenger %s replica clock %d, live clock %d", r.Name, r.Clock, liveNow)
+		}
+		divergences += r.Divergences
+	}
+	if divergences == 0 {
+		t.Fatal("no challenger ever diverged from the champion (ffps should)")
+	}
+
+	// The control challenger runs the champion's own policy on the same
+	// event stream, so it must be a perfect counterfactual: zero
+	// divergence, the champion's rejection count, and — because replica
+	// and live fleet perform the identical operation sequence — exactly
+	// the live fleet's float energy, not merely close to it.
+	control := reports[0] // name-sorted: control < delay-aware < ffps
+	if control.Name != "control" {
+		t.Fatalf("report order: %v", []string{reports[0].Name, reports[1].Name, reports[2].Name})
+	}
+	if control.Divergences != 0 {
+		t.Fatalf("control challenger diverged %d times from its own policy", control.Divergences)
+	}
+	if int(control.Rejections) != repOn.Rejected {
+		t.Fatalf("control rejections %d, live rejected %d", control.Rejections, repOn.Rejected)
+	}
+	if control.ChampionRejections != control.Rejections {
+		t.Fatalf("control saw %d champion rejections, made %d itself",
+			control.ChampionRejections, control.Rejections)
+	}
+	if control.EnergyWattMinutes != liveEnergy {
+		t.Fatalf("control counterfactual energy %g != live energy %g (want exact equality)",
+			control.EnergyWattMinutes, liveEnergy)
+	}
+	t.Logf("arena: %d batches, control energy %.2f Wmin == live; divergences: delay-aware %d, ffps %d",
+		stats.Batches, control.EnergyWattMinutes, reports[1].Divergences, reports[2].Divergences)
+}
+
+// runArenaLoad runs the schedule against a fresh volatile cluster (with
+// ar attached when non-nil) and returns the report plus the live
+// cluster's final energy and clock. /v1/policies is polled concurrently
+// with the load for -race coverage of the arena's reader paths.
+func runArenaLoad(t *testing.T, sched *Schedule, ar *arena.Arena) (*Report, float64, int) {
+	t.Helper()
+	cl, err := cluster.Open(cluster.Config{
+		Servers:     testServers(16),
+		IdleTimeout: 5,
+		BatchWindow: 200 * time.Microsecond,
+		Arena:       ar,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := httptest.NewServer(clusterhttp.New(cl, clusterhttp.Config{}))
+	defer srv.Close()
+
+	readCtx, stopReads := context.WithCancel(context.Background())
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		reader := NewClient(srv.URL)
+		for readCtx.Err() == nil {
+			if _, err := reader.Policies(readCtx); err != nil && readCtx.Err() == nil {
+				t.Errorf("concurrent policies read: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	client := NewClient(srv.URL)
+	r := &Runner{
+		Client:   client,
+		Schedule: sched,
+		// No consolidation: migrations are live-only repairs the arena
+		// does not forward, so the exact-energy control check requires a
+		// migration-free run.
+		Opts: Options{Workers: 4, Chunk: 0},
+	}
+	rep, err := r.Run(context.Background())
+	stopReads()
+	<-readsDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run reported %d errors", rep.Errors)
+	}
+	st := cl.State()
+	return rep, st.TotalEnergy, st.Now
+}

@@ -304,6 +304,18 @@ func (c *Client) Migrations(ctx context.Context, query string) (*api.MigrationsR
 	return resp, nil
 }
 
+// Policies fetches the shadow-policy arena readout (GET /v1/policies):
+// per-challenger counterfactual divergence, rejection and energy
+// figures. Works against a vmserve and a vmgate alike — the gate serves
+// the merged, shard-stamped shape on the same path.
+func (c *Client) Policies(ctx context.Context) (*api.PoliciesResponse, error) {
+	resp := new(api.PoliciesResponse)
+	if _, err := c.do(ctx, http.MethodGet, "/v1/policies", nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // State fetches the consistent cluster state and its digest (the
 // X-Vmalloc-State-Digest header, equal to api.DigestBytes over the
 // body). Only meaningful against a single vmserve; a vmgate serves an

@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -206,6 +207,58 @@ func (mc *MultiClient) Migrations(ctx context.Context, query string) (*api.Migra
 			out.Migrations = out.Migrations[len(out.Migrations)-n:]
 		}
 	}
+	return out, nil
+}
+
+// Policies merges every shard's arena readout the way a vmgate does:
+// challenger reports shard-stamped and ordered by (name, shard),
+// champion energy and arena counters summed, the slowest shard's clock,
+// distinct champion names joined with ", ".
+func (mc *MultiClient) Policies(ctx context.Context) (*api.PoliciesResponse, error) {
+	type result struct {
+		pr  *api.PoliciesResponse
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		pr, err := c.Policies(ctx)
+		return result{pr: pr, err: err}
+	})
+	out := &api.PoliciesResponse{Policies: []api.PolicyReport{}}
+	var champions []string
+	for i, res := range results {
+		name := mc.m.Shards()[i].Name
+		if res.err != nil {
+			return nil, fmt.Errorf("loadgen: policies on shard %s: %w", name, res.err)
+		}
+		seen := false
+		for _, ch := range champions {
+			if ch == res.pr.Champion {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			champions = append(champions, res.pr.Champion)
+		}
+		if i == 0 || res.pr.Now < out.Now {
+			out.Now = res.pr.Now
+		}
+		out.ChampionEnergyWattMinutes += res.pr.ChampionEnergyWattMinutes
+		out.EvaluatedBatches += res.pr.EvaluatedBatches
+		out.DroppedEvents += res.pr.DroppedEvents
+		for _, p := range res.pr.Policies {
+			p.Shard = name
+			out.Policies = append(out.Policies, p)
+		}
+	}
+	out.Champion = strings.Join(champions, ", ")
+	sort.Slice(out.Policies, func(a, b int) bool {
+		if out.Policies[a].Name != out.Policies[b].Name {
+			return out.Policies[a].Name < out.Policies[b].Name
+		}
+		return out.Policies[a].Shard < out.Policies[b].Shard
+	})
+	out.Count = len(out.Policies)
 	return out, nil
 }
 

@@ -58,6 +58,7 @@ type API interface {
 	Release(ctx context.Context, id int) (released bool, err error)
 	AdvanceClock(ctx context.Context, now int) (int, error)
 	Consolidate(ctx context.Context, req api.ConsolidateRequest) (*api.ConsolidateResponse, error)
+	Policies(ctx context.Context) (*api.PoliciesResponse, error)
 	StateSummary(ctx context.Context) (StateSummary, error)
 	Metrics(ctx context.Context) (Metrics, error)
 	Retried() int
@@ -172,7 +173,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	}
 
 	co := &collector{}
-	accepted := make([]bool, sched.NumVMs+1)
+	// Trace-derived schedules can carry sparse IDs above NumVMs; size the
+	// accepted table by the largest one.
+	accepted := make([]bool, max(sched.NumVMs, sched.MaxID)+1)
 	outcomes := sha256.New()
 	start := time.Now()
 
@@ -218,6 +221,14 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	rep.FinalResidents = sum.Residents
 	rep.FinalEnergy = sum.TotalEnergy
 	rep.StateDigest = sum.Digest
+	// The arena readout is best-effort: an older server without
+	// GET /v1/policies just leaves the report's arena section empty.
+	if pr, err := r.Client.Policies(ctx); err == nil {
+		rep.Champion = pr.Champion
+		rep.ArenaBatches = pr.EvaluatedBatches
+		rep.ArenaDropped = pr.DroppedEvents
+		rep.Policies = pr.Policies
+	}
 	return rep, nil
 }
 

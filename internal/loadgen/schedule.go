@@ -64,6 +64,10 @@ type Schedule struct {
 	Steps []Step
 	// NumVMs is the number of admission requests across all steps.
 	NumVMs int
+	// MaxID is the largest VM ID any admission carries. Generated
+	// schedules use dense IDs (MaxID == NumVMs); trace-derived ones can
+	// be sparse, with MaxID well above NumVMs.
+	MaxID int
 	// NumReleases is the number of scheduled early releases.
 	NumReleases int
 	// Horizon is the last minute any generated VM would run to — the
@@ -104,7 +108,7 @@ func BuildSchedule(spec ScheduleSpec) (*Schedule, error) {
 		return st
 	}
 
-	sched := &Schedule{NumVMs: spec.NumVMs}
+	sched := &Schedule{NumVMs: spec.NumVMs, MaxID: spec.NumVMs}
 	now := 0.0
 	for id := 1; id <= spec.NumVMs; {
 		now += rng.ExpFloat64() / peak

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -116,6 +117,7 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/clock", g.handleClock)
 	mux.HandleFunc("POST /v1/migrations", g.handleMigrate)
 	mux.HandleFunc("GET /v1/migrations", g.handleMigrations)
+	mux.HandleFunc("GET /v1/policies", g.handlePolicies)
 	mux.HandleFunc("POST /v1/consolidate", g.handleConsolidate)
 	mux.HandleFunc("GET /v1/state", g.handleState)
 	mux.HandleFunc("GET /v1/shards", g.handleShards)
@@ -400,6 +402,61 @@ func (g *Gate) handleMigrations(w http.ResponseWriter, r *http.Request) {
 			out.Migrations = out.Migrations[len(out.Migrations)-n:]
 		}
 	}
+	writeJSON(w, r, http.StatusOK, out)
+}
+
+// handlePolicies scatter-gathers every shard's GET /v1/policies into one
+// merged api.PoliciesResponse: challenger reports stamped with their
+// owning shard and ordered by (name, shard), champion energy and arena
+// event counters summed, the clock the slowest shard's, and distinct
+// per-shard champion names joined with ", ". All-or-nothing like the
+// other aggregate reads: a partial arena readout would silently
+// misstate the counterfactuals.
+func (g *Gate) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		pr  api.PoliciesResponse
+		err *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodGet, "/v1/policies", nil)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var pr api.PoliciesResponse
+		if derr := json.Unmarshal(data, &pr); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse policies: %v", s.Name, derr)}}}
+		}
+		return result{pr: pr}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	shards := g.m.Shards()
+	out := api.PoliciesResponse{Now: results[0].pr.Now, Policies: []api.PolicyReport{}}
+	var champions []string
+	for i, res := range results {
+		if !slices.Contains(champions, res.pr.Champion) {
+			champions = append(champions, res.pr.Champion)
+		}
+		out.Now = min(out.Now, res.pr.Now)
+		out.ChampionEnergyWattMinutes += res.pr.ChampionEnergyWattMinutes
+		out.EvaluatedBatches += res.pr.EvaluatedBatches
+		out.DroppedEvents += res.pr.DroppedEvents
+		for _, p := range res.pr.Policies {
+			p.Shard = shards[i].Name
+			out.Policies = append(out.Policies, p)
+		}
+	}
+	out.Champion = strings.Join(champions, ", ")
+	sort.Slice(out.Policies, func(a, b int) bool {
+		if out.Policies[a].Name != out.Policies[b].Name {
+			return out.Policies[a].Name < out.Policies[b].Name
+		}
+		return out.Policies[a].Shard < out.Policies[b].Shard
+	})
+	out.Count = len(out.Policies)
 	writeJSON(w, r, http.StatusOK, out)
 }
 

@@ -9,12 +9,15 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"vmalloc/internal/api"
+	"vmalloc/internal/arena"
 	"vmalloc/internal/cluster"
 	"vmalloc/internal/clusterhttp"
 	"vmalloc/internal/model"
 	"vmalloc/internal/obs"
+	"vmalloc/internal/online"
 	"vmalloc/internal/promlint"
 )
 
@@ -43,7 +46,15 @@ func newDeployment(t *testing.T) *testDeployment {
 			}
 		}
 		rec := obs.NewFlightRecorder(64)
-		c, err := cluster.Open(cluster.Config{Servers: servers, IdleTimeout: 2, Recorder: rec})
+		// Every shard runs one shadow challenger, so the gate tests also
+		// cover the merged /v1/policies and vmalloc_arena_* surfaces.
+		ar := arena.New(arena.Config{Servers: servers, IdleTimeout: 2})
+		if err := ar.Register("ffps", online.NewFirstFitPolicy(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		ar.Start()
+		t.Cleanup(ar.Close)
+		c, err := cluster.Open(cluster.Config{Servers: servers, IdleTimeout: 2, Recorder: rec, Arena: ar})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -641,5 +652,86 @@ func TestGateMigrationSurface(t *testing.T) {
 	}
 	if gs.Migrations != 2 || gs.MigrationSaved != cres.EnergySavedWattMinutes {
 		t.Errorf("gate state migrations=%d saved=%g, want 2 and %g", gs.Migrations, gs.MigrationSaved, cres.EnergySavedWattMinutes)
+	}
+}
+
+// TestGatePoliciesMerged: the gate unions the shadow-arena scoreboards
+// across shards — every challenger row stamped with its owning shard,
+// rows ordered by (name, shard), batch counts summed — and the shards'
+// common champion reported once.
+func TestGatePoliciesMerged(t *testing.T) {
+	d := newDeployment(t)
+	ids := append(d.idsFor("s0", 6), d.idsFor("s1", 6)...)
+	resp, err := http.Post(d.gateSrv.URL+"/v1/vms", "application/json", strings.NewReader(admitBody(ids)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Challengers score batches asynchronously, off the admission path,
+	// so poll the merged view until both shards' verdicts have landed.
+	var pr api.PoliciesResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(d.gateSrv.URL + "/v1/policies")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("policies status %d: %s", resp.StatusCode, body)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Count == 2 && pr.Policies[0].Decisions == 6 && pr.Policies[1].Decisions == 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged policies never converged: %+v", pr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if pr.Champion != "online/mincost" {
+		t.Errorf("merged champion %q, want the shards' common online/mincost", pr.Champion)
+	}
+	if pr.EvaluatedBatches < 2 {
+		t.Errorf("summed evaluated batches %d, want >= 2 (one per shard)", pr.EvaluatedBatches)
+	}
+	for i, want := range []string{"s0", "s1"} {
+		p := pr.Policies[i]
+		if p.Name != "ffps" || p.Shard != want {
+			t.Errorf("row %d = %s@%s, want ffps@%s (ordered by name then shard)", i, p.Name, p.Shard, want)
+		}
+		if p.Policy == "" {
+			t.Errorf("row %d carries no policy implementation name", i)
+		}
+	}
+
+	// The per-shard arena families survive the metrics merge with shard
+	// labels attached.
+	resp, err = http.Get(d.gateSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	promlint.Lint(t, out)
+	for _, want := range []string{
+		`vmalloc_arena_decisions_total{shard="s0",policy="ffps"} 6`,
+		`vmalloc_arena_decisions_total{shard="s1",policy="ffps"} 6`,
+		`vmalloc_arena_batches_total{shard="s0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged metrics missing %q", want)
+		}
 	}
 }
