@@ -12,10 +12,15 @@
 // batch's placements are byte-identical to admitting its requests
 // sequentially in that order.
 //
-// Durability is an append-only JSON journal plus periodic snapshots
-// (see journal.go). Records are fsynced once per processed batch, and
-// reopening a journal directory replays the log on top of the snapshot
-// and reconstructs the exact pre-crash state, tolerating a torn final
+// Durability is an append-only journal plus periodic snapshots (see
+// journal.go; the log is JSON lines or a framed binary codec, selected
+// by Config.JournalFormat and switched at compaction). Appended records
+// are made durable by group commit: a batch's fsync wait happens off the
+// dispatcher goroutine, so the next batch's candidate scan overlaps it
+// and concurrent batches share one disk flush; an admission is
+// acknowledged only after the flush covering it completes. Reopening a
+// journal directory replays the log on top of the snapshot and
+// reconstructs the exact pre-crash state, tolerating a torn final
 // record. A journal write failure is sticky (ErrJournalBroken): the
 // cluster refuses further mutations rather than journal past the hole,
 // until a successful Snapshot re-establishes durability. Overload
@@ -72,10 +77,14 @@ var ErrClosed = errors.New("cluster: closed")
 var ErrCorruptJournal = errors.New("cluster: corrupt journal")
 
 // ErrJournalBroken is wrapped by every mutating call after a journal write
-// fails. The failure is sticky: at most the single mutation that broke the
-// journal is in memory but not on disk, and the cluster refuses further
-// mutations — so the log never grows past the hole and a restart always
-// recovers the journaled prefix exactly. A subsequent successful Snapshot
+// fails. The failure is sticky: the cluster refuses further mutations, so
+// the log never grows past the hole and a restart always recovers the
+// journaled prefix exactly. An append failure stops its batch on the spot;
+// a group-commit fsync failure turns sticky when the flush outcome is
+// observed, so a batch pipelined behind the failing flush may still have
+// appended — its records extend the journaled prefix in order (replay
+// stays consistent), and its clients see this error unless a flush
+// covering their records completed. A subsequent successful Snapshot
 // (which captures the full in-memory state and compacts the log) heals the
 // cluster and re-enables mutation.
 var ErrJournalBroken = errors.New("cluster: journal broken")
@@ -137,12 +146,26 @@ type Config struct {
 	// snapshots; 0 means DefaultSnapshotEvery, negative snapshots only on
 	// Close. Ignored when Dir is empty.
 	SnapshotEvery int
-	// DisableFsync skips the per-batch fsync of journal appends. UNSAFE
-	// for production: an acknowledged admission then survives a process
-	// crash but not power loss or a kernel crash. It exists for soak and
-	// load tests, where the journal's logical replay guarantees are under
-	// test and the physical durability of a throwaway directory is not.
+	// DisableFsync skips the group-commit fsyncs of journal appends.
+	// UNSAFE for production: an acknowledged admission then survives a
+	// process crash but not power loss or a kernel crash. It exists for
+	// soak and load tests, where the journal's logical replay guarantees
+	// are under test and the physical durability of a throwaway directory
+	// is not.
 	DisableFsync bool
+	// JournalFormat selects the on-disk journal codec: JournalFormatJSON
+	// (the default when empty — one readable JSON record per line) or
+	// JournalFormatBinary (framed varint records with CRC-32 checksums;
+	// smaller and faster to append). Either codec replays regardless of
+	// this setting — the log is self-describing — and an existing log
+	// switches to the configured codec at its next snapshot compaction.
+	JournalFormat string
+	// DisableFeasibilityIndex turns off the spare-capacity index that
+	// skips provably-infeasible servers during candidate scans, forcing
+	// full fleet scans. Placements are byte-identical either way (the
+	// determinism suite proves it); the switch exists for that proof and
+	// for debugging, not for production use.
+	DisableFeasibilityIndex bool
 	// MigrationCostPerGB is the Eq. 17 migration overhead in watt-minutes
 	// per GB of a VM's memory demand. The pay-for-itself rule charges it
 	// against every planned move, so a higher cost makes consolidation
@@ -257,9 +280,18 @@ type Cluster struct {
 	// queueing behind it.
 	consolidating atomic.Bool
 
-	admitCh   chan *admitCall
-	stopCh    chan struct{}
-	doneCh    chan struct{}
+	// candBuf is the reusable candidate-index buffer the feasibility
+	// index fills for each scan; only the dispatcher (processBatch)
+	// touches it, under mu.
+	candBuf []int
+
+	admitCh chan *admitCall
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	// inflight counts batches whose group-commit wait still runs after
+	// processBatch returned; Close waits for them before closing the
+	// journal.
+	inflight  sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -282,6 +314,14 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	switch cfg.JournalFormat {
+	case "":
+		cfg.JournalFormat = JournalFormatJSON
+	case JournalFormatJSON, JournalFormatBinary:
+	default:
+		return nil, fmt.Errorf("cluster: unknown journal format %q (want %q or %q)",
+			cfg.JournalFormat, JournalFormatJSON, JournalFormatBinary)
 	}
 	c := &Cluster{
 		cfg:     cfg,
@@ -312,7 +352,7 @@ func Open(cfg Config) (*Cluster, error) {
 // restore loads snapshot + journal from cfg.Dir and replays. Durable
 // state that does not restore cleanly is reported as ErrCorruptJournal.
 func (c *Cluster) restore() error {
-	jr, snap, recs, err := openJournal(c.cfg.Dir, c.cfg.DisableFsync)
+	jr, snap, recs, err := openJournal(c.cfg.Dir, c.cfg.DisableFsync, c.cfg.JournalFormat == JournalFormatBinary)
 	if err != nil {
 		return err
 	}
@@ -499,19 +539,23 @@ type batchItem struct {
 	vm   model.VM
 }
 
-// processBatch normalises, orders and places one batch under the lock.
-// Per-stage wall timings (queue wait, scan, commit, journal append, the
-// batch fsync) are measured on the way and recorded — together with the
-// request id each call carried in — as flight-recorder decisions.
+// processBatch normalises, orders and places one batch under the lock,
+// then releases the lock and waits for the group commit covering the
+// batch's journal records before acknowledging it (see the goroutine at
+// the end). Per-stage wall timings (queue wait, scan, commit, journal
+// append, the commit flush) are measured on the way and recorded —
+// together with the request id each call carried in — as
+// flight-recorder decisions.
 func (c *Cluster) processBatch(batch []*admitCall) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	batchStart := time.Now()
 	batchID := c.met.batches + 1
 	if c.jfail != nil {
+		jfail := c.jfail
+		c.mu.Unlock()
 		for _, call := range batch {
-			call.reply <- admitReply{err: c.jfail}
+			call.reply <- admitReply{err: jfail}
 		}
 		return
 	}
@@ -662,41 +706,62 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		}
 	}
 	c.cfg.Arena.OfferBatch(batchID, shadow)
-	var syncDur time.Duration
-	if c.jr != nil && jerr == nil && appended {
-		syncT0 := time.Now()
-		jerr = c.jr.sync()
-		syncDur = time.Since(syncT0)
-		c.met.fsyncSeconds.Observe(syncDur.Seconds())
-	}
 	if jerr != nil {
 		jerr = c.journalFailedLocked(jerr)
-	}
-	for i := range pend {
-		if pend[i].journaled {
-			pend[i].d.Stages.Sync = syncDur
-		}
-		c.rec.Record(pend[i].d)
 	}
 	c.met.batches++
 	c.met.batchSize.Observe(float64(total))
 	c.met.scanSeconds.Observe(stats.ScanWall.Seconds())
 	c.met.candidates += stats.CandidatesEvaluated
 	c.met.infeasible += stats.FeasibilityRejections
-	c.log.Debug("batch processed",
-		"batch", batchID,
-		"requests", total,
-		"placed", placed,
-		"rejected", total-placed,
-		"candidates", stats.CandidatesEvaluated,
-		"scan", stats.ScanWall,
-		"sync", syncDur,
-		"duration", time.Since(batchStart),
-	)
 	c.maybeSnapshotLocked()
-	for _, call := range batch {
-		call.reply <- admitReply{adms: call.adms, err: jerr}
+	finish := func(jerr error, syncDur time.Duration) {
+		for i := range pend {
+			if pend[i].journaled {
+				pend[i].d.Stages.Sync = syncDur
+			}
+			c.rec.Record(pend[i].d)
+		}
+		c.log.Debug("batch processed",
+			"batch", batchID,
+			"requests", total,
+			"placed", placed,
+			"rejected", total-placed,
+			"candidates", stats.CandidatesEvaluated,
+			"scan", stats.ScanWall,
+			"sync", syncDur,
+			"duration", time.Since(batchStart),
+		)
+		for _, call := range batch {
+			call.reply <- admitReply{adms: call.adms, err: jerr}
+		}
 	}
+	if c.jr == nil || jerr != nil || !appended {
+		c.mu.Unlock()
+		finish(jerr, 0)
+		return
+	}
+	// Group commit, pipelined: release the lock and wait for the fsync on
+	// a separate goroutine, acknowledging the batch only once the flush
+	// covering its records completes. The dispatcher is already free to
+	// scan the next batch, whose own commit shares the committer's next
+	// flush — that is what lifts the one-fsync-per-batch ceiling.
+	jr := c.jr
+	c.inflight.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.inflight.Done()
+		syncT0 := time.Now()
+		cerr := jr.commit()
+		syncDur := time.Since(syncT0)
+		c.mu.Lock()
+		c.met.fsyncSeconds.Observe(syncDur.Seconds())
+		if cerr != nil {
+			cerr = c.journalFailedLocked(cerr)
+		}
+		c.mu.Unlock()
+		finish(cerr, syncDur)
+	}()
 }
 
 // normalize turns a request into a model VM at the current clock, or a
@@ -743,15 +808,35 @@ func (c *Cluster) normalize(req VMRequest, now int) (model.VM, Admission, bool) 
 
 // place runs the candidate scan for one VM: scored policies go through
 // the parallel scan engine (same argmin, same lowest-index tie-break),
-// everything else through the policy's own Place.
+// everything else through the policy's own Place. Unless disabled, the
+// fleet's feasibility index first prunes the servers whose interval
+// summaries prove they cannot host v; the pruned servers are exactly
+// ones the policy's Score would reject, so the scan's result — and
+// therefore every placement — is byte-identical with the index on or
+// off. Pruned servers still count into the scan stats as evaluated
+// infeasible pairs, keeping the observability surface comparable.
 func (c *Cluster) place(v model.VM, stats *core.AllocStats) (int, error) {
 	fv := c.fleet.View()
 	if c.scored == nil {
 		return c.policy.Place(fv, v)
 	}
-	i, err := c.scan.ArgMin(context.Background(), stats, fv.NumServers(), func(i int) (float64, bool) {
+	eval := func(i int) (float64, bool) {
 		return c.scored.Score(fv, v, i)
-	})
+	}
+	var (
+		i   int
+		err error
+	)
+	if c.cfg.DisableFeasibilityIndex {
+		i, err = c.scan.ArgMin(context.Background(), stats, fv.NumServers(), eval)
+	} else {
+		cands, pruned := fv.Candidates(v, c.candBuf[:0])
+		c.candBuf = cands
+		stats.CandidatesEvaluated += int64(pruned)
+		stats.FeasibilityRejections += int64(pruned)
+		c.met.indexPruned += uint64(pruned)
+		i, err = c.scan.ArgMinOver(context.Background(), stats, cands, eval)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -807,7 +892,7 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 		d.Stages.Journal = time.Since(jT0)
 		if jerr == nil {
 			syncT0 := time.Now()
-			jerr = c.jr.sync()
+			jerr = c.jr.commit()
 			d.Stages.Sync = time.Since(syncT0)
 			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
 		}
@@ -913,7 +998,7 @@ func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, 
 		d.Stages.Journal = time.Since(jT0)
 		if jerr == nil {
 			syncT0 := time.Now()
-			jerr = c.jr.sync()
+			jerr = c.jr.commit()
 			d.Stages.Sync = time.Since(syncT0)
 			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
 		}
@@ -999,7 +1084,7 @@ func (c *Cluster) AdvanceTo(t int) error {
 	c.sinceSnapshot++
 	err := c.jr.append(record{Op: opTick, T: t})
 	if err == nil {
-		err = c.jr.sync()
+		err = c.jr.commit()
 	}
 	if err != nil {
 		err = c.journalFailedLocked(err)
@@ -1199,6 +1284,10 @@ func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.stopCh)
 		<-c.doneCh
+		// The dispatcher has exited, so no new batches start; wait for
+		// in-flight group commits so every batch is acknowledged and the
+		// journal is quiescent before it closes.
+		c.inflight.Wait()
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		c.closed = true

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+// scriptOutcome is the observable trace of one scripted run: every
+// admission decision (server, start, end), every release, every
+// consolidation's executed moves, and the final state digest. Two runs
+// are behaviourally identical exactly when their outcomes are
+// byte-identical strings.
+type scriptOutcome struct {
+	transcript string
+	digest     string
+}
+
+// runScript drives cfg through a deterministic op stream derived from
+// seed: mostly admits, with releases, clock advances and consolidation
+// passes mixed in. The caller owns cfg.Dir (empty for volatile runs).
+// Any preClose hooks run after the script but before Close — the moment
+// a journaled directory still holds its record log, since Close
+// compacts it into a snapshot.
+func runScript(t *testing.T, cfg Config, seed int64, preClose ...func()) scriptOutcome {
+	t.Helper()
+	cfg.Servers = testServers(8)
+	cfg.IdleTimeout = 3
+	cfg.MigrationCostPerGB = 0.5
+	c := mustOpenTB(t, cfg)
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	live := []int{}
+	nextID := 1
+	ctx := context.Background()
+	for op := 0; op < 120; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.55: // admit
+			req := VMRequest{
+				ID:              nextID,
+				Demand:          model.Resources{CPU: float64(1 + rng.Intn(6)), Mem: float64(1 + rng.Intn(8))},
+				Start:           c.State().Now + rng.Intn(4),
+				DurationMinutes: 1 + rng.Intn(30),
+			}
+			nextID++
+			adms, err := c.Admit(ctx, []VMRequest{req})
+			if err != nil {
+				t.Fatalf("seed %d op %d: admit: %v", seed, op, err)
+			}
+			a := adms[0]
+			fmt.Fprintf(&sb, "admit id=%d ok=%t server=%d start=%d end=%d\n",
+				a.ID, a.Accepted, a.Server, a.Start, a.End)
+			// Placing a VM advances the clock to its start, which may
+			// expire other leases: re-derive the live set.
+			live = residentIDs(c)
+		case r < 0.75 && len(live) > 0: // release
+			id := live[rng.Intn(len(live))]
+			rel, err := c.Release(ctx, id)
+			var nre *NotResidentError
+			if errors.As(err, &nre) {
+				fmt.Fprintf(&sb, "release id=%d gone\n", id)
+			} else if err != nil {
+				t.Fatalf("seed %d op %d: release %d: %v", seed, op, id, err)
+			} else {
+				fmt.Fprintf(&sb, "release id=%d server=%d start=%d\n", id, rel.Server, rel.Start)
+			}
+			live = residentIDs(c)
+		case r < 0.9: // advance the clock
+			to := c.State().Now + 1 + rng.Intn(3)
+			if err := c.AdvanceTo(to); err != nil {
+				t.Fatalf("seed %d op %d: advance to %d: %v", seed, op, to, err)
+			}
+			fmt.Fprintf(&sb, "advance to=%d\n", to)
+			live = residentIDs(c)
+		default: // consolidation pass
+			res, err := c.Consolidate(ctx, ConsolidateOptions{})
+			if err != nil {
+				t.Fatalf("seed %d op %d: consolidate: %v", seed, op, err)
+			}
+			fmt.Fprintf(&sb, "consolidate clock=%d donors=%d executed=%d saved=%g\n",
+				res.Clock, res.Donors, res.Executed, res.Saved)
+			// Seq is deliberately omitted: it numbers journal records, so a
+			// volatile run and a journaled run assign different values to
+			// behaviourally identical migrations.
+			for _, m := range res.Moves {
+				fmt.Fprintf(&sb, "  move vm=%d from=%d to=%d t=%d handoff=%d start=%d end=%d policy=%s saved=%g cost=%g\n",
+					m.VM, m.From, m.To, m.Time, m.Handoff, m.Start, m.End, m.Policy, m.SavedWattMinutes, m.CostWattMinutes)
+			}
+		}
+	}
+	digest, err := c.StateDigest()
+	if err != nil {
+		t.Fatalf("seed %d: digest: %v", seed, err)
+	}
+	for _, hook := range preClose {
+		hook()
+	}
+	return scriptOutcome{transcript: sb.String(), digest: digest}
+}
+
+// copyJournalDir copies a journal directory's files, preserving the
+// exact bytes of an uncompacted log.
+func copyJournalDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// residentIDs re-derives the live VM set after a clock advance expired
+// some leases, in a deterministic order.
+func residentIDs(c *Cluster) []int {
+	st := c.State()
+	ids := make([]int, 0, len(st.VMs))
+	for _, v := range st.VMs {
+		ids = append(ids, v.VM.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TestDeterminismIndexAndParallelism is the metamorphic determinism
+// suite: the feasibility index and the parallel scan are pure
+// optimisations, so index-on vs index-off and parallelism 1 vs N must
+// produce byte-identical placement transcripts and state digests on
+// every seed — including runs whose logs hold migrations from
+// consolidation passes.
+func TestDeterminismIndexAndParallelism(t *testing.T) {
+	type variant struct {
+		name        string
+		noIndex     bool
+		parallelism int
+	}
+	variants := []variant{
+		{"index+seq", false, 1},
+		{"index+par4", false, 4},
+		{"noindex+seq", true, 1},
+		{"noindex+par4", true, 4},
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		base := runScript(t, Config{Parallelism: 1, DisableFeasibilityIndex: true}, seed)
+		if !strings.Contains(base.transcript, "executed=") {
+			t.Fatalf("seed %d: script ran no consolidation pass", seed)
+		}
+		for _, v := range variants {
+			got := runScript(t, Config{Parallelism: v.parallelism, DisableFeasibilityIndex: v.noIndex}, seed)
+			if got.transcript != base.transcript {
+				t.Fatalf("seed %d: %s transcript diverged from baseline:\n%s",
+					seed, v.name, firstDiff(base.transcript, got.transcript))
+			}
+			if got.digest != base.digest {
+				t.Fatalf("seed %d: %s digest = %s, baseline = %s", seed, v.name, got.digest, base.digest)
+			}
+		}
+	}
+}
+
+// TestDeterminismJournalFormats extends the suite across the
+// persistence axis: the same script against a JSON journal and a binary
+// journal must match the volatile run's transcript and digest, and each
+// journaled directory must replay to the same digest after close.
+func TestDeterminismJournalFormats(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		base := runScript(t, Config{Parallelism: 1}, seed)
+		for _, format := range []string{JournalFormatJSON, JournalFormatBinary} {
+			dir := t.TempDir()
+			replayDir := t.TempDir()
+			cfg := Config{Parallelism: 1, Dir: dir, SnapshotEvery: -1, DisableFsync: true, JournalFormat: format}
+			got := runScript(t, cfg, seed, func() { copyJournalDir(t, dir, replayDir) })
+			if got.transcript != base.transcript {
+				t.Fatalf("seed %d format %s: transcript diverged from volatile run:\n%s",
+					seed, format, firstDiff(base.transcript, got.transcript))
+			}
+			if got.digest != base.digest {
+				t.Fatalf("seed %d format %s: digest = %s, volatile = %s", seed, format, got.digest, base.digest)
+			}
+			// Replay both directories: the snapshot-compacted one (clean
+			// close) and the pre-close copy whose full record log must
+			// rebuild the same state.
+			cfg.Servers = testServers(8)
+			cfg.IdleTimeout = 3
+			cfg.MigrationCostPerGB = 0.5
+			for _, rd := range []string{dir, replayDir} {
+				rcfg := cfg
+				rcfg.Dir = rd
+				c, err := Open(rcfg)
+				if err != nil {
+					t.Fatalf("seed %d format %s: reopen %s: %v", seed, format, rd, err)
+				}
+				replayed, err := c.StateDigest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if replayed != base.digest {
+					t.Fatalf("seed %d format %s: replayed digest = %s, volatile = %s",
+						seed, format, replayed, base.digest)
+				}
+			}
+		}
+	}
+}
+
+// firstDiff renders the first line where two transcripts diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  got:      %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+// realBinaryJournal materializes a genuine binary-format journal by
+// driving a binary-configured cluster through an admit/release/tick
+// history, reading the bytes back before Close compacts them.
+func realBinaryJournal(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	c := mustOpenTB(tb, Config{Servers: testServers(4), IdleTimeout: 2, Dir: dir, SnapshotEvery: -1,
+		JournalFormat: JournalFormatBinary})
+	reqs := []VMRequest{
+		{ID: 1, Demand: model.Resources{CPU: 2, Mem: 3}, Start: 1, DurationMinutes: 10},
+		{ID: 2, Demand: model.Resources{CPU: 8, Mem: 8}, Start: 2, DurationMinutes: 4},
+		{ID: 3, Demand: model.Resources{CPU: 4, Mem: 4}, Start: 3, DurationMinutes: 20},
+	}
+	if _, err := c.Admit(context.Background(), reqs); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := c.Release(context.Background(), 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.AdvanceTo(9); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// realBinaryMigrationJournal is realBinaryJournal's counterpart holding
+// a genuine migrate record.
+func realBinaryMigrationJournal(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	c := mustOpenTB(tb, Config{Servers: testServers(4), IdleTimeout: 2, Dir: dir, SnapshotEvery: -1,
+		MigrationCostPerGB: 0.5, JournalFormat: JournalFormatBinary})
+	reqs := []VMRequest{
+		{ID: 1, Demand: model.Resources{CPU: 2, Mem: 2}, Start: 1, DurationMinutes: 20},
+		{ID: 2, Demand: model.Resources{CPU: 2, Mem: 4}, Start: 1, DurationMinutes: 30},
+	}
+	if _, err := c.Admit(context.Background(), reqs); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		tb.Fatal(err)
+	}
+	onto := c.State().VMs[0].Server
+	if _, err := c.Migrate(context.Background(), 2, testServers(4)[(onto+1)%4].ID); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzBinaryJournal feeds arbitrary bytes to the reopen path of a
+// binary-configured cluster. Whatever the file holds — binary frames,
+// JSON lines (the codecs are self-describing, so a mixed deployment
+// hands either to either), torn tails, flipped length prefixes or
+// garbage — Open must restore a state that survives a digest-stable
+// close/reopen round trip, or refuse with ErrCorruptJournal. Never a
+// panic, never a partial fleet.
+func FuzzBinaryJournal(f *testing.F) {
+	base := realBinaryJournal(f)
+	f.Add(base)
+	f.Add([]byte{})
+	f.Add(append([]byte{}, binMagic...)) // bare magic: an empty binary log
+	f.Add([]byte{0x00, 'v', 'm', 'j', 'l', '9'})
+	// Torn tails at several depths: interrupted writes, which reopen must
+	// truncate away, not refuse.
+	for _, cut := range []int{1, 7, 13} {
+		if len(base) > cut {
+			f.Add(base[:len(base)-cut])
+		}
+	}
+	// A flipped length-prefix byte on the first frame: the framing is
+	// destroyed, which must read as corruption.
+	if len(base) > len(binMagic)+8 {
+		mut := append([]byte{}, base...)
+		mut[len(binMagic)+2] ^= 0x40
+		f.Add(mut)
+		// A flipped payload byte mid-log: lost history.
+		mid := append([]byte{}, base...)
+		mid[len(mid)/2] ^= 0x01
+		f.Add(mid)
+	}
+	// Mid-log garbage: a correctly-framed record followed by noise and
+	// more data.
+	garbage := append([]byte{}, binMagic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], 4)
+	garbage = append(garbage, hdr[:]...)
+	garbage = append(garbage, []byte("XXXX")...)
+	garbage = append(garbage, base[len(binMagic):]...)
+	f.Add(garbage)
+	// Mixed formats: a genuine JSON journal under a binary-configured
+	// open (must replay: the reader sniffs), and binary magic with JSON
+	// text behind it (must refuse or truncate, never misparse).
+	jsonBase := realJournal(f)
+	f.Add(jsonBase)
+	f.Add(append(append([]byte{}, binMagic...), jsonBase...))
+	// A genuine history ending in a live migration must replay cleanly.
+	migBase := realBinaryMigrationJournal(f)
+	f.Add(migBase)
+	if len(migBase) > 11 {
+		f.Add(migBase[:len(migBase)-11])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Servers: testServers(4), IdleTimeout: 2, Dir: dir, SnapshotEvery: -1,
+			MigrationCostPerGB: 0.5, JournalFormat: JournalFormatBinary}
+		c, err := Open(cfg)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptJournal) {
+				t.Fatalf("refusal must wrap ErrCorruptJournal, got: %v", err)
+			}
+			return
+		}
+		want, err := c.StateDigest()
+		if err != nil {
+			t.Fatalf("restored cluster cannot serve state: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("closing restored cluster: %v", err)
+		}
+		c2, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("reopening after clean close: %v", err)
+		}
+		got, err := c2.StateDigest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("state digest changed across close/reopen: %s != %s", got, want)
+		}
+	})
+}

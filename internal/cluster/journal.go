@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"vmalloc/internal/api"
 	"vmalloc/internal/model"
@@ -18,22 +20,38 @@ import (
 //
 //	snapshot.json  — the last full FleetSnapshot plus the journal sequence
 //	                 number it covers (LastSeq)
-//	journal.jsonl  — one JSON record per line for every mutation since;
-//	                 records with seq ≤ LastSeq are stale survivors of a
-//	                 crash between snapshot rename and journal truncation
-//	                 and are skipped on replay
+//	journal.jsonl  — every mutation since, in one of two self-describing
+//	                 codecs: JSON (one record per line) or the framed
+//	                 binary format (see binjournal.go; the file then opens
+//	                 with the "\x00vmjl1" magic). Records with seq ≤
+//	                 LastSeq are stale survivors of a crash between
+//	                 snapshot rename and journal truncation and are
+//	                 skipped on replay.
 //
-// A record survives a process crash once its terminating newline reaches
-// the file; durability against power loss or a kernel crash additionally
-// requires the fsync the cluster issues (via sync) after every batch of
-// appends. A torn tail (truncated final record, or a final line with no
-// newline) is dropped on open and the file is truncated back to the last
-// clean record.
-// Corruption anywhere before the tail is an error — it means lost history,
-// not an interrupted write — and open refuses the directory.
+// The codec an *existing* log was written in always replays — the reader
+// sniffs the magic, so a JSON log opened under Config JournalFormat
+// "binary" (or vice versa) restores normally and keeps appending in its
+// current format. The configured format takes over at the next snapshot
+// compaction, when the log is rewritten from empty anyway; that is the
+// whole upgrade path, and downgrading works the same way.
+//
+// A record survives a process crash once its framing reaches the file
+// (the JSON record's newline, the binary frame's full length);
+// durability against power loss or a kernel crash additionally requires
+// the fsync the cluster issues (via commit) for every acknowledged
+// mutation. A torn tail — a truncated final record or frame — is dropped
+// on open and the file is truncated back to the last clean record.
+// Corruption anywhere before the tail is an error — it means lost
+// history, not an interrupted write — and open refuses the directory.
 const (
 	journalName  = "journal.jsonl"
 	snapshotName = "snapshot.json"
+)
+
+// Journal formats (Config.JournalFormat).
+const (
+	JournalFormatJSON   = "json"
+	JournalFormatBinary = "binary"
 )
 
 // Journal operations.
@@ -80,19 +98,39 @@ type snapshotFile struct {
 	Migrations     []api.MigrationRecord `json:"migrations,omitempty"`
 }
 
-// journal is the append side of the log. All methods are called under the
-// cluster mutex.
+// journal is the append side of the log. append and snapshot are called
+// under the cluster mutex; commit may be called with or without it — the
+// committer goroutine turns concurrent commit calls into shared fsyncs
+// (group commit).
 type journal struct {
 	dir    string
 	f      *os.File
 	seq    int64
 	nosync bool // Config.DisableFsync: skip fsyncs (UNSAFE, test-only)
+
+	binary     bool   // the log's current on-disk codec
+	wantBinary bool   // the configured codec, adopted at compaction
+	enc        []byte // reusable append encode buffer
+
+	// Group commit. commit registers a waiter and wakes the committer
+	// goroutine; the committer snapshots the waiter list, issues one
+	// fsync, and completes every waiter with its outcome — so commits
+	// that arrive while a flush is in progress share the next one.
+	gmu     sync.Mutex
+	waiters []chan error
+	kick    chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+	groups  atomic.Uint64 // fsync groups executed
+	grouped atomic.Uint64 // commits acknowledged by those groups
 }
 
 // openJournal loads the durable state under dir: the snapshot (if any),
 // every clean journal record, and an append handle positioned after the
-// last clean record (a torn tail is truncated away first).
-func openJournal(dir string, nosync bool) (*journal, *snapshotFile, []record, error) {
+// last clean record (a torn tail is truncated away first). wantBinary is
+// the configured codec; an empty (or fully-torn) log adopts it
+// immediately, a non-empty log keeps its own codec until compaction.
+func openJournal(dir string, nosync, wantBinary bool) (*journal, *snapshotFile, []record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("cluster: journal dir: %w", err)
 	}
@@ -111,11 +149,15 @@ func openJournal(dir string, nosync bool) (*journal, *snapshotFile, []record, er
 		return nil, nil, nil, err
 	}
 	path := filepath.Join(dir, journalName)
-	recs, clean, err := readRecords(path)
+	jb, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, nil, err
+	}
+	recs, clean, err := parseJournal(jb)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if fi, err := os.Stat(path); err == nil && fi.Size() > clean {
+	if int64(len(jb)) > clean {
 		if err := os.Truncate(path, clean); err != nil {
 			return nil, nil, nil, fmt.Errorf("cluster: dropping torn journal tail: %w", err)
 		}
@@ -124,13 +166,38 @@ func openJournal(dir string, nosync bool) (*journal, *snapshotFile, []record, er
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return &journal{dir: dir, f: f, nosync: nosync}, snap, recs, nil
+	j := &journal{
+		dir:        dir,
+		f:          f,
+		nosync:     nosync,
+		wantBinary: wantBinary,
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	switch {
+	case clean >= int64(len(binMagic)) && len(jb) > 0 && jb[0] == binMagic[0]:
+		j.binary = true
+	case clean > 0:
+		j.binary = false // clean JSON records survive
+	default:
+		// Empty log (or one truncated back to nothing): nothing is
+		// written in either codec yet, so adopt the configured one.
+		j.binary = wantBinary
+		if j.binary {
+			if _, err := f.Write(binMagic); err != nil {
+				f.Close()
+				return nil, nil, nil, fmt.Errorf("cluster: journal format header: %w", err)
+			}
+		}
+	}
+	go j.committer()
+	return j, snap, recs, nil
 }
 
-// readRecords parses the journal, returning every clean record and the
-// byte offset up to which the file is clean. A final record that fails to
-// parse or lacks its newline is an interrupted write and is excluded;
-// invalid records with history after them are corruption and an error.
+// readRecords parses the journal file at path in whichever codec it was
+// written, returning every clean record and the byte offset up to which
+// the file is clean.
 func readRecords(path string) ([]record, int64, error) {
 	b, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -139,6 +206,35 @@ func readRecords(path string) ([]record, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return parseJournal(b)
+}
+
+// parseJournal sniffs the codec (binary logs open with binMagic, whose
+// leading NUL no JSON log can start with) and parses accordingly. A
+// final record that fails to parse or lacks its framing is an
+// interrupted write and is excluded; invalid records with history after
+// them are corruption and an error.
+func parseJournal(b []byte) ([]record, int64, error) {
+	if len(b) == 0 {
+		return nil, 0, nil
+	}
+	if b[0] == binMagic[0] {
+		if len(b) < len(binMagic) {
+			if bytes.HasPrefix(binMagic, b) {
+				return nil, 0, nil // torn magic: an interrupted first write
+			}
+			return nil, 0, fmt.Errorf("%w: unrecognised journal header", ErrCorruptJournal)
+		}
+		if !bytes.Equal(b[:len(binMagic)], binMagic) {
+			return nil, 0, fmt.Errorf("%w: unsupported binary journal version %q", ErrCorruptJournal, b[:len(binMagic)])
+		}
+		return readBinaryRecords(b)
+	}
+	return readJSONRecords(b)
+}
+
+// readJSONRecords parses the newline-framed JSON codec.
+func readJSONRecords(b []byte) ([]record, int64, error) {
 	var recs []record
 	var clean int64
 	off := 0
@@ -165,38 +261,88 @@ func readRecords(path string) ([]record, int64, error) {
 	return recs, clean, nil
 }
 
-// sync flushes appended records to stable storage. The cluster calls it
-// once per processed batch, amortising the fsync over the batch's records,
-// so an admission acknowledged to a client survives power loss, not just a
-// process crash.
-func (j *journal) sync() error {
-	if j.nosync {
-		return nil
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("cluster: journal sync: %w", err)
-	}
-	return nil
-}
-
-// append journals one mutation, assigning it the next sequence number.
+// append journals one mutation, assigning it the next sequence number,
+// in the log's current codec.
 func (j *journal) append(r record) error {
 	r.Seq = j.seq + 1
-	b, err := json.Marshal(r)
+	var err error
+	if j.binary {
+		j.enc, err = appendBinaryFrame(j.enc[:0], r)
+	} else {
+		var b []byte
+		if b, err = json.Marshal(r); err == nil {
+			j.enc = append(append(j.enc[:0], b...), '\n')
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if _, err := j.f.Write(append(b, '\n')); err != nil {
+	if _, err := j.f.Write(j.enc); err != nil {
 		return fmt.Errorf("cluster: journal append: %w", err)
 	}
 	j.seq = r.Seq
 	return nil
 }
 
+// commit makes every previously appended record durable: it registers
+// with the committer goroutine and returns once an fsync issued at or
+// after registration completes. Concurrent commits share one fsync
+// (group commit); with DisableFsync it returns immediately.
+func (j *journal) commit() error {
+	if j.nosync {
+		return nil
+	}
+	ch := make(chan error, 1)
+	j.gmu.Lock()
+	j.waiters = append(j.waiters, ch)
+	j.gmu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default: // a wake-up is already pending; it will cover this waiter
+	}
+	return <-ch
+}
+
+// committer is the group-commit loop: one goroutine per journal, woken
+// by commit, flushing all registered waiters with a single fsync.
+func (j *journal) committer() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.kick:
+			j.flushGroup()
+		case <-j.quit:
+			j.flushGroup() // serve any last-moment registrations
+			return
+		}
+	}
+}
+
+func (j *journal) flushGroup() {
+	j.gmu.Lock()
+	ws := j.waiters
+	j.waiters = nil
+	j.gmu.Unlock()
+	if len(ws) == 0 {
+		return
+	}
+	var err error
+	if serr := j.f.Sync(); serr != nil {
+		err = fmt.Errorf("cluster: journal sync: %w", serr)
+	}
+	j.groups.Add(1)
+	j.grouped.Add(uint64(len(ws)))
+	for _, ch := range ws {
+		ch <- err
+	}
+}
+
 // snapshot atomically replaces snapshot.json (write to a temp file, sync,
 // rename) and then truncates the journal: every record it held is covered
 // by the snapshot's LastSeq. A crash between the rename and the truncation
 // leaves stale records behind, which replay skips by sequence number.
+// Compaction is also where the configured journal format takes over: the
+// log restarts from empty, in the configured codec.
 func (j *journal) snapshot(s *snapshotFile) error {
 	s.LastSeq = j.seq
 	b, err := json.MarshalIndent(s, "", "  ")
@@ -229,10 +375,21 @@ func (j *journal) snapshot(s *snapshotFile) error {
 	if err := j.f.Truncate(0); err != nil {
 		return fmt.Errorf("cluster: journal compaction: %w", err)
 	}
+	j.binary = j.wantBinary
+	if j.binary {
+		if _, err := j.f.Write(binMagic); err != nil {
+			// The log is empty, which is a valid JSON journal; stay on
+			// JSON until the next compaction retries the switch.
+			j.binary = false
+			return fmt.Errorf("cluster: journal format header: %w", err)
+		}
+	}
 	return nil
 }
 
 func (j *journal) close() error {
+	close(j.quit)
+	<-j.done
 	if !j.nosync {
 		if err := j.f.Sync(); err != nil {
 			j.f.Close()

@@ -21,7 +21,7 @@ func TestJournalTornTailDropped(t *testing.T) {
 		`{"seq":1,"op":"tick","t":5}`+"\n"+
 			`{"seq":2,"op":"tick","t":9}`+"\n"+
 			`{"seq":3,"op":"admit","t":9,"vm":{"id":7,"dem`) // torn mid-record
-	j, snap, recs, err := openJournal(dir, false)
+	j, snap, recs, err := openJournal(dir, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestJournalTerminatedTornTailDropped(t *testing.T) {
 	// A torn record that happens to end in a newline is still dropped.
 	dir := t.TempDir()
 	writeJournal(t, dir, `{"seq":1,"op":"tick","t":5}`+"\n"+`{"seq":2,"op":`+"\n")
-	_, _, recs, err := openJournal(dir, false)
+	_, _, recs, err := openJournal(dir, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestJournalCorruptMiddleRefused(t *testing.T) {
 		`{"seq":1,"op":"tick","t":5}`+"\n"+
 			`garbage`+"\n"+
 			`{"seq":3,"op":"tick","t":9}`+"\n")
-	if _, _, _, err := openJournal(dir, false); err == nil {
+	if _, _, _, err := openJournal(dir, false, false); err == nil {
 		t.Fatal("mid-journal corruption accepted")
 	}
 }

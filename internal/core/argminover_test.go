@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestArgMinOverMatchesFilteredSeq pins ArgMinOver to its spec: scanning
+// a candidate list picks the same index, with the same lowest-index
+// tie-break, as the plain sequential argmin restricted to that list —
+// at every pool size.
+func TestArgMinOverMatchesFilteredSeq(t *testing.T) {
+	const n = 200
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		costs := make([]float64, n)
+		feas := make([]bool, n)
+		for i := range costs {
+			costs[i] = float64(rng.Intn(12)) // coarse: plenty of ties
+			feas[i] = rng.Float64() < 0.7
+		}
+		eval := func(i int) (float64, bool) { return costs[i], feas[i] }
+		var cands []int
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				cands = append(cands, i)
+			}
+		}
+		want := -1
+		var wantCost float64
+		for _, i := range cands {
+			if !feas[i] {
+				continue
+			}
+			if want < 0 || costs[i] < wantCost {
+				want, wantCost = i, costs[i]
+			}
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			e := NewScanEngine(par, n)
+			got, err := e.ArgMinOver(context.Background(), e.NewStats(), cands, eval)
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			e.Close()
+			if got != want {
+				t.Fatalf("seed %d par %d: ArgMinOver = %d, sequential filter = %d", seed, par, got, want)
+			}
+		}
+	}
+}
+
+// TestArgMinOverCountsStats checks the candidate list's stats land in
+// AllocStats like a plain scan's would.
+func TestArgMinOverCountsStats(t *testing.T) {
+	e := NewScanEngine(1, 64)
+	defer e.Close()
+	cands := []int{3, 9, 17, 40}
+	stats := e.NewStats()
+	got, err := e.ArgMinOver(context.Background(), stats, cands, func(i int) (float64, bool) {
+		return float64(i), i != 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+	if stats.CandidatesEvaluated != 4 || stats.FeasibilityRejections != 1 {
+		t.Fatalf("stats = %+v, want 4 evaluated / 1 rejected", stats)
+	}
+}
+
+// TestArgMinAllocFree pins the zero-allocation contract of the steady
+// state: once the engine's buffers are warm, parallel and sequential
+// scans allocate nothing per call.
+func TestArgMinAllocFree(t *testing.T) {
+	const n = 256
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = float64(i % 17)
+	}
+	eval := func(i int) (float64, bool) { return costs[i], true }
+	cands := make([]int, 0, n)
+	for i := 0; i < n; i += 2 {
+		cands = append(cands, i)
+	}
+	ctx := context.Background()
+	for _, par := range []int{1, 4} {
+		e := NewScanEngine(par, n)
+		stats := e.NewStats()
+		// Warm the buffers, then measure.
+		if _, err := e.ArgMin(ctx, stats, n, eval); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			e.ArgMin(ctx, stats, n, eval)         //nolint:errcheck
+			e.ArgMinOver(ctx, stats, cands, eval) //nolint:errcheck
+		})
+		e.Close()
+		if allocs != 0 {
+			t.Fatalf("parallelism %d: %.1f allocations per scan pair, want 0", par, allocs)
+		}
+	}
+}

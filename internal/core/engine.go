@@ -69,6 +69,24 @@ type ScanEngine struct {
 	jobs    chan func()
 	wg      sync.WaitGroup
 	busy    atomic.Int64 // nanoseconds workers spent inside scan chunks
+
+	// Reusable scan state. One scan runs at a time (see above), so the
+	// engine owns a single set of buffers instead of allocating per call:
+	// results holds chunk-local minima across scans, chunkJob is the one
+	// cached worker body every parallel scan submits (workers pull chunk
+	// numbers from nextChunk), and cur* describe the scan in flight.
+	// Writes to cur* happen before the channel sends that hand chunkJob
+	// to the workers, and results are read only after scanWG.Wait(), so
+	// no further synchronisation is needed.
+	results   []chunkMin
+	chunkJob  func()
+	curEval   func(int) (float64, bool)
+	curCands  []int // nil: scan positions are server indexes themselves
+	curCtx    context.Context
+	curCount  int
+	curChunks int
+	nextChunk atomic.Int32
+	scanWG    sync.WaitGroup
 }
 
 // scanWorkers resolves the pool size for a fleet of n servers:
@@ -95,6 +113,18 @@ func scanWorkers(parallelism, n int) int {
 // Config.Parallelism for the meaning of parallelism.
 func NewScanEngine(parallelism, n int) *ScanEngine {
 	e := &ScanEngine{workers: scanWorkers(parallelism, n)}
+	e.chunkJob = func() {
+		start := time.Now()
+		for {
+			c := int(e.nextChunk.Add(1)) - 1
+			if c >= e.curChunks {
+				break
+			}
+			e.runChunk(c)
+		}
+		e.busy.Add(int64(time.Since(start)))
+		e.scanWG.Done()
+	}
 	if e.workers > 1 {
 		e.jobs = make(chan func(), e.workers)
 		for i := 0; i < e.workers; i++ {
@@ -177,73 +207,115 @@ func (e *ScanEngine) numChunks(n int) int {
 // (it runs concurrently for distinct indices) and returns ok=false for
 // infeasible candidates, which are excluded from the minimum. The result
 // is -1 when no candidate is feasible, and ctx.Err() when the context is
-// cancelled mid-scan.
+// cancelled mid-scan. Steady-state scans allocate nothing: the chunk
+// buffers and worker jobs are owned by the engine and reused.
 func (e *ScanEngine) ArgMin(ctx context.Context, stats *AllocStats, n int, eval func(int) (float64, bool)) (int, error) {
+	return e.argmin(ctx, stats, n, nil, eval)
+}
+
+// ArgMinOver is ArgMin restricted to an explicit candidate list — the
+// feasibility-index fast path. cands must be in ascending order (the
+// index emits it that way); the reduce then keeps the exact lowest-index
+// tie-break, so scanning the pruned list selects the same server a full
+// [0,n) scan would whenever the pruned-away indexes are all infeasible.
+// eval is called with server indexes taken from cands.
+func (e *ScanEngine) ArgMinOver(ctx context.Context, stats *AllocStats, cands []int, eval func(int) (float64, bool)) (int, error) {
+	return e.argmin(ctx, stats, len(cands), cands, eval)
+}
+
+func (e *ScanEngine) argmin(ctx context.Context, stats *AllocStats, count int, cands []int, eval func(int) (float64, bool)) (int, error) {
 	scanStart := time.Now()
 	defer func() { stats.ScanWall += time.Since(scanStart) }()
-	if e.jobs == nil || n < 2*minShard {
-		return e.argminSeq(ctx, stats, n, eval)
+	if e.jobs == nil || count < 2*minShard {
+		return e.argminSeq(ctx, stats, count, cands, eval)
 	}
-	chunks := e.numChunks(n)
-	results := make([]chunkMin, chunks)
-	var wg sync.WaitGroup
-	for c := 0; c < chunks; c++ {
-		c := c
-		lo, hi := chunkBounds(c, chunks, n)
-		wg.Add(1)
-		e.jobs <- func() {
-			start := time.Now()
-			defer func() {
-				e.busy.Add(int64(time.Since(start)))
-				wg.Done()
-			}()
-			r := &results[c]
-			r.best = -1
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelCheckEvery == 0 && ctx.Err() != nil {
-					return
-				}
-				cost, ok := eval(i)
-				r.evaluated++
-				if !ok {
-					r.rejected++
-					continue
-				}
-				if r.best < 0 || cost < r.cost {
-					r.best, r.cost = i, cost
-				}
-			}
-		}
+	chunks := e.numChunks(count)
+	e.curEval, e.curCands, e.curCtx, e.curCount, e.curChunks = eval, cands, ctx, count, chunks
+	e.nextChunk.Store(0)
+	e.resultsFor(chunks)
+	workers := e.workers
+	if workers > chunks {
+		workers = chunks
 	}
-	wg.Wait()
+	e.scanWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		e.jobs <- e.chunkJob
+	}
+	e.scanWG.Wait()
+	e.curEval, e.curCands, e.curCtx = nil, nil, nil
 	if err := ctx.Err(); err != nil {
 		return -1, err
 	}
 	best := -1
 	var bestCost float64
-	for c := range results {
-		stats.CandidatesEvaluated += results[c].evaluated
-		stats.FeasibilityRejections += results[c].rejected
-		if results[c].best < 0 {
+	for c := 0; c < chunks; c++ {
+		stats.CandidatesEvaluated += e.results[c].evaluated
+		stats.FeasibilityRejections += e.results[c].rejected
+		if e.results[c].best < 0 {
 			continue
 		}
-		if best < 0 || results[c].cost < bestCost {
-			best, bestCost = results[c].best, results[c].cost
+		// Chunks partition an ascending index sequence, so walking them
+		// in order with a strict "<" keeps the lowest-index tie-break.
+		if best < 0 || e.results[c].cost < bestCost {
+			best, bestCost = e.results[c].best, e.results[c].cost
 		}
 	}
 	return best, nil
 }
 
+// runChunk computes chunk c's local argmin into e.results[c]. The chunk
+// covers scan positions [lo, hi); a position is a server index directly,
+// or an index into curCands when the scan runs over a candidate list.
+func (e *ScanEngine) runChunk(c int) {
+	lo, hi := chunkBounds(c, e.curChunks, e.curCount)
+	r := &e.results[c]
+	r.best, r.cost, r.evaluated, r.rejected = -1, 0, 0, 0
+	for p := lo; p < hi; p++ {
+		if (p-lo)%cancelCheckEvery == 0 && e.curCtx.Err() != nil {
+			return
+		}
+		i := p
+		if e.curCands != nil {
+			i = e.curCands[p]
+		}
+		cost, ok := e.curEval(i)
+		r.evaluated++
+		if !ok {
+			r.rejected++
+			continue
+		}
+		if r.best < 0 || cost < r.cost {
+			r.best, r.cost = i, cost
+		}
+	}
+}
+
+// resultsFor sizes the reusable chunk buffer and zeroes the entries the
+// coming scan will use.
+func (e *ScanEngine) resultsFor(chunks int) {
+	if cap(e.results) < chunks {
+		e.results = make([]chunkMin, chunks)
+	}
+	e.results = e.results[:chunks]
+	for c := range e.results {
+		e.results[c] = chunkMin{best: -1}
+	}
+}
+
 // argminSeq is the sequential scan used for small fleets and
 // WithParallelism(1).
-func (e *ScanEngine) argminSeq(ctx context.Context, stats *AllocStats, n int, eval func(int) (float64, bool)) (int, error) {
+func (e *ScanEngine) argminSeq(ctx context.Context, stats *AllocStats, count int, cands []int, eval func(int) (float64, bool)) (int, error) {
 	best := -1
 	var bestCost float64
-	for i := 0; i < n; i++ {
-		if i%cancelCheckEvery == 0 {
+	for p := 0; p < count; p++ {
+		if p%cancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return -1, err
 			}
+		}
+		i := p
+		if cands != nil {
+			i = cands[p]
 		}
 		cost, ok := eval(i)
 		stats.CandidatesEvaluated++
@@ -273,7 +345,8 @@ func (e *ScanEngine) First(ctx context.Context, stats *AllocStats, n int, feasib
 	chunks := e.numChunks(n)
 	var found atomic.Int64
 	found.Store(int64(n))
-	results := make([]chunkMin, chunks)
+	e.resultsFor(chunks)
+	results := e.results
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
 		c := c

@@ -1,0 +1,115 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/model"
+)
+
+// TestCandidatesPrunesOnlyInfeasible is the index soundness property: a
+// pruned server must fail Fits at its StartTime — i.e. the scored
+// policies would have rejected it anyway — and the kept set plus the
+// pruned count must cover the whole fleet.
+func TestCandidatesPrunesOnlyInfeasible(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		servers := make([]model.Server, 0, 10)
+		for i := 0; i < 10; i++ {
+			servers = append(servers, srv(i+1, float64(4+rng.Intn(8)), float64(8+rng.Intn(16)), 100, 200, float64(rng.Intn(3))))
+		}
+		fl := NewFleet(servers, -1)
+		fl.AdvanceTo(1)
+		id := 1
+		for k := 0; k < 40; k++ {
+			v := vm(id, 1+rng.Intn(60), 0, float64(1+rng.Intn(4)), float64(1+rng.Intn(6)))
+			v.End = v.Start + rng.Intn(40)
+			i := rng.Intn(len(servers))
+			if fl.View().Fits(i, v, fl.View().StartTime(i, v)) {
+				if _, err := fl.Commit(i, v); err != nil {
+					t.Fatalf("seed %d: commit: %v", seed, err)
+				}
+				id++
+			}
+		}
+		fv := fl.View()
+		for q := 0; q < 50; q++ {
+			v := vm(10_000+q, 1+rng.Intn(80), 0, float64(1+rng.Intn(6)), float64(1+rng.Intn(10)))
+			v.End = v.Start + rng.Intn(50)
+			cands, pruned := fv.Candidates(v, nil)
+			if len(cands)+pruned != fv.NumServers() {
+				t.Fatalf("seed %d: %d candidates + %d pruned ≠ %d servers", seed, len(cands), pruned, fv.NumServers())
+			}
+			inCands := map[int]bool{}
+			prev := -1
+			for _, i := range cands {
+				if i <= prev {
+					t.Fatalf("seed %d: candidates not ascending: %v", seed, cands)
+				}
+				prev = i
+				inCands[i] = true
+			}
+			for i := 0; i < fv.NumServers(); i++ {
+				if !inCands[i] {
+					if fv.Fits(i, v, fv.StartTime(i, v)) {
+						t.Fatalf("seed %d: server %d pruned but feasible for vm %+v", seed, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesPreservesArgmin pins the determinism contract: reducing
+// the scored argmin over the candidate subset picks exactly the server a
+// full scan picks, for every policy that goes through the scan engine.
+func TestCandidatesPreservesArgmin(t *testing.T) {
+	policies := []ScoredPolicy{&MinCostPolicy{}, &DelayAwareMinCostPolicy{PenaltyPerMinute: 50}}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		servers := make([]model.Server, 0, 12)
+		for i := 0; i < 12; i++ {
+			servers = append(servers, srv(i+1, float64(4+rng.Intn(6)), float64(8+rng.Intn(8)), 100, 200, 1))
+		}
+		fl := NewFleet(servers, -1)
+		fl.AdvanceTo(1)
+		id := 1
+		for k := 0; k < 60; k++ {
+			v := vm(id, 1+rng.Intn(40), 0, float64(1+rng.Intn(3)), float64(1+rng.Intn(5)))
+			v.End = v.Start + rng.Intn(30)
+			i := rng.Intn(len(servers))
+			if fl.View().Fits(i, v, fl.View().StartTime(i, v)) {
+				if _, err := fl.Commit(i, v); err != nil {
+					t.Fatalf("seed %d: commit: %v", seed, err)
+				}
+				id++
+			}
+		}
+		fv := fl.View()
+		for q := 0; q < 40; q++ {
+			v := vm(20_000+q, 1+rng.Intn(60), 0, float64(1+rng.Intn(5)), float64(1+rng.Intn(8)))
+			v.End = v.Start + rng.Intn(40)
+			for _, p := range policies {
+				full := -1
+				var fullCost float64
+				for i := 0; i < fv.NumServers(); i++ {
+					if cost, ok := p.Score(fv, v, i); ok && (full < 0 || cost < fullCost) {
+						full, fullCost = i, cost
+					}
+				}
+				cands, _ := fv.Candidates(v, nil)
+				indexed := -1
+				var indexedCost float64
+				for _, i := range cands {
+					if cost, ok := p.Score(fv, v, i); ok && (indexed < 0 || cost < indexedCost) {
+						indexed, indexedCost = i, cost
+					}
+				}
+				if full != indexed {
+					t.Fatalf("seed %d policy %s vm %+v: full scan picks %d, indexed picks %d (cands %v)",
+						seed, p.Name(), v, full, indexed, cands)
+				}
+			}
+		}
+	}
+}

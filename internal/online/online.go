@@ -89,14 +89,67 @@ func (f *FleetView) Now() int { return f.now }
 
 // Fits reports whether v fits on server i throughout [start, start+dur),
 // accounting for every already-committed VM (their end times are known).
+//
+// The fast path reads the ledger's O(1) interval summary: when even the
+// server's all-time peak usage leaves room for v, no window query can
+// disagree (the window maximum never exceeds the peak, and float
+// addition is monotone), so the exact per-window scan is skipped. Both
+// paths return the same boolean for every input — the fast path is a
+// shortcut, never a different answer.
 func (f *FleetView) Fits(i int, v model.VM, start int) bool {
 	u := f.units[i]
-	if !v.Demand.Fits(u.srv.Capacity) {
+	cap := u.srv.Capacity
+	if !v.Demand.Fits(cap) {
 		return false
+	}
+	s := u.res.Summary()
+	if s.PeakCPU+v.Demand.CPU <= cap.CPU && s.PeakMem+v.Demand.Mem <= cap.Mem {
+		return true
 	}
 	end := start + v.Duration() - 1
 	cpu, mem := u.res.MaxUsage(start, end)
-	return cpu+v.Demand.CPU <= u.srv.Capacity.CPU && mem+v.Demand.Mem <= u.srv.Capacity.Mem
+	return cpu+v.Demand.CPU <= cap.CPU && mem+v.Demand.Mem <= cap.Mem
+}
+
+// Candidates appends to buf the ascending indexes of every server the
+// feasibility index cannot rule out for v, and returns the extended
+// slice plus the number of servers pruned. It is the index-side half of
+// the candidate scan: a pruned server is *provably* infeasible — its
+// capacity cannot hold v's demand at all, or v's interval lies entirely
+// inside the server's busy span and even the span's minimum usage plus
+// v's demand overflows — so scanning only the returned candidates
+// selects exactly the server a full scan would (policies reject
+// infeasible servers themselves; pruning them just skips the work).
+// Servers the index cannot prove infeasible are kept, so the reduce's
+// lowest-index argmin tie-break is unchanged.
+func (f *FleetView) Candidates(v model.VM, buf []int) (cands []int, pruned int) {
+	for i := range f.units {
+		u := f.units[i]
+		cap := u.srv.Capacity
+		if !v.Demand.Fits(cap) {
+			pruned++
+			continue
+		}
+		s := u.res.Summary()
+		if s.PeakCPU+v.Demand.CPU <= cap.CPU && s.PeakMem+v.Demand.Mem <= cap.Mem {
+			buf = append(buf, i) // even the peak leaves room: feasible for sure
+			continue
+		}
+		start := f.StartTime(i, v)
+		end := start + v.Duration() - 1
+		if start >= s.Start && end <= s.End &&
+			(s.MinCPU+v.Demand.CPU > cap.CPU || s.MinMem+v.Demand.Mem > cap.Mem) {
+			// The window sits wholly inside the busy span, so every one of
+			// its minutes carries at least the span's minimum usage; if
+			// min+demand already overflows, the exact window check cannot
+			// pass. (Outside the span usage drops to zero, so the bound
+			// only holds for fully-covered windows.)
+			pruned++
+			continue
+		}
+		buf = append(buf, i)
+	}
+	return buf, pruned
 }
 
 // MaxUsage returns the peak committed CPU and memory on server i over
