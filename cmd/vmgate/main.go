@@ -66,12 +66,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	var targets stringList
 	fs.Var(&targets, "shard", "vmserve shard as name=url or a bare URL (repeatable; names default to shard0, shard1, ...)")
 	var (
-		addr      = fs.String("addr", ":8081", "listen address")
-		probe     = fs.Duration("probe-interval", shard.DefaultProbeInterval, "shard health-probe interval")
-		timeout   = fs.Duration("timeout", shard.DefaultProxyTimeout, "per-shard proxy request timeout")
-		logFormat = fs.String("log-format", "text", "log output format: text or json")
-		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
-		version   = fs.Bool("version", false, "print the build version and exit")
+		addr       = fs.String("addr", ":8081", "listen address")
+		probe      = fs.Duration("probe-interval", shard.DefaultProbeInterval, "shard health-probe interval")
+		timeout    = fs.Duration("timeout", shard.DefaultProxyTimeout, "per-shard proxy request timeout")
+		logFormat  = fs.String("log-format", "text", "log output format: text or json")
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		traceSpans = fs.Int("trace-spans", obs.DefaultSpanStoreSize, "trace span buffer capacity: how many gate route/fan-out/merge spans the stitched /v1/debug/traces keeps (0 = gate-side tracing off)")
+		version    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,11 +92,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var spans *obs.SpanStore
+	if *traceSpans > 0 {
+		spans = obs.NewSpanStore(*traceSpans)
+	}
 	gate := shard.NewGate(m, shard.Config{
 		Timeout:       *timeout,
 		ProbeInterval: *probe,
 		Logger:        logger,
 		Metrics:       obs.NewHTTPMetrics(),
+		Spans:         spans,
 	})
 
 	probeCtx, stopProbe := context.WithCancel(context.Background())

@@ -63,6 +63,14 @@ func main() {
 	}
 }
 
+// SIGQUIT dump tails: the newest trace spans and energy samples worth
+// reading in a log, small enough to stay legible next to the flight
+// recorder's decisions.
+const (
+	sigquitDumpSpans  = 64
+	sigquitDumpEnergy = 16
+)
+
 // stringList is a repeatable string flag (-shadow-policy a -shadow-policy b).
 type stringList []string
 
@@ -99,6 +107,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		logFormat  = fs.String("log-format", "text", "log output format: text or json")
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		decisions  = fs.Int("decisions", obs.DefaultRecorderSize, "flight-recorder capacity: how many admission/rejection/release decisions /v1/debug/decisions keeps")
+		traceSpans = fs.Int("trace-spans", obs.DefaultSpanStoreSize, "trace span buffer capacity: how many stage/route spans /v1/debug/traces keeps (0 = tracing off)")
+		energyWin  = fs.Int("energy-window", obs.DefaultEnergyWindow, "energy telemetry window: how many fleet energy/utilization samples /v1/debug/energy keeps (0 = off)")
 		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off)")
 		version    = fs.Bool("version", false, "print the build version and exit")
 	)
@@ -127,6 +137,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			*consPolicy, api.PolicyMinMigrationTime, api.PolicyMinUtilization)
 	}
 	recorder := obs.NewFlightRecorder(*decisions)
+	var spans *obs.SpanStore
+	if *traceSpans > 0 {
+		spans = obs.NewSpanStore(*traceSpans)
+	}
+	var energy *obs.EnergyRecorder
+	if *energyWin > 0 {
+		energy = obs.NewEnergyRecorder(*energyWin)
+	}
 
 	// Shadow arena: each -shadow-policy challenger gets a counterfactual
 	// replica of the same fleet. Replicas start empty even when the
@@ -171,6 +189,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Recorder:           recorder,
 		Logger:             logger.With("component", "cluster"),
 		Arena:              ar,
+		Spans:              spans,
+		Energy:             energy,
 	})
 	if err != nil {
 		return err
@@ -221,7 +241,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	go func() {
 		for range quitCh {
 			n := recorder.Dump(logger.With("component", "flight-recorder"))
-			logger.Info("flight recorder dumped", "decisions", n)
+			ns := spans.Dump(logger.With("component", "trace"), sigquitDumpSpans)
+			ne := energy.Dump(logger.With("component", "energy"), sigquitDumpEnergy)
+			logger.Info("flight recorder dumped", "decisions", n, "spans", ns, "energySamples", ne)
 		}
 	}()
 
@@ -237,6 +259,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Handler: clusterhttp.New(c, clusterhttp.Config{
 			Logger:   logger,
 			Recorder: recorder,
+			Spans:    spans,
+			Energy:   energy,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

@@ -197,6 +197,17 @@ type Config struct {
 	// non-blocking offers into the arena's bounded queue, never a wait,
 	// never a change to a live placement or to the state digest.
 	Arena *arena.Arena
+	// Spans, when non-nil, receives one typed trace span per pipeline
+	// stage (decode, queue wait, scan, commit, journal append, fsync,
+	// migrate, consolidate pass, shadow-arena enqueue) for requests that
+	// carried a trace context in. Like the flight recorder, recording is
+	// passive and never changes a placement or the state digest.
+	Spans *obs.SpanStore
+	// Energy, when non-nil, receives one fleet energy sample per batch,
+	// release, migration, consolidation pass and clock advance — the
+	// energy-over-time curve behind GET /v1/debug/energy and the
+	// vmalloc_energy_* gauges. Sampling is read-only on the fleet.
+	Energy *obs.EnergyRecorder
 }
 
 // VMRequest is one admission request.
@@ -239,6 +250,7 @@ type admitCall struct {
 	reqs     []VMRequest
 	adms     []Admission
 	reqID    string
+	trace    obs.TraceContext
 	decode   time.Duration
 	enqueued time.Time
 	reply    chan admitReply
@@ -457,6 +469,7 @@ func (c *Cluster) Admit(ctx context.Context, reqs []VMRequest) ([]Admission, err
 	call := &admitCall{
 		reqs:     reqs,
 		reqID:    obs.RequestID(ctx),
+		trace:    obs.TraceContextFrom(ctx),
 		decode:   obs.DecodeSpan(ctx),
 		enqueued: time.Now(),
 		reply:    make(chan admitReply, 1),
@@ -574,22 +587,27 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			call.adms[k] = adm
 			if ok {
 				items = append(items, batchItem{call: call, pos: k, vm: vm})
-			} else if c.rec != nil {
-				// Normalisation rejects never reach the scan or the
-				// journal; their story ends here.
-				c.rec.Record(obs.Decision{
-					RequestID: call.reqID,
-					Batch:     batchID,
-					Op:        obs.OpReject,
-					VM:        adm.ID,
-					Clock:     now,
-					Reason:    adm.Reason,
-					Stages: obs.StageTimings{
-						Decode:    call.decode,
-						QueueWait: batchStart.Sub(call.enqueued),
-					},
-				})
+				continue
 			}
+			// Normalisation rejects never reach the scan or the
+			// journal; their story ends here.
+			d := obs.Decision{
+				RequestID: call.reqID,
+				TraceID:   call.trace.TraceID,
+				Batch:     batchID,
+				Op:        obs.OpReject,
+				VM:        adm.ID,
+				Clock:     now,
+				Reason:    adm.Reason,
+				Stages: obs.StageTimings{
+					Decode:    call.decode,
+					QueueWait: batchStart.Sub(call.enqueued),
+				},
+			}
+			if c.rec != nil {
+				c.rec.Record(d)
+			}
+			c.emitStageSpans(call.trace, &d, call.enqueued, time.Time{}, time.Time{}, time.Time{}, time.Time{})
 		}
 	}
 	// Deterministic batch order: by start minute, then VM ID. Placing the
@@ -608,8 +626,18 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	type pendDecision struct {
 		d         obs.Decision
 		journaled bool
+		// Span raw material: the trace context the call carried in and
+		// each timed stage's start instant (zero when it did not run).
+		trace     obs.TraceContext
+		enqueued  time.Time
+		scanT0    time.Time
+		commitT0  time.Time
+		journalT0 time.Time
 	}
 	var pend []pendDecision
+	// observe gates the per-item decision bookkeeping: both sinks are
+	// passive, so when neither is wired the loop skips the copies.
+	observe := c.rec != nil || c.cfg.Spans != nil
 	// shadow collects the champion's verdicts for the policy arena: every
 	// item that reached the candidate scan, in batch order, with the
 	// normalized VM exactly as the fleet saw it. Journal-broken skips are
@@ -623,6 +651,7 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		adm := &it.call.adms[it.pos]
 		d := obs.Decision{
 			RequestID: it.call.reqID,
+			TraceID:   it.call.trace.TraceID,
 			Batch:     batchID,
 			VM:        it.vm.ID,
 			Stages: obs.StageTimings{
@@ -636,9 +665,9 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			// admission that broke it.
 			c.met.rejections++
 			adm.Reason = "journal broken; admission not attempted"
-			if c.rec != nil {
+			if observe {
 				d.Op, d.Clock, d.Reason = obs.OpReject, c.fleet.Now(), adm.Reason
-				pend = append(pend, pendDecision{d: d})
+				pend = append(pend, pendDecision{d: d, trace: it.call.trace, enqueued: it.call.enqueued})
 			}
 			continue
 		}
@@ -653,9 +682,9 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		if err != nil {
 			c.met.rejections++
 			adm.Reason = err.Error()
-			if c.rec != nil {
+			if observe {
 				d.Op, d.Reason = obs.OpReject, adm.Reason
-				pend = append(pend, pendDecision{d: d})
+				pend = append(pend, pendDecision{d: d, trace: it.call.trace, enqueued: it.call.enqueued, scanT0: scanT0})
 			}
 			if c.cfg.Arena != nil {
 				shadow = append(shadow, arena.AdmitOutcome{RequestID: it.call.reqID, VM: it.vm})
@@ -668,20 +697,21 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		if err != nil {
 			c.met.rejections++
 			adm.Reason = err.Error()
-			if c.rec != nil {
+			if observe {
 				d.Op, d.Reason = obs.OpReject, adm.Reason
-				pend = append(pend, pendDecision{d: d})
+				pend = append(pend, pendDecision{d: d, trace: it.call.trace, enqueued: it.call.enqueued, scanT0: scanT0, commitT0: commitT0})
 			}
 			if c.cfg.Arena != nil {
 				shadow = append(shadow, arena.AdmitOutcome{RequestID: it.call.reqID, VM: it.vm})
 			}
 			continue
 		}
+		var journalT0 time.Time
 		if c.jr != nil {
 			vm := it.vm
-			jT0 := time.Now()
+			journalT0 = time.Now()
 			jerr = c.jr.append(record{Op: opAdmit, T: c.fleet.Now(), VM: &vm, Server: i, Start: start})
-			d.Stages.Journal = time.Since(jT0)
+			d.Stages.Journal = time.Since(journalT0)
 			if jerr == nil {
 				appended = true
 			}
@@ -693,11 +723,15 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 		c.met.admissions++
 		c.sinceSnapshot++
 		placed++
-		if c.rec != nil {
+		if observe {
 			d.Op = obs.OpAdmit
 			d.Server = adm.Server
 			d.Start, d.End = adm.Start, adm.End
-			pend = append(pend, pendDecision{d: d, journaled: c.jr != nil && jerr == nil})
+			pend = append(pend, pendDecision{
+				d: d, journaled: c.jr != nil && jerr == nil,
+				trace: it.call.trace, enqueued: it.call.enqueued,
+				scanT0: scanT0, commitT0: commitT0, journalT0: journalT0,
+			})
 		}
 		if c.cfg.Arena != nil {
 			shadow = append(shadow, arena.AdmitOutcome{
@@ -705,7 +739,19 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			})
 		}
 	}
-	c.cfg.Arena.OfferBatch(batchID, shadow)
+	if c.cfg.Arena != nil && len(shadow) > 0 {
+		arenaT0 := time.Now()
+		c.cfg.Arena.OfferBatch(batchID, shadow)
+		if tc := firstTrace(batch); tc.Valid() {
+			c.cfg.Spans.Record(obs.Span{
+				TraceID: tc.TraceID, SpanID: obs.NewSpanID(), Parent: tc.SpanID,
+				Name: obs.SpanShadowEnqueue, Op: obs.OpShadow, Batch: batchID,
+				Start: arenaT0, Duration: time.Since(arenaT0),
+			})
+		}
+	} else {
+		c.cfg.Arena.OfferBatch(batchID, shadow)
+	}
 	if jerr != nil {
 		jerr = c.journalFailedLocked(jerr)
 	}
@@ -715,12 +761,19 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	c.met.candidates += stats.CandidatesEvaluated
 	c.met.infeasible += stats.FeasibilityRejections
 	c.maybeSnapshotLocked()
-	finish := func(jerr error, syncDur time.Duration) {
+	c.sampleEnergyLocked()
+	finish := func(jerr error, syncT0 time.Time, syncDur time.Duration) {
 		for i := range pend {
-			if pend[i].journaled {
-				pend[i].d.Stages.Sync = syncDur
+			p := &pend[i]
+			if p.journaled {
+				p.d.Stages.Sync = syncDur
 			}
-			c.rec.Record(pend[i].d)
+			if c.rec != nil {
+				c.rec.Record(p.d)
+			}
+			// Non-journaled items have Stages.Sync == 0, so the zero-value
+			// guard in emitStageSpans drops their fsync span.
+			c.emitStageSpans(p.trace, &p.d, p.enqueued, p.scanT0, p.commitT0, p.journalT0, syncT0)
 		}
 		c.log.Debug("batch processed",
 			"batch", batchID,
@@ -738,7 +791,7 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 	}
 	if c.jr == nil || jerr != nil || !appended {
 		c.mu.Unlock()
-		finish(jerr, 0)
+		finish(jerr, time.Time{}, 0)
 		return
 	}
 	// Group commit, pipelined: release the lock and wait for the fsync on
@@ -760,7 +813,7 @@ func (c *Cluster) processBatch(batch []*admitCall) {
 			cerr = c.journalFailedLocked(cerr)
 		}
 		c.mu.Unlock()
-		finish(cerr, syncDur)
+		finish(cerr, syncT0, syncDur)
 	}()
 }
 
@@ -859,8 +912,10 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 	if c.jfail != nil {
 		return online.PlacedVM{}, c.jfail
 	}
+	tc := obs.TraceContextFrom(ctx)
 	d := obs.Decision{
 		RequestID: obs.RequestID(ctx),
+		TraceID:   tc.TraceID,
 		Op:        obs.OpRelease,
 		VM:        id,
 		Clock:     c.fleet.Now(),
@@ -886,12 +941,13 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 	// undo it), so the challenger replicas must see it too.
 	c.cfg.Arena.OfferRelease(c.fleet.Now(), id)
 	var jerr error
+	var journalT0, syncT0 time.Time
 	if c.jr != nil {
-		jT0 := time.Now()
+		journalT0 = time.Now()
 		jerr = c.jr.append(record{Op: opRelease, T: c.fleet.Now(), ID: id})
-		d.Stages.Journal = time.Since(jT0)
+		d.Stages.Journal = time.Since(journalT0)
 		if jerr == nil {
-			syncT0 := time.Now()
+			syncT0 = time.Now()
 			jerr = c.jr.commit()
 			d.Stages.Sync = time.Since(syncT0)
 			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
@@ -900,13 +956,15 @@ func (c *Cluster) Release(ctx context.Context, id int) (online.PlacedVM, error) 
 			jerr = c.journalFailedLocked(jerr)
 		}
 	}
+	d.Server = c.fleet.View().Server(p.Server).ID
+	d.Start = p.Start
+	d.End = p.End()
 	if c.rec != nil {
-		d.Server = c.fleet.View().Server(p.Server).ID
-		d.Start = p.Start
-		d.End = p.End()
 		c.rec.Record(d)
 	}
+	c.emitStageSpans(tc, &d, time.Time{}, time.Time{}, time.Time{}, journalT0, syncT0)
 	c.maybeSnapshotLocked()
+	c.sampleEnergyLocked()
 	return p, jerr
 }
 
@@ -926,8 +984,11 @@ func (c *Cluster) Migrate(ctx context.Context, vmID, serverID int) (api.Migratio
 	if c.jfail != nil {
 		return api.MigrationRecord{}, c.jfail
 	}
+	tc := obs.TraceContextFrom(ctx)
+	opT0 := time.Now()
 	d := obs.Decision{
 		RequestID: obs.RequestID(ctx),
+		TraceID:   tc.TraceID,
 		Op:        obs.OpMigrate,
 		VM:        vmID,
 		Server:    serverID,
@@ -965,8 +1026,9 @@ func (c *Cluster) Migrate(ctx context.Context, vmID, serverID int) (api.Migratio
 		return fail(err)
 	}
 	cost := c.cfg.MigrationCostPerGB * from.VM.Demand.Mem
-	rec, jerr := c.journalMigrationLocked(&d, from, to, handoff, "manual", 0, cost)
+	rec, jerr := c.journalMigrationLocked(&d, from, to, handoff, "manual", 0, cost, tc, opT0, commitT0)
 	c.maybeSnapshotLocked()
+	c.sampleEnergyLocked()
 	return rec, jerr
 }
 
@@ -977,13 +1039,19 @@ func (c *Cluster) Migrate(ctx context.Context, vmID, serverID int) (api.Migratio
 // error is the sticky journal failure, if the append or sync broke it —
 // the migration itself already took effect in memory, exactly like an
 // admission that breaks the journal.
-func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, to, handoff int, policy string, saved, cost float64) (api.MigrationRecord, error) {
+//
+// When tc is valid the move is also emitted as trace spans: a SpanMigrate
+// umbrella parented on tc (started at opT0, the caller's view of when the
+// move began) with the commit/journal/fsync stage spans nested under it
+// (commitT0 is when the caller started the fleet commit).
+func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, to, handoff int, policy string, saved, cost float64, tc obs.TraceContext, opT0, commitT0 time.Time) (api.MigrationRecord, error) {
 	now := c.fleet.Now()
 	seq := c.volMigSeq + 1
 	var jerr error
+	var journalT0, syncT0 time.Time
 	if c.jr != nil {
 		seq = c.jr.seq + 1
-		jT0 := time.Now()
+		journalT0 = time.Now()
 		jerr = c.jr.append(record{
 			Op:      opMigrate,
 			T:       now,
@@ -995,9 +1063,9 @@ func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, 
 			Saved:   saved,
 			Cost:    cost,
 		})
-		d.Stages.Journal = time.Since(jT0)
+		d.Stages.Journal = time.Since(journalT0)
 		if jerr == nil {
-			syncT0 := time.Now()
+			syncT0 = time.Now()
 			jerr = c.jr.commit()
 			d.Stages.Sync = time.Since(syncT0)
 			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
@@ -1014,12 +1082,21 @@ func (c *Cluster) journalMigrationLocked(d *obs.Decision, from online.PlacedVM, 
 	c.met.migrations++
 	c.met.migrationSaved += saved
 	c.sinceSnapshot++
+	d.Server = rec.To
+	d.From = rec.From
+	d.Start, d.End = rec.Start, rec.End
+	d.SavedWattMinutes = saved
 	if c.rec != nil {
-		d.Server = rec.To
-		d.From = rec.From
-		d.Start, d.End = rec.Start, rec.End
-		d.SavedWattMinutes = saved
 		c.rec.Record(*d)
+	}
+	if c.cfg.Spans != nil && tc.Valid() {
+		mig := obs.TraceContext{TraceID: tc.TraceID, SpanID: obs.NewSpanID()}
+		c.emitStageSpans(mig, d, opT0, time.Time{}, commitT0, journalT0, syncT0)
+		c.cfg.Spans.Record(obs.Span{
+			TraceID: tc.TraceID, SpanID: mig.SpanID, Parent: tc.SpanID,
+			Name: obs.SpanMigrate, Op: obs.OpMigrate, VM: d.VM,
+			Detail: policy, Start: opT0, Duration: time.Since(opT0),
+		})
 	}
 	return rec, jerr
 }
@@ -1078,6 +1155,7 @@ func (c *Cluster) AdvanceTo(t int) error {
 	}
 	c.fleet.AdvanceTo(t)
 	c.cfg.Arena.OfferTick(t)
+	c.sampleEnergyLocked()
 	if c.jr == nil {
 		return nil
 	}

@@ -164,6 +164,20 @@ func (c *Cluster) Consolidate(ctx context.Context, opts ConsolidateOptions) (*Co
 
 	received := make(map[int]bool) // servers that absorbed a drain this pass
 	reqID := obs.RequestID(ctx)
+	// The whole pass is one SpanConsolidate span; each executed move's
+	// SpanMigrate umbrella (and its stage spans) nests under it.
+	tc := obs.TraceContextFrom(ctx)
+	passTC := tc
+	if c.cfg.Spans != nil && tc.Valid() {
+		passTC = obs.TraceContext{TraceID: tc.TraceID, SpanID: obs.NewSpanID()}
+		defer func() {
+			c.cfg.Spans.Record(obs.Span{
+				TraceID: tc.TraceID, SpanID: passTC.SpanID, Parent: tc.SpanID,
+				Name: obs.SpanConsolidate, Detail: policy,
+				Start: t0, Duration: time.Since(t0),
+			})
+		}()
+	}
 	for _, donor := range donors {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -185,6 +199,7 @@ func (c *Cluster) Consolidate(ctx context.Context, opts ConsolidateOptions) (*Co
 		for _, m := range moves {
 			d := obs.Decision{
 				RequestID: reqID,
+				TraceID:   tc.TraceID,
 				Op:        obs.OpMigrate,
 				VM:        m.vm.VM.ID,
 				Clock:     now,
@@ -206,7 +221,7 @@ func (c *Cluster) Consolidate(ctx context.Context, opts ConsolidateOptions) (*Co
 			if handoff != m.handoff {
 				return res, fmt.Errorf("cluster: consolidation handoff drifted: planned %d, executed %d", m.handoff, handoff)
 			}
-			rec, jerr := c.journalMigrationLocked(&d, from, m.to, handoff, policy, perMove, m.cost)
+			rec, jerr := c.journalMigrationLocked(&d, from, m.to, handoff, policy, perMove, m.cost, passTC, planT0, commitT0)
 			res.Moves = append(res.Moves, rec)
 			res.Executed++
 			res.Saved += perMove
@@ -235,6 +250,7 @@ func (c *Cluster) Consolidate(ctx context.Context, opts ConsolidateOptions) (*Co
 		"duration", time.Since(t0),
 	)
 	c.maybeSnapshotLocked()
+	c.sampleEnergyLocked()
 	return res, nil
 }
 

@@ -44,6 +44,16 @@
 //	                           request ids and per-stage durations,
 //	                           filterable by ?vm=, ?server=, ?op= and
 //	                           ?limit=
+//	GET    /v1/debug/traces    span-store readout (api.TracesResponse):
+//	                           buffered trace spans grouped into traces,
+//	                           filterable by ?trace=, ?name=, ?op=,
+//	                           ?min= (Go duration) and ?limit=; empty
+//	                           without a configured span store
+//	GET    /v1/debug/energy    energy-recorder readout
+//	                           (api.EnergyResponse): the windowed
+//	                           energy-over-time series, ?since= (fleet
+//	                           minute, exclusive) and ?limit= trim it;
+//	                           empty without a configured recorder
 //	GET    /healthz            liveness probe
 //	GET    /metrics            Prometheus text exposition: cluster
 //	                           counters/histograms, per-route HTTP
@@ -94,6 +104,14 @@ type Config struct {
 	// Metrics collects per-route request counts and latency histograms
 	// for /metrics; nil creates a fresh collector.
 	Metrics *obs.HTTPMetrics
+	// Spans backs GET /v1/debug/traces and records the HTTP edge's route
+	// spans. To see pipeline stage spans too, the same store must be set
+	// on the cluster's Config.Spans.
+	Spans *obs.SpanStore
+	// Energy backs GET /v1/debug/energy and the vmalloc_energy_* gauge
+	// families on /metrics. Samples flow when the same recorder is set on
+	// the cluster's Config.Energy.
+	Energy *obs.EnergyRecorder
 	// MaxBodyBytes caps admission request bodies; 0 means
 	// DefaultMaxBodyBytes. Oversized bodies are refused with 413.
 	MaxBodyBytes int64
@@ -274,6 +292,51 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, api.DecisionsResponse{Count: len(ds), Decisions: ds})
 	})
+	mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		f, err := obs.SpanFilterFromQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, err)
+			return
+		}
+		traces := api.GroupSpans(cfg.Spans.Spans(f))
+		if traces == nil {
+			traces = []api.Trace{} // an empty store is [], not null
+		}
+		spans := 0
+		for i := range traces {
+			spans += len(traces[i].Spans)
+		}
+		writeJSON(w, http.StatusOK, api.TracesResponse{Count: len(traces), Spans: spans, Traces: traces})
+	})
+	mux.HandleFunc("GET /v1/debug/energy", func(w http.ResponseWriter, r *http.Request) {
+		since, limitN := -1, 0
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"since", &since}, {"limit", &limitN}} {
+			v := r.URL.Query().Get(p.name)
+			if v == "" {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+					fmt.Errorf("bad %s %q", p.name, v))
+				return
+			}
+			*p.dst = n
+		}
+		resp := api.EnergyResponse{Samples: cfg.Energy.Samples(since, limitN)}
+		if resp.Samples == nil {
+			resp.Samples = []obs.EnergySample{}
+		}
+		resp.Count = len(resp.Samples)
+		if last, ok := cfg.Energy.Last(); ok {
+			resp.Now = last.Clock
+			resp.TotalWattMinutes = last.TotalWattMinutes
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -286,10 +349,12 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 			return
 		}
 		cfg.Metrics.Write(w)
+		cfg.Spans.WriteMetrics(w, "vmalloc_trace")
+		cfg.Energy.WriteMetrics(w)
 		obs.WriteRuntimeMetrics(w)
 		obs.WriteBuildInfo(w)
 	})
-	return obs.Middleware(mux, cfg.Logger, cfg.Metrics)
+	return obs.Middleware(mux, cfg.Logger, cfg.Metrics, cfg.Spans)
 }
 
 // classify maps the cluster's typed errors onto (HTTP status, envelope

@@ -140,6 +140,9 @@ func retryable(err error) bool {
 // attempt (callers use it for the admission idempotency fold).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
 	reqID := c.newRequestID()
+	// One root trace per logical call: retries share the trace id, so a
+	// retried admission's attempts stitch into one tree server-side.
+	root := obs.NewTraceContext()
 	var lastErr error
 	delay := c.backoff()
 	for attempt := 0; attempt <= c.retries(); attempt++ {
@@ -152,7 +155,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			delay *= 2
 		}
-		lastErr = c.attempt(ctx, method, path, reqID, body, out)
+		lastErr = c.attempt(ctx, method, path, reqID, root, body, out)
 		if lastErr == nil || !retryable(lastErr) || ctx.Err() != nil {
 			return attempt > 0, lastErr
 		}
@@ -160,7 +163,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	return true, lastErr
 }
 
-func (c *Client) attempt(ctx context.Context, method, path, reqID string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path, reqID string, root obs.TraceContext, body []byte, out any) error {
 	actx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
 	var rd io.Reader
@@ -173,6 +176,9 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, body [
 	}
 	if reqID != "" {
 		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
+	if root.Valid() {
+		req.Header.Set(obs.TraceParentHeader, root.Header())
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -417,6 +423,36 @@ func (c *Client) DebugDecisions(ctx context.Context, query string) ([]obs.Decisi
 		return nil, err
 	}
 	return resp.Decisions, nil
+}
+
+// DebugTraces fetches the server's span store (GET /v1/debug/traces),
+// grouped into one tree per trace id. query is a raw query string such
+// as "name=fsync&limit=100", or "" for everything buffered.
+func (c *Client) DebugTraces(ctx context.Context, query string) (*api.TracesResponse, error) {
+	path := "/v1/debug/traces"
+	if query != "" {
+		path += "?" + query
+	}
+	var resp api.TracesResponse
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DebugEnergy fetches the server's sampled energy/utilization series
+// (GET /v1/debug/energy). query is a raw query string such as
+// "since=120&limit=50", or "" for the whole window.
+func (c *Client) DebugEnergy(ctx context.Context, query string) (*api.EnergyResponse, error) {
+	path := "/v1/debug/energy"
+	if query != "" {
+		path += "?" + query
+	}
+	var resp api.EnergyResponse
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Metrics scrapes and parses /metrics.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vmalloc/internal/api"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/shard"
 )
 
@@ -260,6 +261,40 @@ func (mc *MultiClient) Policies(ctx context.Context) (*api.PoliciesResponse, err
 	})
 	out.Count = len(out.Policies)
 	return out, nil
+}
+
+// DebugTraces merges every shard's span buffer and regroups the spans
+// into one tree per trace id, the way a vmgate's /v1/debug/traces does
+// (minus the gate-side spans — there is no gate in this topology). A
+// shard that fails the fetch fails the call; the runner treats the
+// whole readout as best-effort.
+func (mc *MultiClient) DebugTraces(ctx context.Context, query string) (*api.TracesResponse, error) {
+	type result struct {
+		tr  *api.TracesResponse
+		err error
+	}
+	results := scatter(mc, func(c *Client) result {
+		tr, err := c.DebugTraces(ctx, query)
+		return result{tr: tr, err: err}
+	})
+	var all []obs.Span
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("loadgen: traces on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+		}
+		for _, t := range res.tr.Traces {
+			all = append(all, t.Spans...)
+		}
+	}
+	traces := api.GroupSpans(all)
+	if traces == nil {
+		traces = []api.Trace{}
+	}
+	spans := 0
+	for i := range traces {
+		spans += len(traces[i].Spans)
+	}
+	return &api.TracesResponse{Count: len(traces), Spans: spans, Traces: traces}, nil
 }
 
 // sortMigrations orders a merged record list deterministically: by

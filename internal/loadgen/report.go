@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vmalloc/internal/api"
+	"vmalloc/internal/obs"
 )
 
 // LatencySummary condenses one operation type's request latencies.
@@ -94,6 +95,13 @@ type Report struct {
 	ReleaseLatency LatencySummary `json:"releaseLatency"`
 	ClockLatency   LatencySummary `json:"clockLatency"`
 
+	// StageLatency summarizes server-side stage durations (queue wait,
+	// scan, commit, fsync, ...) pulled from GET /v1/debug/traces after
+	// the run, keyed by span name. Empty when the server runs without a
+	// span store. These are per-span samples from the server's bounded
+	// buffer, not per-request client latencies.
+	StageLatency map[string]LatencySummary `json:"stageLatency,omitempty"`
+
 	// OutcomeDigest is the hex SHA-256 of the ordered outcome log (every
 	// admission's accepted bit in VM-ID order per step, every release's
 	// outcome): equal digests mean identical admission/rejection
@@ -135,6 +143,44 @@ var metricsDeltaKeys = []string{
 	"vmalloc_cluster_consolidations_total",
 }
 
+// stageOrder fixes the stage rows' print order to the request's journey
+// through a shard: decode → queue wait → scan → commit → journal →
+// fsync.
+var stageOrder = []string{
+	obs.SpanDecode, obs.SpanQueue, obs.SpanScan,
+	obs.SpanCommit, obs.SpanJournal, obs.SpanSync,
+}
+
+// stageLatency buckets a trace readout's stage spans by name and
+// summarizes each bucket. Spans outside stageOrder (route, fanout,
+// migrate umbrellas, ...) are skipped: the report's stage table is
+// about where a request's time goes inside a shard.
+func stageLatency(tr *api.TracesResponse) map[string]LatencySummary {
+	if tr == nil {
+		return nil
+	}
+	wanted := make(map[string]bool, len(stageOrder))
+	for _, name := range stageOrder {
+		wanted[name] = true
+	}
+	byStage := make(map[string][]time.Duration)
+	for _, t := range tr.Traces {
+		for _, sp := range t.Spans {
+			if wanted[sp.Name] {
+				byStage[sp.Name] = append(byStage[sp.Name], sp.Duration)
+			}
+		}
+	}
+	if len(byStage) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencySummary, len(byStage))
+	for name, samples := range byStage {
+		out[name] = summarize(samples)
+	}
+	return out
+}
+
 // String renders the report as the vmload CLI's human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
@@ -151,6 +197,14 @@ func (r *Report) String() string {
 	}
 	if r.ClockLatency.Count > 0 {
 		fmt.Fprintf(&b, "latency clock:   %s\n", r.ClockLatency)
+	}
+	if len(r.StageLatency) > 0 {
+		fmt.Fprintf(&b, "server stage spans (from /v1/debug/traces):\n")
+		for _, name := range stageOrder {
+			if s, ok := r.StageLatency[name]; ok {
+				fmt.Fprintf(&b, "  %-8s %s\n", name, s)
+			}
+		}
 	}
 	if r.MetricsDelta != nil {
 		fmt.Fprintf(&b, "server metrics delta:\n")

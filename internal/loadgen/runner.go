@@ -59,6 +59,7 @@ type API interface {
 	AdvanceClock(ctx context.Context, now int) (int, error)
 	Consolidate(ctx context.Context, req api.ConsolidateRequest) (*api.ConsolidateResponse, error)
 	Policies(ctx context.Context) (*api.PoliciesResponse, error)
+	DebugTraces(ctx context.Context, query string) (*api.TracesResponse, error)
 	StateSummary(ctx context.Context) (StateSummary, error)
 	Metrics(ctx context.Context) (Metrics, error)
 	Retried() int
@@ -228,6 +229,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		rep.ArenaBatches = pr.EvaluatedBatches
 		rep.ArenaDropped = pr.DroppedEvents
 		rep.Policies = pr.Policies
+	}
+	// Likewise best-effort: per-stage span latencies (queue wait, scan,
+	// fsync, ...) from the server's trace buffer, absent when the server
+	// runs without a span store.
+	if tr, err := r.Client.DebugTraces(ctx, ""); err == nil {
+		rep.StageLatency = stageLatency(tr)
 	}
 	return rep, nil
 }

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClassUsage is one server class's point-in-time capacity picture inside
+// an EnergySample (classes come from model.Server.Type; untyped servers
+// report as "default").
+type ClassUsage struct {
+	// Servers is the class population; Active how many are powered on.
+	Servers int `json:"servers"`
+	Active  int `json:"active"`
+	// CPUCapacity sums active servers' CPU capacity; CPUUsed sums their
+	// committed CPU at the sample instant.
+	CPUCapacity float64 `json:"cpuCapacity"`
+	CPUUsed     float64 `json:"cpuUsed"`
+	// Utilization is CPUUsed/CPUCapacity (0 when nothing is active) —
+	// the u feeding the paper's power model P(u) = PIdle+(PPeak−PIdle)·u.
+	Utilization float64 `json:"utilization"`
+}
+
+// EnergySample is one point of the fleet's energy-over-time curve. The
+// cumulative watt-minute fields come from the same energy ledger as
+// State.TotalEnergy, so integrating RateWatts over the clock series
+// reproduces the reported total: for consecutive samples,
+// (Total_i − Total_{i−1}) = RateWatts_i · (Clock_i − Clock_{i−1}) / 60.
+type EnergySample struct {
+	// Seq counts samples recorded (monotone; same-clock re-samples get a
+	// fresh seq but replace the previous point).
+	Seq int64 `json:"seq"`
+	// Wall is when the sample was taken; Clock is the fleet's simulated
+	// clock in minutes. The series is strictly monotone in Clock.
+	Wall  time.Time `json:"wall"`
+	Clock int       `json:"clock"`
+	// Cumulative energy by component since the fleet epoch.
+	RunWattMinutes        float64 `json:"runWattMinutes"`
+	IdleWattMinutes       float64 `json:"idleWattMinutes"`
+	TransitionWattMinutes float64 `json:"transitionWattMinutes"`
+	TotalWattMinutes      float64 `json:"totalWattMinutes"`
+	// RateWatts is the mean draw since the previous (distinct-clock)
+	// sample: ΔTotal·60/ΔClock. The first sample reports 0.
+	RateWatts float64 `json:"rateWatts"`
+	// Server counts by power state, and VMs currently placed.
+	Active    int `json:"active"`
+	Waking    int `json:"waking"`
+	Sleeping  int `json:"sleeping"`
+	Residents int `json:"residents"`
+	// Classes breaks utilization down per server class.
+	Classes map[string]ClassUsage `json:"classes,omitempty"`
+}
+
+// DefaultEnergyWindow is the sample-ring capacity unless -energy-window
+// overrides it.
+const DefaultEnergyWindow = 1024
+
+// EnergyRecorder is a bounded ring of fleet energy samples, driven from
+// clock advances and from each commit/release/migration/consolidation.
+// Samples at the same fleet clock replace the newest entry (the latest
+// state of that minute wins), so the retained series is strictly
+// monotone in Clock — the shape /v1/debug/energy promises. A nil
+// *EnergyRecorder is valid and records nothing.
+type EnergyRecorder struct {
+	mu   sync.Mutex
+	buf  []EnergySample
+	next int
+	seq  int64
+	// prevClock/prevTotal remember the last *distinct-clock* sample so a
+	// same-clock replacement recomputes its rate against the same
+	// baseline the replaced sample used.
+	prevClock int
+	prevTotal float64
+	havePrev  bool
+}
+
+// NewEnergyRecorder returns a recorder keeping the newest n samples
+// (n<=0 uses DefaultEnergyWindow).
+func NewEnergyRecorder(n int) *EnergyRecorder {
+	if n <= 0 {
+		n = DefaultEnergyWindow
+	}
+	return &EnergyRecorder{buf: make([]EnergySample, 0, n)}
+}
+
+// Record stores s, computing its RateWatts from the previous
+// distinct-clock sample. A sample at the newest entry's clock replaces
+// it; an older clock is ignored (samples arrive under the cluster lock,
+// so this only guards misuse).
+func (r *EnergyRecorder) Record(s EnergySample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	newest := -1
+	if len(r.buf) > 0 {
+		newest = (r.next + len(r.buf) - 1) % len(r.buf)
+		if len(r.buf) < cap(r.buf) {
+			newest = len(r.buf) - 1
+		}
+		if s.Clock < r.buf[newest].Clock {
+			return
+		}
+	}
+	r.seq++
+	s.Seq = r.seq
+	if s.Wall.IsZero() {
+		s.Wall = time.Now()
+	}
+	if newest >= 0 && r.buf[newest].Clock == s.Clock {
+		// Replacing the newest sample: its rate baseline is the sample
+		// before it, remembered in prevClock/prevTotal.
+		if r.havePrev {
+			s.RateWatts = (s.TotalWattMinutes - r.prevTotal) * 60 /
+				float64(s.Clock-r.prevClock)
+		}
+		r.buf[newest] = s
+		return
+	}
+	// Appending a new clock point: its rate is against the sample it
+	// displaces as "newest", which also becomes the baseline for future
+	// same-clock replacements.
+	if newest >= 0 {
+		prev := r.buf[newest]
+		s.RateWatts = (s.TotalWattMinutes - prev.TotalWattMinutes) * 60 /
+			float64(s.Clock-prev.Clock)
+		r.prevClock = prev.Clock
+		r.prevTotal = prev.TotalWattMinutes
+		r.havePrev = true
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Len returns the number of buffered samples.
+func (r *EnergyRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Last returns the newest sample, if any.
+func (r *EnergyRecorder) Last() (EnergySample, bool) {
+	if r == nil {
+		return EnergySample{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return EnergySample{}, false
+	}
+	if len(r.buf) < cap(r.buf) {
+		return r.buf[len(r.buf)-1], true
+	}
+	return r.buf[(r.next+len(r.buf)-1)%len(r.buf)], true
+}
+
+// Samples returns buffered samples with Clock > sinceClock, oldest
+// first; pass sinceClock < 0 for everything. Limit keeps the newest
+// limit samples (0 = all), so pollers can resume from their last clock.
+func (r *EnergyRecorder) Samples(sinceClock, limit int) []EnergySample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EnergySample, 0, len(r.buf))
+	start := 0
+	if len(r.buf) == cap(r.buf) {
+		start = r.next
+	}
+	for i := 0; i < len(r.buf); i++ {
+		s := r.buf[(start+i)%len(r.buf)]
+		if s.Clock > sinceClock {
+			out = append(out, s)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Dump logs the newest n samples (n<=0 dumps everything buffered) and
+// returns how many it wrote. Wired to SIGQUIT alongside the flight
+// recorder.
+func (r *EnergyRecorder) Dump(log *slog.Logger, n int) int {
+	if r == nil || log == nil {
+		return 0
+	}
+	samples := r.Samples(-1, n)
+	for _, s := range samples {
+		log.Info("energy sample",
+			"seq", s.Seq,
+			"clock", s.Clock,
+			"totalWattMinutes", s.TotalWattMinutes,
+			"rateWatts", s.RateWatts,
+			"active", s.Active,
+			"waking", s.Waking,
+			"sleeping", s.Sleeping,
+			"residents", s.Residents,
+		)
+	}
+	return len(samples)
+}
+
+// WriteMetrics writes the newest sample as vmalloc_energy_* gauges in
+// Prometheus text format. A nil recorder writes nothing, so the families
+// only appear when the recorder is enabled.
+func (r *EnergyRecorder) WriteMetrics(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	seq := r.seq
+	r.mu.Unlock()
+	last, ok := r.Last()
+
+	const prefix = "vmalloc_energy"
+	full := prefix + "_samples_total"
+	fmt.Fprintf(w, "# HELP %s Energy samples recorded over the process lifetime.\n# TYPE %s counter\n%s %d\n", full, full, full, seq)
+	if !ok {
+		return
+	}
+	full = prefix + "_clock_minutes"
+	fmt.Fprintf(w, "# HELP %s Fleet clock at the newest energy sample, in minutes.\n# TYPE %s gauge\n%s %d\n", full, full, full, last.Clock)
+	full = prefix + "_cumulative_watt_minutes"
+	fmt.Fprintf(w, "# HELP %s Cumulative fleet energy by component at the newest sample, in watt-minutes.\n# TYPE %s gauge\n", full, full)
+	fmt.Fprintf(w, "%s{component=\"run\"} %s\n", full, FormatFloat(last.RunWattMinutes))
+	fmt.Fprintf(w, "%s{component=\"idle\"} %s\n", full, FormatFloat(last.IdleWattMinutes))
+	fmt.Fprintf(w, "%s{component=\"transition\"} %s\n", full, FormatFloat(last.TransitionWattMinutes))
+	fmt.Fprintf(w, "%s{component=\"total\"} %s\n", full, FormatFloat(last.TotalWattMinutes))
+	full = prefix + "_rate_watts"
+	fmt.Fprintf(w, "# HELP %s Mean fleet power draw between the two newest samples, in watts.\n# TYPE %s gauge\n%s %s\n", full, full, full, FormatFloat(last.RateWatts))
+	full = prefix + "_servers"
+	fmt.Fprintf(w, "# HELP %s Servers by power state at the newest energy sample.\n# TYPE %s gauge\n", full, full)
+	fmt.Fprintf(w, "%s{state=\"active\"} %d\n", full, last.Active)
+	fmt.Fprintf(w, "%s{state=\"waking\"} %d\n", full, last.Waking)
+	fmt.Fprintf(w, "%s{state=\"power-saving\"} %d\n", full, last.Sleeping)
+	full = prefix + "_resident_vms"
+	fmt.Fprintf(w, "# HELP %s VMs placed at the newest energy sample.\n# TYPE %s gauge\n%s %d\n", full, full, full, last.Residents)
+
+	classes := make([]string, 0, len(last.Classes))
+	for k := range last.Classes {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	if len(classes) > 0 {
+		util := prefix + "_class_utilization"
+		fmt.Fprintf(w, "# HELP %s Committed CPU over active capacity per server class at the newest sample.\n# TYPE %s gauge\n", util, util)
+		for _, k := range classes {
+			fmt.Fprintf(w, "%s{class=%q} %s\n", util, k, FormatFloat(last.Classes[k].Utilization))
+		}
+		act := prefix + "_class_servers_active"
+		fmt.Fprintf(w, "# HELP %s Active servers per class at the newest sample.\n# TYPE %s gauge\n", act, act)
+		for _, k := range classes {
+			fmt.Fprintf(w, "%s{class=%q} %d\n", act, k, last.Classes[k].Active)
+		}
+	}
+}

@@ -37,6 +37,7 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	decodeSpanKey
+	traceKey
 )
 
 // NewRequestID returns a fresh 16-hex-character request id.

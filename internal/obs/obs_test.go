@@ -219,7 +219,7 @@ func TestMiddleware(t *testing.T) {
 		seenID = RequestID(r.Context())
 		w.WriteHeader(http.StatusTeapot)
 	})
-	srv := httptest.NewServer(Middleware(mux, log, met))
+	srv := httptest.NewServer(Middleware(mux, log, met, nil))
 	defer srv.Close()
 
 	// Client-supplied valid id is propagated and echoed.

@@ -55,6 +55,9 @@ type Decision struct {
 	// RequestID is the id of the HTTP request that carried the operation
 	// (empty for callers that bypass the HTTP edge).
 	RequestID string `json:"requestId,omitempty"`
+	// TraceID links the decision to its distributed trace — the same id
+	// filters /v1/debug/traces (on the shard and, stitched, on the gate).
+	TraceID string `json:"traceId,omitempty"`
 	// Batch numbers the admission batch that processed the operation
 	// (releases are not batched and leave it 0).
 	Batch uint64 `json:"batch,omitempty"`
@@ -211,6 +214,7 @@ func (r *FlightRecorder) Dump(log *slog.Logger) int {
 			"seq", d.Seq,
 			"wall", d.Wall,
 			"requestId", d.RequestID,
+			"traceId", d.TraceID,
 			"batch", d.Batch,
 			"op", d.Op,
 			"vm", d.VM,

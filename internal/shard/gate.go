@@ -50,6 +50,13 @@ type Config struct {
 	// Metrics collects the gate's own per-route counts and latencies,
 	// exported under vmalloc_gate_http_*; nil disables them.
 	Metrics *obs.HTTPMetrics
+	// Spans, when non-nil, records the gate's side of each distributed
+	// trace — the edge route span, one fan-out span per downstream shard
+	// call, and the scatter-gather merge — and backs the gate's
+	// GET /v1/debug/traces, which stitches these with the shard-fetched
+	// spans into one tree per trace id. The traceparent header is
+	// propagated downstream whether or not a store is configured.
+	Spans *obs.SpanStore
 }
 
 // Gate is the stateless routing front for a set of vmserve shards. It
@@ -121,9 +128,11 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/consolidate", g.handleConsolidate)
 	mux.HandleFunc("GET /v1/state", g.handleState)
 	mux.HandleFunc("GET /v1/shards", g.handleShards)
+	mux.HandleFunc("GET /v1/debug/traces", g.handleTraces)
+	mux.HandleFunc("GET /v1/debug/energy", g.handleEnergy)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
-	return obs.Middleware(mux, g.cfg.Logger, g.cfg.Metrics)
+	return obs.Middleware(mux, g.cfg.Logger, g.cfg.Metrics, g.cfg.Spans)
 }
 
 // call proxies one request to a shard and returns the response body, or
@@ -152,8 +161,30 @@ func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []by
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
 	}
+	// Propagate the trace downstream: a fresh fan-out span id under the
+	// request's trace becomes the parent of the shard's edge span, which
+	// is what lets /v1/debug/traces stitch gate and shard spans into one
+	// tree. The header goes out even without a local span store.
+	tc := obs.TraceContextFrom(ctx)
+	var fan obs.TraceContext
+	if tc.Valid() {
+		fan = obs.TraceContext{TraceID: tc.TraceID, SpanID: obs.NewSpanID()}
+		req.Header.Set(obs.TraceParentHeader, fan.Header())
+	}
+	t0 := time.Now()
+	fanout := func(errMsg string) {
+		if !fan.Valid() {
+			return
+		}
+		g.cfg.Spans.Record(obs.Span{
+			TraceID: fan.TraceID, SpanID: fan.SpanID, Parent: tc.SpanID,
+			Name: obs.SpanFanout, Detail: s.Name, Err: errMsg,
+			Start: t0, Duration: time.Since(t0),
+		})
+	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
+		fanout(err.Error())
 		g.proxyErrs[s.Name].Add(1)
 		g.prober.MarkDown(s.Name, err)
 		return nil, nil, g.shardDown(s, err)
@@ -161,10 +192,12 @@ func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []by
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
 	if err != nil {
+		fanout(err.Error())
 		g.proxyErrs[s.Name].Add(1)
 		g.prober.MarkDown(s.Name, err)
 		return nil, nil, g.shardDown(s, err)
 	}
+	fanout("")
 	if resp.StatusCode >= 400 {
 		// The shard answered: it is up, just refusing. Relay its
 		// envelope with the shard named in the message.
@@ -261,13 +294,28 @@ func (g *Gate) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
 	}
+	mergeT0 := time.Now()
 	out := make([]api.AdmitResponse, len(reqs))
 	for _, res := range results {
 		for j, i := range groups[res.shard.Name] {
 			out[i] = res.resps[j]
 		}
 	}
+	g.recordMerge(r.Context(), mergeT0)
 	writeJSON(w, r, http.StatusOK, out)
+}
+
+// recordMerge records the gate-side span covering reassembly of a
+// scatter-gather response after every shard has answered.
+func (g *Gate) recordMerge(ctx context.Context, t0 time.Time) {
+	tc := obs.TraceContextFrom(ctx)
+	if g.cfg.Spans == nil || !tc.Valid() {
+		return
+	}
+	g.cfg.Spans.Record(obs.Span{
+		TraceID: tc.TraceID, SpanID: obs.NewSpanID(), Parent: tc.SpanID,
+		Name: obs.SpanMerge, Start: t0, Duration: time.Since(t0),
+	})
 }
 
 // foldErrors combines per-shard failures into one envelope: the first
@@ -603,6 +651,7 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	mergeT0 := time.Now()
 	shards := g.m.Shards()
 	out := api.GateStateResponse{Now: results[0].st.Now}
 	digests := make(map[string]string, len(shards))
@@ -622,6 +671,7 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	out.Digest = CombineDigests(digests)
+	g.recordMerge(r.Context(), mergeT0)
 
 	b, err := api.EncodeGateState(&out)
 	if err != nil {
@@ -631,6 +681,110 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(api.StateDigestHeader, out.Digest)
 	w.Write(b) //nolint:errcheck // client gone
+}
+
+// handleTraces answers the gate's /v1/debug/traces: the same filter
+// query every shard accepts, fanned out best-effort (a down shard's
+// spans are simply absent, like /metrics), with the gate's own route /
+// fan-out / merge spans mixed in and everything regrouped into one tree
+// per trace id. Because the fan-out span minted in g.call is the parent
+// of the shard's edge span, a single admission through the gate shows
+// up here as one stitched trace spanning both processes.
+func (g *Gate) handleTraces(w http.ResponseWriter, r *http.Request) {
+	f, err := obs.SpanFilterFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, err)
+		return
+	}
+	path := "/v1/debug/traces"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	// Gate spans are read before the fan-out so this request's own
+	// fan-out spans do not pollute the answer.
+	all := g.cfg.Spans.Spans(f)
+	type result struct {
+		tr api.TracesResponse
+		ok bool
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodGet, path, nil)
+		if perr != nil {
+			return result{}
+		}
+		var tr api.TracesResponse
+		if derr := json.Unmarshal(data, &tr); derr != nil {
+			return result{}
+		}
+		return result{tr: tr, ok: true}
+	})
+	for _, res := range results {
+		if !res.ok {
+			continue
+		}
+		for _, t := range res.tr.Traces {
+			all = append(all, t.Spans...)
+		}
+	}
+	traces := api.GroupSpans(all)
+	if traces == nil {
+		traces = []api.Trace{}
+	}
+	spans := 0
+	for i := range traces {
+		spans += len(traces[i].Spans)
+	}
+	writeJSON(w, r, http.StatusOK, api.TracesResponse{Count: len(traces), Spans: spans, Traces: traces})
+}
+
+// handleEnergy aggregates every shard's /v1/debug/energy. Unlike traces
+// this is all-or-nothing: fleet energy totals are only meaningful when
+// every shard answered, so a failing shard fails the request the same
+// way /v1/state does.
+func (g *Gate) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	for _, p := range []string{"since", "limit"} {
+		v := r.URL.Query().Get(p)
+		if v == "" {
+			continue
+		}
+		if n, aerr := strconv.Atoi(v); aerr != nil || n < 0 {
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Errorf("bad %s %q: want a non-negative integer", p, v))
+			return
+		}
+	}
+	path := "/v1/debug/energy"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	type result struct {
+		er  api.EnergyResponse
+		err *api.Error
+	}
+	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+		_, data, perr := g.call(ctx, s, http.MethodGet, path, nil)
+		if perr != nil {
+			return result{err: perr}
+		}
+		var er api.EnergyResponse
+		if derr := json.Unmarshal(data, &er); derr != nil {
+			return result{err: &api.Error{Status: http.StatusBadGateway, Envelope: api.ErrorEnvelope{
+				Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: parse energy: %v", s.Name, derr)}}}
+		}
+		return result{er: er}
+	})
+	if perr := foldErrors(results, func(res result) *api.Error { return res.err }); perr != nil {
+		writeJSON(w, r, perr.Status, perr.Envelope)
+		return
+	}
+	shards := g.m.Shards()
+	out := api.GateEnergyResponse{Now: results[0].er.Now}
+	for i, res := range results {
+		out.Now = min(out.Now, res.er.Now)
+		out.TotalWattMinutes += res.er.TotalWattMinutes
+		out.Shards = append(out.Shards, api.ShardEnergy{Shard: shards[i].Name, Energy: res.er})
+	}
+	writeJSON(w, r, http.StatusOK, out)
 }
 
 // scatter runs fn against every shard concurrently and returns the
@@ -733,6 +887,9 @@ func (g *Gate) writeOwnMetrics(w io.Writer) {
 	if g.cfg.Metrics != nil {
 		g.cfg.Metrics.WriteNamed(w, "vmalloc_gate_http_requests_total", "vmalloc_gate_http_request_seconds")
 	}
+	// The gate_ prefix keeps these from colliding with the shards'
+	// vmalloc_trace_* families in the merged exposition above.
+	g.cfg.Spans.WriteMetrics(w, "vmalloc_gate_trace")
 	b := config.Build()
 	name = "vmalloc_gate_build_info"
 	fmt.Fprintf(w, "# HELP %s Build identity of the running vmgate binary (constant 1).\n# TYPE %s gauge\n", name, name)
