@@ -14,14 +14,22 @@
 // of the deployment keeps serving (GET /v1/shards shows the health
 // table).
 //
-// The gate holds no state: restart it, run several behind a TCP
-// balancer — as long as the -shard set (the names, specifically) is
-// identical, every gate routes identically.
+// The shard set comes from a versioned topology file (-topology
+// topology.json: epoch, shards with name, url and optional weight) and
+// can be changed at runtime with POST /v1/topology — the gate drains
+// remapped VMs to their new owners live, with clients none the wiser
+// (GET /v1/topology shows the epoch, weights and drain progress). The
+// repeatable -shard flag remains as a deprecated alias that builds an
+// unversioned, weight-1 topology.
+//
+// The gate holds no placement state: restart it, run several behind a
+// TCP balancer — as long as the topology (the names and weights,
+// specifically) is identical, every gate routes identically.
 //
 // Usage:
 //
-//	vmgate -addr :8081 -shard a=http://10.0.0.1:8080 -shard b=http://10.0.0.2:8080
-//	vmgate -shard http://127.0.0.1:8081 -shard http://127.0.0.1:8082   # auto-named shard0, shard1
+//	vmgate -addr :8081 -topology topology.json
+//	vmgate -shard a=http://10.0.0.1:8080 -shard b=http://10.0.0.2:8080   # deprecated alias
 package main
 
 import (
@@ -64,9 +72,10 @@ func (l *stringList) Set(v string) error {
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmgate", flag.ContinueOnError)
 	var targets stringList
-	fs.Var(&targets, "shard", "vmserve shard as name=url or a bare URL (repeatable; names default to shard0, shard1, ...)")
+	fs.Var(&targets, "shard", "deprecated: vmserve shard as name=url or a bare URL (repeatable, weight 1, unversioned); prefer -topology")
 	var (
 		addr       = fs.String("addr", ":8081", "listen address")
+		topoPath   = fs.String("topology", "", "versioned topology file (JSON: epoch, shards with name/url/weight); mutually exclusive with -shard")
 		probe      = fs.Duration("probe-interval", shard.DefaultProbeInterval, "shard health-probe interval")
 		timeout    = fs.Duration("timeout", shard.DefaultProxyTimeout, "per-shard proxy request timeout")
 		logFormat  = fs.String("log-format", "text", "log output format: text or json")
@@ -85,12 +94,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if len(targets) == 0 {
-		return errors.New("no shards configured (need at least one -shard name=url)")
-	}
-	m, err := shard.ParseTargets(targets)
-	if err != nil {
-		return err
+	var m *shard.Map
+	switch {
+	case *topoPath != "" && len(targets) > 0:
+		return errors.New("-topology and -shard are mutually exclusive")
+	case *topoPath != "":
+		m, err = shard.LoadTopology(*topoPath)
+		if err != nil {
+			return err
+		}
+	case len(targets) > 0:
+		logger.Warn("-shard is deprecated: it builds an unversioned, weight-1 topology that POST /v1/topology must replace wholesale; prefer -topology topology.json")
+		m, err = shard.ParseTargets(targets)
+		if err != nil {
+			return err
+		}
+	default:
+		return errors.New("no shards configured (need -topology topology.json or at least one -shard name=url)")
 	}
 	var spans *obs.SpanStore
 	if *traceSpans > 0 {
@@ -124,11 +144,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	go func() {
 		logger.Info("routing",
 			"shards", m.Len(),
+			"epoch", m.Epoch(),
 			"addr", ln.Addr().String(),
 			"version", config.Build().Version,
 		)
 		for _, s := range m.Shards() {
-			logger.Info("shard", "name", s.Name, "addr", s.Addr)
+			logger.Info("shard", "name", s.Name, "addr", s.Addr, "weight", s.Weight)
 		}
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err

@@ -15,6 +15,14 @@
 // would, and the report's state digest is the combined per-shard
 // digest a gate over the same shards serves.
 //
+// With -topology-source, the shard set is not listed by hand:
+// vmload bootstraps the routing map from the gate's GET /v1/topology
+// and drives the shards directly, stamping every request with the
+// topology epoch. If the gate resizes mid-run, the first shard that
+// has adopted the newer topology answers 409 stale_epoch; vmload then
+// re-fetches the topology, swaps its map, and retries the op against
+// the new owner — re-routed, not counted as a failed operation.
+//
 // Instead of a synthetic profile, -trace replays a real request log: a
 // CSV trace (id,type,cpu,mem,start,end — the internal/trace format) is
 // mapped onto the same minute-step timeline, one admission per VM at
@@ -26,6 +34,7 @@
 //	vmload -addr http://127.0.0.1:8080 -minute 20ms -period 1440   # a day in ~29s
 //	vmload -addr a=http://10.0.0.1:8080 -addr b=http://10.0.0.2:8080 -vms 2000
 //	vmload -addr http://127.0.0.1:8080 -trace requests.csv -minute 0
+//	vmload -topology-source http://gate:8080 -vms 2000   # shard set from the gate
 package main
 
 import (
@@ -73,6 +82,7 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("vmload", flag.ContinueOnError)
 	var addrs stringList
 	fs.Var(&addrs, "addr", "target base URL, as url or name=url (default http://127.0.0.1:8080; repeat to shard-route across several vmserves)")
+	topoSource := fs.String("topology-source", "", "vmgate base URL to bootstrap the shard set from GET /v1/topology; vmload drives the shards directly and re-routes on stale_epoch (mutually exclusive with -addr)")
 	var (
 		profile   = fs.String("profile", "diurnal", "arrival profile: poisson or diurnal")
 		traceFile = fs.String("trace", "", "replay this CSV trace (id,type,cpu,mem,start,end) instead of generating a synthetic schedule")
@@ -154,7 +164,10 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		}
 	}
 
-	if len(addrs) == 0 {
+	if *topoSource != "" && len(addrs) > 0 {
+		return fmt.Errorf("-topology-source and -addr are mutually exclusive: the gate's topology decides the targets")
+	}
+	if len(addrs) == 0 && *topoSource == "" {
 		addrs = stringList{"http://127.0.0.1:8080"}
 	}
 	configure := func(c *loadgen.Client) {
@@ -162,13 +175,23 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		c.Retries = *retries
 		c.Backoff = *backoff
 	}
-	m, err := shard.ParseTargets(addrs)
-	if err != nil {
-		return err
-	}
 	var client loadgen.API
 	var ready func(context.Context, time.Duration) error
-	if m.Len() == 1 {
+	var m *shard.Map
+	if *topoSource != "" {
+		// Bootstrap the shard set from the gate and keep it live: a
+		// MultiClient with a topology source stamps epochs and swaps
+		// its map when a shard reports the routing stale.
+		m, err = loadgen.FetchTopology(ctx, *topoSource)
+		if err != nil {
+			return err
+		}
+		mc := loadgen.NewMultiClient(m, configure)
+		mc.SetTopologySource(*topoSource)
+		client, ready = mc, mc.WaitReady
+	} else if m, err = shard.ParseTargets(addrs); err != nil {
+		return err
+	} else if m.Len() == 1 {
 		// A single target needs no routing map — drive it directly,
 		// whether it is a vmserve or a vmgate.
 		c := loadgen.NewClient(m.Shards()[0].Addr)
@@ -202,7 +225,9 @@ func run(ctx context.Context, args []string, w, errW io.Writer) error {
 		"steps", len(sched.Steps),
 		"horizonMinutes", sched.Horizon,
 		"targets", m.Len(),
+		"epoch", m.Epoch(),
 		"addr", addrs.String(),
+		"topologySource", *topoSource,
 	)
 	rep, err := runner.Run(ctx)
 	if err != nil {

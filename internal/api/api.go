@@ -169,12 +169,17 @@ type ShardHealth struct {
 	Addr string `json:"addr"`
 	// Healthy reports the prober's current verdict.
 	Healthy bool `json:"healthy"`
+	// Weight is the shard's rendezvous weight (1 when unweighted).
+	Weight float64 `json:"weight,omitempty"`
 	// Error is the last probe or proxy failure while unhealthy.
 	Error string `json:"error,omitempty"`
 }
 
 // ShardsResponse is the body of a vmgate's GET /v1/shards.
 type ShardsResponse struct {
+	// Epoch is the topology epoch the health table was taken under (0
+	// for unversioned -shard deployments).
+	Epoch  int64         `json:"epoch,omitempty"`
 	Count  int           `json:"count"`
 	Shards []ShardHealth `json:"shards"`
 }
@@ -208,8 +213,15 @@ type GateStateResponse struct {
 	TotalEnergy    float64 `json:"totalEnergyWattMinutes"`
 	// Digest is the combined per-shard digest, also served as the
 	// X-Vmalloc-State-Digest header.
-	Digest string       `json:"digest"`
-	Shards []ShardState `json:"shards"`
+	Digest string `json:"digest"`
+	// PlacementDigest fingerprints only VM residency — (id, owning
+	// shard, start, end, demand), independent of which path placed each
+	// VM there (see shard.PlacementDigest). Two deployments that agree
+	// here host the same VMs on the same schedule even if their
+	// per-shard counters (and therefore Digest) differ, which is what
+	// makes a resized deployment comparable to a never-resized control.
+	PlacementDigest string       `json:"placementDigest,omitempty"`
+	Shards          []ShardState `json:"shards"`
 }
 
 // ErrBodyTooLarge is returned by DecodeAdmitRequests for bodies over the

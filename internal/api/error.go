@@ -34,6 +34,16 @@ const (
 	// consolidation pass; at most one runs at a time. Retry after the
 	// current pass finishes.
 	CodeConsolidationBusy = "consolidation_busy"
+	// CodeStaleEpoch: the request carried an X-Vmalloc-Epoch older than
+	// the highest epoch the serving side has seen — the sender is routing
+	// on a superseded topology. Recover by re-fetching GET /v1/topology
+	// and re-routing; the request was not executed.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeRebalancing: POST /v1/topology arrived while the gate is still
+	// draining the previous topology change; one rebalance runs at a
+	// time. Poll GET /v1/topology until rebalance.active is false, then
+	// retry.
+	CodeRebalancing = "rebalancing"
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal = "internal"
 )

@@ -44,6 +44,7 @@ const (
 	binOpRelease = 2
 	binOpTick    = 3
 	binOpMigrate = 4
+	binOpAdopt   = 5
 )
 
 func binOpCode(op string) (byte, error) {
@@ -56,6 +57,8 @@ func binOpCode(op string) (byte, error) {
 		return binOpTick, nil
 	case opMigrate:
 		return binOpMigrate, nil
+	case opAdopt:
+		return binOpAdopt, nil
 	}
 	return 0, fmt.Errorf("cluster: unknown journal op %q", op)
 }
@@ -70,6 +73,8 @@ func binOpName(code byte) (string, error) {
 		return opTick, nil
 	case binOpMigrate:
 		return opMigrate, nil
+	case binOpAdopt:
+		return opAdopt, nil
 	}
 	return "", fmt.Errorf("cluster: unknown binary op code %d", code)
 }
@@ -122,6 +127,19 @@ func encodeBinaryRecord(buf []byte, r record) ([]byte, error) {
 		buf = appendBinString(buf, r.Policy)
 		buf = appendBinFloat(buf, r.Saved)
 		buf = appendBinFloat(buf, r.Cost)
+	case binOpAdopt:
+		if r.VM == nil {
+			return buf, fmt.Errorf("cluster: adopt record without vm")
+		}
+		buf = binary.AppendVarint(buf, int64(r.Server))
+		buf = binary.AppendVarint(buf, int64(r.Start))
+		buf = binary.AppendVarint(buf, int64(r.Handoff))
+		buf = binary.AppendVarint(buf, int64(r.VM.ID))
+		buf = appendBinString(buf, r.VM.Type)
+		buf = appendBinFloat(buf, r.VM.Demand.CPU)
+		buf = appendBinFloat(buf, r.VM.Demand.Mem)
+		buf = binary.AppendVarint(buf, int64(r.VM.Start))
+		buf = binary.AppendVarint(buf, int64(r.VM.End))
 	}
 	return buf, nil
 }
@@ -163,6 +181,18 @@ func decodeBinaryRecord(payload []byte) (record, error) {
 		r.Policy = d.string()
 		r.Saved = d.float()
 		r.Cost = d.float()
+	case binOpAdopt:
+		r.Server = int(d.varint())
+		r.Start = int(d.varint())
+		r.Handoff = int(d.varint())
+		vm := &model.VM{}
+		vm.ID = int(d.varint())
+		vm.Type = d.string()
+		vm.Demand.CPU = d.float()
+		vm.Demand.Mem = d.float()
+		vm.Start = int(d.varint())
+		vm.End = int(d.varint())
+		r.VM = vm
 	}
 	if d.err != nil {
 		return record{}, d.err

@@ -117,6 +117,20 @@ func (e *MigrationInfeasibleError) Error() string {
 	return fmt.Sprintf("cluster: cannot migrate vm %d to server %d: %s", e.VM, e.Server, e.Reason)
 }
 
+// AdoptInfeasibleError reports an adoption (POST /v1/adoptions) the
+// current fleet state cannot satisfy: no server can host the VM's
+// remaining interval, or the interval is entirely past. The fleet is
+// untouched. A rebalancer treats it as "skip this move" — most often
+// the VM simply departed between planning and draining.
+type AdoptInfeasibleError struct {
+	VM     int
+	Reason string
+}
+
+func (e *AdoptInfeasibleError) Error() string {
+	return fmt.Sprintf("cluster: cannot adopt vm %d: %s", e.VM, e.Reason)
+}
+
 // Config configures a Cluster.
 type Config struct {
 	// Servers is the fleet; required, validated on Open. A journal
@@ -445,6 +459,27 @@ func (c *Cluster) apply(r record) error {
 		}
 		p, _ := c.fleet.Resident(r.ID)
 		c.recordMigrationLocked(r.Seq, p, r.From, r.T, handoff, r.Policy, r.Saved, r.Cost)
+	case opAdopt:
+		if r.VM == nil {
+			return fmt.Errorf("cluster: journal seq %d: adopt without vm", r.Seq)
+		}
+		if r.VM.ID < 1 {
+			return fmt.Errorf("cluster: journal seq %d: adopt with vm id %d", r.Seq, r.VM.ID)
+		}
+		if err := r.VM.Validate(); err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
+		}
+		c.fleet.AdvanceTo(r.T)
+		handoff, err := c.fleet.Adopt(r.Server, *r.VM, r.Start)
+		if err != nil {
+			return fmt.Errorf("cluster: journal seq %d: %w", r.Seq, err)
+		}
+		if handoff != r.Handoff {
+			return fmt.Errorf("cluster: journal seq %d: replayed handoff %d, recorded %d", r.Seq, handoff, r.Handoff)
+		}
+		if r.VM.ID >= c.nextID {
+			c.nextID = r.VM.ID + 1
+		}
 	case opTick:
 		c.fleet.AdvanceTo(r.T)
 	default:
@@ -1032,6 +1067,150 @@ func (c *Cluster) Migrate(ctx context.Context, vmID, serverID int) (api.Migratio
 	return rec, jerr
 }
 
+// Adopt places a VM that is already running on another shard onto this
+// cluster, preserving the (start, end) identity its original owner
+// granted (actualStart is the start minute from the original
+// admission; see online.Fleet.Adopt). It is the receiving half of a
+// cross-shard drain, behind POST /v1/adoptions: the gate's topology
+// rebalancer adopts a remapped VM here, then releases it on the old
+// owner.
+//
+// The target server is chosen deterministically: the first server
+// index that can host the remainder, preferring servers that are
+// already awake (an adoption should not wake hardware a running server
+// could absorb). Re-sending an identical adoption is idempotent — the
+// existing placement is re-acknowledged, which is what makes the
+// drain's HTTP retries safe. Infeasible adoptions return an
+// *AdoptInfeasibleError and leave the fleet untouched; the common
+// cause is the VM having departed between drain planning and
+// execution.
+//
+// Adoptions are journaled (op "adopt") and replay with a handoff
+// cross-check like migrations. They are not offered to the shadow
+// policy arena: challengers score admission placement choices, and an
+// adoption's placement was made by another shard's scheduler.
+func (c *Cluster) Adopt(ctx context.Context, vm model.VM, actualStart int) (online.PlacedVM, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return online.PlacedVM{}, 0, ErrClosed
+	}
+	if c.jfail != nil {
+		return online.PlacedVM{}, 0, c.jfail
+	}
+	tc := obs.TraceContextFrom(ctx)
+	opT0 := time.Now()
+	d := obs.Decision{
+		RequestID: obs.RequestID(ctx),
+		TraceID:   tc.TraceID,
+		Op:        obs.OpAdopt,
+		VM:        vm.ID,
+		Clock:     c.fleet.Now(),
+		Stages:    obs.StageTimings{Decode: obs.DecodeSpan(ctx)},
+	}
+	fail := func(err error) (online.PlacedVM, int, error) {
+		if c.rec != nil {
+			d.Reason = err.Error()
+			c.rec.Record(d)
+		}
+		return online.PlacedVM{}, 0, err
+	}
+	if vm.ID < 1 {
+		return fail(&AdoptInfeasibleError{VM: vm.ID, Reason: "vm id must be ≥ 1"})
+	}
+	if p, ok := c.fleet.Resident(vm.ID); ok {
+		if p.VM == vm && p.Start == actualStart {
+			// The drain retried an adoption that already took effect:
+			// re-acknowledge the existing placement.
+			d.Server = c.fleet.View().Server(p.Server).ID
+			d.Start, d.End = p.Start, p.End()
+			if c.rec != nil {
+				c.rec.Record(d)
+			}
+			return p, max(p.Start, c.fleet.Now()+1), nil
+		}
+		return fail(&AdoptInfeasibleError{VM: vm.ID, Reason: "a different vm with this id is already resident"})
+	}
+	// Deterministic target choice: first awake server that fits, then
+	// first sleeping one.
+	commitT0 := time.Now()
+	to, handoff := -1, 0
+	var lastErr error
+	for pass := 0; pass < 2 && to < 0; pass++ {
+		for i := 0; i < c.fleet.View().NumServers(); i++ {
+			sleeping := c.fleet.View().StateOf(i) == online.PowerSaving
+			if (pass == 0) == sleeping {
+				continue
+			}
+			h, err := c.fleet.Adopt(i, vm, actualStart)
+			if err == nil {
+				to, handoff = i, h
+				break
+			}
+			lastErr = err
+			var ae *online.AdoptError
+			if !errors.As(err, &ae) {
+				return fail(err)
+			}
+		}
+	}
+	d.Stages.Commit = time.Since(commitT0)
+	if to < 0 {
+		reason := "no server can host the remaining interval"
+		var ae *online.AdoptError
+		if errors.As(lastErr, &ae) && ae.Reason == "no remaining minutes to host" {
+			reason = ae.Reason
+		}
+		return fail(&AdoptInfeasibleError{VM: vm.ID, Reason: reason})
+	}
+	p, _ := c.fleet.Resident(vm.ID)
+	c.met.adoptions++
+	c.sinceSnapshot++
+	if vm.ID >= c.nextID {
+		c.nextID = vm.ID + 1
+	}
+	var jerr error
+	var journalT0, syncT0 time.Time
+	if c.jr != nil {
+		journalT0 = time.Now()
+		jerr = c.jr.append(record{
+			Op:      opAdopt,
+			T:       c.fleet.Now(),
+			VM:      &vm,
+			Server:  to,
+			Start:   actualStart,
+			Handoff: handoff,
+		})
+		d.Stages.Journal = time.Since(journalT0)
+		if jerr == nil {
+			syncT0 = time.Now()
+			jerr = c.jr.commit()
+			d.Stages.Sync = time.Since(syncT0)
+			c.met.fsyncSeconds.Observe(d.Stages.Sync.Seconds())
+		}
+		if jerr != nil {
+			jerr = c.journalFailedLocked(jerr)
+		}
+	}
+	d.Server = c.fleet.View().Server(to).ID
+	d.Start, d.End = p.Start, p.End()
+	if c.rec != nil {
+		c.rec.Record(d)
+	}
+	if c.cfg.Spans != nil && tc.Valid() {
+		ad := obs.TraceContext{TraceID: tc.TraceID, SpanID: obs.NewSpanID()}
+		c.emitStageSpans(ad, &d, time.Time{}, time.Time{}, commitT0, journalT0, syncT0)
+		c.cfg.Spans.Record(obs.Span{
+			TraceID: tc.TraceID, SpanID: ad.SpanID, Parent: tc.SpanID,
+			Name: obs.SpanAdopt, Op: obs.OpAdopt, VM: vm.ID,
+			Start: opT0, Duration: time.Since(opT0),
+		})
+	}
+	c.maybeSnapshotLocked()
+	c.sampleEnergyLocked()
+	return p, handoff, jerr
+}
+
 // journalMigrationLocked finishes one executed fleet migration: it
 // journals the migrate record (append + fsync), adds it to the retained
 // history, bumps the metrics and records the flight decision d (Server,
@@ -1126,6 +1305,14 @@ func (c *Cluster) recordMigrationLocked(seq int64, p online.PlacedVM, fromIdx, t
 	}
 	c.migSaved += saved
 	return rec
+}
+
+// Adopted returns the number of VMs adopted from other shards over the
+// cluster's lifetime (journaled, so it replays).
+func (c *Cluster) Adopted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fleet.Adopted()
 }
 
 // Migrations returns the cluster-lifetime migration count and a copy of

@@ -60,6 +60,7 @@ const (
 	opRelease = "release"
 	opTick    = "tick"
 	opMigrate = "migrate"
+	opAdopt   = "adopt"
 )
 
 // record is one journaled mutation. T is the fleet clock the mutation was
@@ -72,13 +73,14 @@ type record struct {
 	Op     string    `json:"op"`
 	T      int       `json:"t"`
 	VM     *model.VM `json:"vm,omitempty"`
-	Server int       `json:"server,omitempty"` // admit/migrate: target server index
-	Start  int       `json:"start,omitempty"`
-	ID     int       `json:"id,omitempty"` // release/migrate: the VM
-	// Migrate-only fields. From is the source server index and Handoff the
-	// first minute the target hosts the VM (both cross-checked on replay);
-	// Policy, Saved and Cost carry the planner's outcome so the migration
-	// history — not just the fleet state — replays byte-identically.
+	Server int       `json:"server,omitempty"` // admit/migrate/adopt: target server index
+	Start  int       `json:"start,omitempty"`  // admit/adopt: actual start minute
+	ID     int       `json:"id,omitempty"`     // release/migrate: the VM
+	// Migrate fields. From is the source server index and Handoff the
+	// first minute the target hosts the VM (both cross-checked on replay;
+	// adopt records carry Handoff too); Policy, Saved and Cost carry the
+	// planner's outcome so the migration history — not just the fleet
+	// state — replays byte-identically.
 	From    int     `json:"from,omitempty"`
 	Handoff int     `json:"handoff,omitempty"`
 	Policy  string  `json:"policy,omitempty"`

@@ -21,6 +21,7 @@ type metrics struct {
 	rejections     uint64
 	releases       uint64
 	migrations     uint64
+	adoptions      uint64
 	consolidations uint64
 	migrationSaved float64 // summed planner net-saving estimates, watt-minutes
 	batches        uint64
@@ -82,6 +83,7 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	counter("rejections_total", "Admission requests rejected (no capacity or invalid).", c.met.rejections)
 	counter("releases_total", "VMs released before their scheduled end.", c.met.releases)
 	counter("migrations_total", "Live migrations executed (consolidation passes and direct requests).", c.met.migrations)
+	counter("adoptions_total", "VMs adopted from another shard during a topology rebalance.", c.met.adoptions)
 	counter("consolidations_total", "Consolidation passes run.", c.met.consolidations)
 	full := metricsPrefix + "_migration_energy_saved_watt_minutes"
 	fmt.Fprintf(&buf, "# HELP %s Net energy saved by executed migrations (planner's Eq. 17 estimate), in watt-minutes.\n# TYPE %s counter\n%s %s\n",

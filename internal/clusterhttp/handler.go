@@ -23,6 +23,11 @@
 //	GET    /v1/migrations      migration history (api.MigrationsResponse,
 //	                           oldest first, bounded), filterable by ?vm=
 //	                           and trimmed to the newest ?limit=
+//	POST   /v1/adoptions       api.AdoptRequest {"vm", "start"}: place a
+//	                           VM already running on another shard here,
+//	                           preserving the identity its original owner
+//	                           granted (the gate's topology rebalancer is
+//	                           the caller); responds with api.AdoptResponse
 //	POST   /v1/consolidate     run one consolidation pass
 //	                           (api.ConsolidateRequest, empty body valid);
 //	                           responds with the pass's
@@ -65,8 +70,21 @@
 // flight-recorder decisions the request caused, and echoed inside every
 // api.ErrorEnvelope the handler writes. Non-2xx responses always carry
 // an envelope with a machine-readable code: bad_request, not_resident,
-// migration_infeasible, consolidation_busy, journal_broken, overloaded
-// or internal.
+// migration_infeasible, consolidation_busy, journal_broken, overloaded,
+// stale_epoch or internal.
+//
+// The handler also fences topology epochs passively: a request carrying
+// an X-Vmalloc-Epoch header ratchets the shard's highest-seen epoch up,
+// and one carrying an epoch below that high-water mark is refused with
+// 409 stale_epoch before it reaches the cluster — a gate or client
+// still routing on a superseded shard set learns so from the first
+// shard the newer topology has touched, instead of silently splitting
+// residency across two views. Headerless requests pass unfenced. The
+// fence is in-memory only (not journaled): after a shard restart the
+// first stamped request re-establishes it, and the worst case of the
+// gap is a stale writer succeeding where it would have been told to
+// refresh — safety never depends on the fence, only staleness-detection
+// latency does.
 package clusterhttp
 
 import (
@@ -77,6 +95,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"vmalloc/internal/api"
@@ -244,6 +263,32 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, api.MigrationsResponse{Count: count, Migrations: hist})
 	})
+	mux.HandleFunc("POST /v1/adoptions", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		req, err := api.DecodeAdoptRequest(r.Body, limit)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, api.ErrBodyTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, r, status, api.CodeBadRequest, err)
+			return
+		}
+		ctx := obs.WithDecodeSpan(r.Context(), time.Since(t0))
+		p, handoff, err := c.Adopt(ctx, req.VM, req.Start)
+		if err != nil {
+			status, code := classify(err)
+			writeError(w, r, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.AdoptResponse{
+			VM:      p.VM.ID,
+			Server:  p.Server,
+			Start:   p.Start,
+			End:     p.End(),
+			Handoff: handoff,
+		})
+	})
 	mux.HandleFunc("POST /v1/consolidate", func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		req, err := api.DecodeConsolidateRequest(r.Body, limit)
@@ -354,7 +399,38 @@ func New(c *cluster.Cluster, cfg Config) http.Handler {
 		obs.WriteRuntimeMetrics(w)
 		obs.WriteBuildInfo(w)
 	})
-	return obs.Middleware(mux, cfg.Logger, cfg.Metrics, cfg.Spans)
+	return obs.Middleware(epochFence(mux), cfg.Logger, cfg.Metrics, cfg.Spans)
+}
+
+// epochFence is the passive stale-topology guard: requests carrying an
+// X-Vmalloc-Epoch header ratchet the highest epoch this handler has
+// seen, and a request below the high-water mark is refused with 409
+// stale_epoch. The compare-and-swap loop keeps the ratchet monotone
+// under concurrent stamped requests.
+func epochFence(next http.Handler) http.Handler {
+	var fence atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(api.EpochHeader); v != "" {
+			e, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || e < 0 {
+				writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
+					fmt.Errorf("bad %s %q", api.EpochHeader, v))
+				return
+			}
+			for {
+				cur := fence.Load()
+				if e < cur {
+					writeError(w, r, http.StatusConflict, api.CodeStaleEpoch,
+						fmt.Errorf("request epoch %d is stale: this shard has seen epoch %d", e, cur))
+					return
+				}
+				if e == cur || fence.CompareAndSwap(cur, e) {
+					break
+				}
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // classify maps the cluster's typed errors onto (HTTP status, envelope
@@ -369,6 +445,11 @@ func classify(err error) (int, string) {
 	case errors.As(err, new(*cluster.NotResidentError)):
 		return http.StatusNotFound, api.CodeNotResident
 	case errors.As(err, new(*cluster.MigrationInfeasibleError)):
+		return http.StatusConflict, api.CodeMigrationInfeasible
+	// Adoptions share migration_infeasible: both are identity-preserving
+	// moves the fleet's current state cannot satisfy, and the gate's
+	// rebalancer treats the code as "skip this move".
+	case errors.As(err, new(*cluster.AdoptInfeasibleError)):
 		return http.StatusConflict, api.CodeMigrationInfeasible
 	case errors.Is(err, cluster.ErrConsolidationBusy):
 		return http.StatusConflict, api.CodeConsolidationBusy
@@ -397,10 +478,10 @@ func parseDecisionFilter(r *http.Request) (obs.Filter, error) {
 		*p.dst = n
 	}
 	switch op := q.Get("op"); op {
-	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease, obs.OpMigrate, obs.OpShadow:
+	case "", obs.OpAdmit, obs.OpReject, obs.OpRelease, obs.OpMigrate, obs.OpShadow, obs.OpAdopt:
 		f.Op = op
 	default:
-		return f, fmt.Errorf("bad op %q (want admit, reject, release, migrate or shadow)", op)
+		return f, fmt.Errorf("bad op %q (want admit, reject, release, migrate, adopt or shadow)", op)
 	}
 	return f, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,13 @@ type Client struct {
 	// the runner's worker pool shares one client.
 	retried atomic.Int64
 
+	// epoch, when > 0, is stamped on every request as the topology epoch
+	// header; shards refuse stamps below their high-water mark with 409
+	// stale_epoch, which is how a client routing on a superseded map
+	// finds out. Atomic: a MultiClient refresh updates it while the
+	// worker pool keeps sending.
+	epoch atomic.Int64
+
 	idMu   sync.Mutex
 	issued []string
 }
@@ -99,6 +107,20 @@ func (c *Client) backoff() time.Duration {
 
 // Retried returns how many retry attempts the client has issued.
 func (c *Client) Retried() int { return int(c.retried.Load()) }
+
+// SetEpoch sets the topology epoch stamped on subsequent requests
+// (0 disables stamping — the unversioned, single-target mode).
+func (c *Client) SetEpoch(epoch int64) { c.epoch.Store(epoch) }
+
+// Epoch returns the topology epoch currently stamped on requests.
+func (c *Client) Epoch() int64 { return c.epoch.Load() }
+
+// stampEpoch adds the topology epoch header when one is set.
+func (c *Client) stampEpoch(req *http.Request) {
+	if e := c.epoch.Load(); e > 0 {
+		req.Header.Set(api.EpochHeader, strconv.FormatInt(e, 10))
+	}
+}
 
 // newRequestID mints the id for one logical call (shared by its
 // retries) and remembers it when RecordRequestIDs is set.
@@ -183,6 +205,7 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, root o
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.stampEpoch(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -360,6 +383,7 @@ func (c *Client) rawState(ctx context.Context) ([]byte, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	c.stampEpoch(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, "", err

@@ -2,12 +2,17 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmalloc/internal/api"
@@ -22,7 +27,37 @@ import (
 // shard, releases routed by ID, clock advances fanned out, and state
 // aggregated with the combined digest (shard.CombineDigests), making
 // its reports digest-comparable with a gate's /v1/state.
+//
+// When a topology source is set (SetTopologySource), the routing map is
+// live: every request carries the map's epoch, a shard that has already
+// seen a newer topology answers 409 stale_epoch, and the MultiClient
+// reacts by re-fetching GET /v1/topology from the source, swapping in
+// the newer map, and retrying the op once against the new owner — the
+// op is re-routed, not counted as failed.
 type MultiClient struct {
+	// mu guards m and clients; both are replaced wholesale on a
+	// topology swap, so a snapshot taken under RLock stays internally
+	// consistent for the rest of the call even if a swap lands mid-op.
+	mu        sync.RWMutex
+	m         *shard.Map
+	clients   map[string]*Client
+	configure func(*Client)
+
+	// source is the base URL serving GET /v1/topology (the gate);
+	// empty means the topology is fixed for the process lifetime.
+	source string
+
+	// refreshed counts topology swaps; rerouted counts ops retried
+	// after a stale_epoch refusal instead of being reported failed.
+	refreshed atomic.Int64
+	rerouted  atomic.Int64
+}
+
+// view is one consistent routing snapshot: the map and the client set
+// built for exactly its shards. Methods take one view per call so a
+// concurrent topology swap cannot misalign scatter results with shard
+// names read later.
+type view struct {
 	m       *shard.Map
 	clients map[string]*Client
 }
@@ -31,35 +66,192 @@ type MultiClient struct {
 // configure (optional) is applied to each per-shard Client before use —
 // the hook for timeouts, retry policy, or a shared http.Client.
 func NewMultiClient(m *shard.Map, configure func(*Client)) *MultiClient {
-	mc := &MultiClient{m: m, clients: make(map[string]*Client, m.Len())}
+	mc := &MultiClient{m: m, clients: make(map[string]*Client, m.Len()), configure: configure}
 	for _, s := range m.Shards() {
-		c := NewClient(s.Addr)
-		if configure != nil {
-			configure(c)
-		}
-		mc.clients[s.Name] = c
+		mc.clients[s.Name] = mc.newShardClient(s)
 	}
 	return mc
 }
 
+// newShardClient builds and configures a client for one shard. Epoch
+// stamping is applied by the caller once the whole client set exists.
+func (mc *MultiClient) newShardClient(s shard.Shard) *Client {
+	c := NewClient(s.Addr)
+	if mc.configure != nil {
+		mc.configure(c)
+	}
+	return c
+}
+
 // Map returns the routing map, so harnesses can compute expected
 // placements.
-func (mc *MultiClient) Map() *shard.Map { return mc.m }
+func (mc *MultiClient) Map() *shard.Map {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return mc.m
+}
 
 // ShardClient returns the per-shard client for direct inspection.
-func (mc *MultiClient) ShardClient(name string) *Client { return mc.clients[name] }
+func (mc *MultiClient) ShardClient(name string) *Client {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return mc.clients[name]
+}
+
+// view snapshots the routing state for one call.
+func (mc *MultiClient) view() view {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return view{m: mc.m, clients: mc.clients}
+}
+
+// SetTopologySource enables live routing: url is the base address of a
+// vmgate whose GET /v1/topology is authoritative. From then on requests
+// are stamped with the map's epoch and stale_epoch refusals trigger a
+// refresh-and-retry instead of a failure. Call before starting the
+// workload.
+func (mc *MultiClient) SetTopologySource(url string) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.source = strings.TrimRight(url, "/")
+	if e := mc.m.Epoch(); e > 0 {
+		for _, c := range mc.clients {
+			c.SetEpoch(e)
+		}
+	}
+}
+
+// sourceURL reads the topology source under the lock.
+func (mc *MultiClient) sourceURL() string {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return mc.source
+}
+
+// Refreshed returns how many topology swaps the client has applied;
+// Rerouted how many ops were retried after a stale_epoch refusal.
+func (mc *MultiClient) Refreshed() int { return int(mc.refreshed.Load()) }
+func (mc *MultiClient) Rerouted() int  { return int(mc.rerouted.Load()) }
+
+// FetchTopology fetches a gate's current routing map from
+// GET <base>/v1/topology — the bootstrap for driving shards directly
+// without listing them by hand (vmload -topology-source).
+func FetchTopology(ctx context.Context, base string) (*shard.Map, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/topology", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch topology: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch topology: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("loadgen: fetch topology: %w", api.DecodeError(resp.StatusCode, data))
+	}
+	var tr api.TopologyResponse
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("loadgen: fetch topology: %w", err)
+	}
+	m, err := shard.FromTopology(api.Topology{Epoch: tr.Epoch, Shards: tr.Shards})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch topology: %w", err)
+	}
+	return m, nil
+}
+
+// RefreshTopology fetches the source's current topology and, if its
+// epoch is newer than the routing map's, swaps map and clients —
+// reusing the per-shard client (and its retry counters, issued-ID set,
+// connection pool) for every shard whose name and address survive the
+// resize. Returns whether the map changed. A no-op without a source.
+func (mc *MultiClient) RefreshTopology(ctx context.Context) (bool, error) {
+	mc.mu.RLock()
+	source := mc.source
+	cur := mc.m.Epoch()
+	mc.mu.RUnlock()
+	if source == "" {
+		return false, nil
+	}
+	next, err := FetchTopology(ctx, source)
+	if err != nil {
+		return false, fmt.Errorf("loadgen: topology refresh: %w", err)
+	}
+	if next.Epoch() <= cur {
+		return false, nil
+	}
+
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if next.Epoch() <= mc.m.Epoch() { // lost a refresh race to a newer swap
+		return false, nil
+	}
+	clients := make(map[string]*Client, next.Len())
+	for _, s := range next.Shards() {
+		if c, ok := mc.clients[s.Name]; ok && c.Base == strings.TrimRight(s.Addr, "/") {
+			clients[s.Name] = c
+		} else {
+			clients[s.Name] = mc.newShardClient(s)
+		}
+	}
+	for _, c := range clients {
+		c.SetEpoch(next.Epoch())
+	}
+	mc.m, mc.clients = next, clients
+	mc.refreshed.Add(1)
+	return true, nil
+}
+
+// staleEpoch reports whether err is (or wraps) a shard's 409
+// stale_epoch refusal.
+func staleEpoch(err error) bool {
+	var apiErr *api.Error
+	return errors.As(err, &apiErr) && apiErr.Envelope.Code == api.CodeStaleEpoch
+}
+
+// reroute retries op once after refreshing the topology, if err was a
+// stale_epoch refusal and a source is configured. The shard fenced the
+// request because the routing map is superseded — the op did not
+// execute, so the retry against the new owner is safe and the original
+// attempt is not an op failure.
+func reroute[T any](mc *MultiClient, ctx context.Context, err error, op func() (T, error)) (T, error) {
+	var zero T
+	if !staleEpoch(err) || mc.sourceURL() == "" {
+		return zero, err
+	}
+	if _, rerr := mc.RefreshTopology(ctx); rerr != nil {
+		return zero, fmt.Errorf("%w (topology refresh also failed: %v)", err, rerr)
+	}
+	mc.rerouted.Add(1)
+	return op()
+}
 
 // Admit splits the batch by owning shard, issues the sub-batches
 // concurrently, and reassembles the outcomes in request order. Every
 // request must carry an explicit VM ID (the routing key); the
 // generated schedules always do.
 func (mc *MultiClient) Admit(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error) {
+	out, err := mc.admitOnce(ctx, reqs)
+	if err != nil {
+		return reroute(mc, ctx, err, func() ([]api.AdmitResponse, error) {
+			return mc.admitOnce(ctx, reqs)
+		})
+	}
+	return out, nil
+}
+
+func (mc *MultiClient) admitOnce(ctx context.Context, reqs []api.AdmitRequest) ([]api.AdmitResponse, error) {
+	v := mc.view()
 	groups := make(map[string][]int)
 	for i, req := range reqs {
 		if req.ID <= 0 {
 			return nil, fmt.Errorf("loadgen: admission %d has no vm id (multi-target routing needs one)", i)
 		}
-		name := mc.m.Assign(req.ID).Name
+		name := v.m.Assign(req.ID).Name
 		groups[name] = append(groups[name], i)
 	}
 	out := make([]api.AdmitResponse, len(reqs))
@@ -74,7 +266,7 @@ func (mc *MultiClient) Admit(ctx context.Context, reqs []api.AdmitRequest) ([]ap
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			adms, err := mc.clients[name].Admit(ctx, sub)
+			adms, err := v.clients[name].Admit(ctx, sub)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -100,25 +292,44 @@ func (mc *MultiClient) Admit(ctx context.Context, reqs []api.AdmitRequest) ([]ap
 
 // Release routes the release to the shard owning the ID.
 func (mc *MultiClient) Release(ctx context.Context, id int) (bool, error) {
-	return mc.clients[mc.m.Assign(id).Name].Release(ctx, id)
+	v := mc.view()
+	ok, err := v.clients[v.m.Assign(id).Name].Release(ctx, id)
+	if err != nil {
+		return reroute(mc, ctx, err, func() (bool, error) {
+			v := mc.view()
+			return v.clients[v.m.Assign(id).Name].Release(ctx, id)
+		})
+	}
+	return ok, nil
 }
 
 // AdvanceClock fans the advance out to every shard and returns the
 // slowest resulting clock. Shard clocks are monotonic, so replaying an
 // advance is a no-op and a partially failed fan-out is safe to retry.
 func (mc *MultiClient) AdvanceClock(ctx context.Context, now int) (int, error) {
+	n, err := mc.advanceClockOnce(ctx, now)
+	if err != nil {
+		return reroute(mc, ctx, err, func() (int, error) {
+			return mc.advanceClockOnce(ctx, now)
+		})
+	}
+	return n, nil
+}
+
+func (mc *MultiClient) advanceClockOnce(ctx context.Context, now int) (int, error) {
 	type result struct {
 		now int
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		n, err := c.AdvanceClock(ctx, now)
 		return result{now: n, err: err}
 	})
 	minNow := 0
 	for i, res := range results {
 		if res.err != nil {
-			return 0, fmt.Errorf("loadgen: clock on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+			return 0, fmt.Errorf("loadgen: clock on shard %s: %w", v.m.Shards()[i].Name, res.err)
 		}
 		if i == 0 || res.now < minNow {
 			minNow = res.now
@@ -131,8 +342,19 @@ func (mc *MultiClient) AdvanceClock(ctx context.Context, now int) (int, error) {
 // and stamps the owning shard on the returned record, mirroring what a
 // vmgate would serve.
 func (mc *MultiClient) MigrateVM(ctx context.Context, vm, server int) (api.MigrationRecord, error) {
-	name := mc.m.Assign(vm).Name
-	rec, err := mc.clients[name].MigrateVM(ctx, vm, server)
+	rec, err := mc.migrateOnce(ctx, vm, server)
+	if err != nil {
+		return reroute(mc, ctx, err, func() (api.MigrationRecord, error) {
+			return mc.migrateOnce(ctx, vm, server)
+		})
+	}
+	return rec, nil
+}
+
+func (mc *MultiClient) migrateOnce(ctx context.Context, vm, server int) (api.MigrationRecord, error) {
+	v := mc.view()
+	name := v.m.Assign(vm).Name
+	rec, err := v.clients[name].MigrateVM(ctx, vm, server)
 	if err != nil {
 		return api.MigrationRecord{}, err
 	}
@@ -149,13 +371,14 @@ func (mc *MultiClient) Consolidate(ctx context.Context, req api.ConsolidateReque
 		cr  *api.ConsolidateResponse
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		cr, err := c.Consolidate(ctx, req)
 		return result{cr: cr, err: err}
 	})
 	out := &api.ConsolidateResponse{Moves: []api.MigrationRecord{}}
 	for i, res := range results {
-		name := mc.m.Shards()[i].Name
+		name := v.m.Shards()[i].Name
 		if res.err != nil {
 			return nil, fmt.Errorf("loadgen: consolidate on shard %s: %w", name, res.err)
 		}
@@ -186,13 +409,14 @@ func (mc *MultiClient) Migrations(ctx context.Context, query string) (*api.Migra
 		mr  *api.MigrationsResponse
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		mr, err := c.Migrations(ctx, query)
 		return result{mr: mr, err: err}
 	})
 	out := &api.MigrationsResponse{Migrations: []api.MigrationRecord{}}
 	for i, res := range results {
-		name := mc.m.Shards()[i].Name
+		name := v.m.Shards()[i].Name
 		if res.err != nil {
 			return nil, fmt.Errorf("loadgen: migrations on shard %s: %w", name, res.err)
 		}
@@ -220,14 +444,15 @@ func (mc *MultiClient) Policies(ctx context.Context) (*api.PoliciesResponse, err
 		pr  *api.PoliciesResponse
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		pr, err := c.Policies(ctx)
 		return result{pr: pr, err: err}
 	})
 	out := &api.PoliciesResponse{Policies: []api.PolicyReport{}}
 	var champions []string
 	for i, res := range results {
-		name := mc.m.Shards()[i].Name
+		name := v.m.Shards()[i].Name
 		if res.err != nil {
 			return nil, fmt.Errorf("loadgen: policies on shard %s: %w", name, res.err)
 		}
@@ -273,14 +498,15 @@ func (mc *MultiClient) DebugTraces(ctx context.Context, query string) (*api.Trac
 		tr  *api.TracesResponse
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		tr, err := c.DebugTraces(ctx, query)
 		return result{tr: tr, err: err}
 	})
 	var all []obs.Span
 	for i, res := range results {
 		if res.err != nil {
-			return nil, fmt.Errorf("loadgen: traces on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+			return nil, fmt.Errorf("loadgen: traces on shard %s: %w", v.m.Shards()[i].Name, res.err)
 		}
 		for _, t := range res.tr.Traces {
 			all = append(all, t.Spans...)
@@ -319,14 +545,15 @@ func (mc *MultiClient) StateSummary(ctx context.Context) (StateSummary, error) {
 		sum StateSummary
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		sum, err := c.StateSummary(ctx)
 		return result{sum: sum, err: err}
 	})
 	var out StateSummary
 	digests := make(map[string]string, len(results))
 	for i, res := range results {
-		name := mc.m.Shards()[i].Name
+		name := v.m.Shards()[i].Name
 		if res.err != nil {
 			return StateSummary{}, fmt.Errorf("loadgen: state on shard %s: %w", name, res.err)
 		}
@@ -349,14 +576,15 @@ func (mc *MultiClient) Metrics(ctx context.Context) (Metrics, error) {
 		m   Metrics
 		err error
 	}
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		m, err := c.Metrics(ctx)
 		return result{m: m, err: err}
 	})
 	sum := make(Metrics)
 	for i, res := range results {
 		if res.err != nil {
-			return nil, fmt.Errorf("loadgen: metrics on shard %s: %w", mc.m.Shards()[i].Name, res.err)
+			return nil, fmt.Errorf("loadgen: metrics on shard %s: %w", v.m.Shards()[i].Name, res.err)
 		}
 		for k, v := range res.m {
 			sum[k] += v
@@ -367,8 +595,9 @@ func (mc *MultiClient) Metrics(ctx context.Context) (Metrics, error) {
 
 // Retried sums retry attempts across the per-shard clients.
 func (mc *MultiClient) Retried() int {
+	v := mc.view()
 	total := 0
-	for _, c := range mc.clients {
+	for _, c := range v.clients {
 		total += c.Retried()
 	}
 	return total
@@ -377,29 +606,31 @@ func (mc *MultiClient) Retried() int {
 // WaitReady waits until every shard answers /healthz.
 func (mc *MultiClient) WaitReady(ctx context.Context, d time.Duration) error {
 	type result struct{ err error }
-	results := scatter(mc, func(c *Client) result {
+	v := mc.view()
+	results := scatter(v, func(c *Client) result {
 		return result{err: c.WaitReady(ctx, d)}
 	})
 	for i, res := range results {
 		if res.err != nil {
-			return fmt.Errorf("loadgen: shard %s: %w", mc.m.Shards()[i].Name, res.err)
+			return fmt.Errorf("loadgen: shard %s: %w", v.m.Shards()[i].Name, res.err)
 		}
 	}
 	return nil
 }
 
 // scatter runs fn against every shard's client concurrently, results in
-// configuration order. (A free function because methods cannot be
-// generic.)
-func scatter[T any](mc *MultiClient, fn func(*Client) T) []T {
-	shards := mc.m.Shards()
+// configuration order. It operates on one view so a concurrent
+// topology swap cannot misalign results with shard names. (A free
+// function because methods cannot be generic.)
+func scatter[T any](v view, fn func(*Client) T) []T {
+	shards := v.m.Shards()
 	results := make([]T, len(shards))
 	var wg sync.WaitGroup
 	for i, s := range shards {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = fn(mc.clients[s.Name])
+			results[i] = fn(v.clients[s.Name])
 		}()
 	}
 	wg.Wait()

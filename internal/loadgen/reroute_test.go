@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vmalloc/internal/api"
+	"vmalloc/internal/cluster"
+	"vmalloc/internal/clusterhttp"
+	"vmalloc/internal/model"
+	"vmalloc/internal/obs"
+	"vmalloc/internal/shard"
+)
+
+// elasticDeployment is three live shards and a gate that starts routing
+// to only the first two, for the stale-epoch re-route tests: the
+// MultiClient drives the shards directly while the gate (the topology
+// authority) resizes underneath it.
+type elasticDeployment struct {
+	gateSrv  *httptest.Server
+	shardSrv map[string]*httptest.Server
+	m1       *shard.Map // epoch 1: s0, s1
+	epoch2   api.Topology
+}
+
+func newElasticDeployment(t *testing.T) *elasticDeployment {
+	t.Helper()
+	d := &elasticDeployment{shardSrv: make(map[string]*httptest.Server, 3)}
+	var all []shard.Shard
+	for i, name := range []string{"s0", "s1", "s2"} {
+		servers := testServers(8)
+		for j := range servers {
+			servers[j].ID = 1000*(i+1) + j
+			servers[j].TransitionTime = 0
+		}
+		cl, err := cluster.Open(cluster.Config{Servers: servers, IdleTimeout: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		srv := httptest.NewServer(clusterhttp.New(cl, clusterhttp.Config{Metrics: obs.NewHTTPMetrics()}))
+		t.Cleanup(srv.Close)
+		d.shardSrv[name] = srv
+		all = append(all, shard.Shard{Name: name, Addr: srv.URL})
+	}
+	m1, err := shard.NewMap(all[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.m1 = m1.WithEpoch(1)
+	d.epoch2 = api.Topology{Epoch: 2, Shards: []api.TopologyShard{
+		{Name: "s0", URL: all[0].Addr},
+		{Name: "s1", URL: all[1].Addr},
+		{Name: "s2", URL: all[2].Addr},
+	}}
+	gate := shard.NewGate(d.m1, shard.Config{Metrics: obs.NewHTTPMetrics()})
+	d.gateSrv = httptest.NewServer(gate.Handler())
+	t.Cleanup(d.gateSrv.Close)
+	return d
+}
+
+// resize POSTs the epoch-2 topology to the gate and waits for the drain
+// to finish cleanly.
+func (d *elasticDeployment) resize(t *testing.T) {
+	t.Helper()
+	body, err := json.Marshal(d.epoch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.gateSrv.URL+"/v1/topology", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topology post status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.gateSrv.URL + "/v1/topology")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr api.TopologyResponse
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Rebalance.Active {
+			if tr.Rebalance.Failed != 0 || tr.Rebalance.LastError != "" {
+				t.Fatalf("rebalance failed: %+v", tr.Rebalance)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalance still active: %+v", tr.Rebalance)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMultiClientStaleEpochReroute: a MultiClient with a topology source
+// keeps succeeding across a live resize. It admits against the epoch-1
+// map, the gate grows the deployment to three shards (ratcheting every
+// shard's epoch fence), and the client's next ops — stamped with the
+// now-stale epoch — are refused with 409 stale_epoch, refreshed from
+// the gate, and retried against the new owners. No op fails.
+func TestMultiClientStaleEpochReroute(t *testing.T) {
+	d := newElasticDeployment(t)
+	ctx := context.Background()
+
+	mc := NewMultiClient(d.m1, func(c *Client) { c.Timeout = 5 * time.Second })
+	mc.SetTopologySource(d.gateSrv.URL)
+	if mc.ShardClient("s0").Epoch() != 1 {
+		t.Fatal("SetTopologySource did not stamp the map epoch on the shard clients")
+	}
+
+	reqs := make([]api.AdmitRequest, 0, 24)
+	for id := 1; id <= 24; id++ {
+		reqs = append(reqs, api.AdmitRequest{ID: id, Demand: model.Resources{CPU: 1, Mem: 1}, Start: 1, DurationMinutes: 60})
+	}
+	adms, err := mc.Admit(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range adms {
+		if !a.Accepted {
+			t.Fatalf("pre-resize admission rejected: %+v", a)
+		}
+	}
+	if _, err := mc.AdvanceClock(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	d.resize(t)
+
+	// The client is still routing on epoch 1; these ops hit fenced
+	// shards, refresh, and retry — none may surface as failures.
+	reqs2 := make([]api.AdmitRequest, 0, 12)
+	for id := 25; id <= 36; id++ {
+		reqs2 = append(reqs2, api.AdmitRequest{ID: id, Demand: model.Resources{CPU: 1, Mem: 1}, Start: 4, DurationMinutes: 30})
+	}
+	adms2, err := mc.Admit(ctx, reqs2)
+	if err != nil {
+		t.Fatalf("post-resize admit through stale map: %v", err)
+	}
+	for _, a := range adms2 {
+		if !a.Accepted {
+			t.Fatalf("post-resize admission rejected: %+v", a)
+		}
+	}
+	if mc.Rerouted() == 0 {
+		t.Fatal("no op was rerouted — the stale-epoch path never triggered")
+	}
+	if mc.Refreshed() != 1 {
+		t.Fatalf("refreshed %d times, want 1", mc.Refreshed())
+	}
+	if got := mc.Map().Epoch(); got != 2 {
+		t.Fatalf("map epoch after reroute = %d, want 2", got)
+	}
+	if mc.ShardClient("s2") == nil {
+		t.Fatal("refreshed client set is missing the joined shard s2")
+	}
+	if mc.ShardClient("s0").Epoch() != 2 {
+		t.Fatal("surviving shard client not restamped with epoch 2")
+	}
+
+	// Releases route by the refreshed map, including VMs the drain moved
+	// to the joined shard.
+	m2, err := shard.FromTopology(d.epoch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for id := 1; id <= 24; id++ {
+		if m2.Assign(id).Name == "s2" {
+			moved++
+			ok, err := mc.Release(ctx, id)
+			if err != nil || !ok {
+				t.Fatalf("release of adopted vm %d: ok=%v err=%v", id, ok, err)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no vm in 1..24 hashes to the joined shard; the scenario exercises nothing")
+	}
+
+	// The aggregated view over the new map adds up.
+	sum, err := mc.StateSummary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 36 - moved; sum.Residents != want {
+		t.Fatalf("residents = %d, want %d", sum.Residents, want)
+	}
+}
+
+// TestMultiClientStaleEpochWithoutSource: with no topology source the
+// stale_epoch refusal stays a hard error — the client has no authority
+// to refresh from, and silently retrying the same shard would loop.
+func TestMultiClientStaleEpochWithoutSource(t *testing.T) {
+	d := newElasticDeployment(t)
+	ctx := context.Background()
+
+	mc := NewMultiClient(d.m1, nil)
+	// Stamp an epoch by hand, but configure no source.
+	for _, name := range []string{"s0", "s1"} {
+		mc.ShardClient(name).SetEpoch(1)
+	}
+	d.resize(t)
+
+	_, err := mc.Admit(ctx, []api.AdmitRequest{{ID: 1, Demand: model.Resources{CPU: 1, Mem: 1}, Start: 1, DurationMinutes: 10}})
+	if !staleEpoch(err) {
+		t.Fatalf("admit error = %v, want a stale_epoch refusal surfaced to the caller", err)
+	}
+	if mc.Rerouted() != 0 || mc.Refreshed() != 0 {
+		t.Fatalf("sourceless client rerouted=%d refreshed=%d, want 0/0", mc.Rerouted(), mc.Refreshed())
+	}
+}
+
+// TestFetchTopology: the bootstrap used by vmload -topology-source
+// returns the gate's live map, and a non-gate target is a typed error.
+func TestFetchTopology(t *testing.T) {
+	d := newElasticDeployment(t)
+	m, err := FetchTopology(context.Background(), d.gateSrv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 || m.Len() != 2 {
+		t.Fatalf("fetched epoch %d with %d shards, want epoch 1 with 2", m.Epoch(), m.Len())
+	}
+	d.resize(t)
+	m2, err := FetchTopology(context.Background(), d.gateSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch() != 2 || m2.Len() != 3 {
+		t.Fatalf("fetched epoch %d with %d shards after resize, want epoch 2 with 3", m2.Epoch(), m2.Len())
+	}
+	if _, err := FetchTopology(context.Background(), d.shardSrv["s0"].URL); err == nil {
+		t.Fatal("fetching topology from a plain shard should fail (no /v1/topology)")
+	} else if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -27,6 +27,11 @@ const (
 	// (0 = rejected), Champion the live fleet's choice, and Divergent
 	// whether they disagreed.
 	OpShadow = "shadow"
+	// OpAdopt is a VM taken over from another shard during a topology
+	// rebalance, keeping the (start, end) identity its original owner
+	// granted. Server is where it landed; Reason is set when the
+	// adoption was refused as infeasible.
+	OpAdopt = "adopt"
 )
 
 // StageTimings are the per-stage wall durations of one decision, the

@@ -35,6 +35,14 @@ const (
 	// SpanShadowEnqueue is the hot-path cost of offering a batch to the
 	// shadow policy arena.
 	SpanShadowEnqueue = "shadow-enqueue"
+
+	// SpanAdopt is the umbrella over one adoption's commit/journal/fsync
+	// stages on the receiving shard. SpanRebalance covers a whole
+	// gate-driven topology drain; SpanRebalanceMove is one VM's
+	// adopt-then-release pair within it (Detail carries "from→to").
+	SpanAdopt         = "adopt"
+	SpanRebalance     = "rebalance"
+	SpanRebalanceMove = "rebalance.move"
 )
 
 // Span is one timed stage of one traced request. Spans form a tree via

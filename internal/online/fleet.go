@@ -55,6 +55,7 @@ type Fleet struct {
 	admitted   int
 	released   int
 	migrated   int
+	adopted    int
 }
 
 // NewFleet returns an all-sleeping fleet with the clock at 0. idleTimeout
@@ -89,6 +90,10 @@ func (fl *Fleet) Released() int { return fl.released }
 
 // Migrated returns the number of live migrations performed via Migrate.
 func (fl *Fleet) Migrated() int { return fl.migrated }
+
+// Adopted returns the number of VMs taken over from another shard via
+// Adopt.
+func (fl *Fleet) Adopted() int { return fl.adopted }
 
 // StartDelayTotal returns the summed minutes admitted VMs waited for a
 // wake-up beyond their requested start.
@@ -373,6 +378,99 @@ func (fl *Fleet) Migrate(id, to int) (PlacedVM, int, error) {
 	return p, handoff, nil
 }
 
+// AdoptError reports that an adoption is infeasible on the current fleet
+// state: the VM is already resident here, the target lacks capacity, or
+// the VM has no remaining minutes to host.
+type AdoptError struct {
+	VM     int
+	Server int // target server ID (not index), -1 when no server was reached
+	Reason string
+}
+
+func (e *AdoptError) Error() string {
+	return fmt.Sprintf("online: cannot adopt vm %d onto server %d: %s", e.VM, e.Server, e.Reason)
+}
+
+// Adopt places a VM that is already running elsewhere (on another shard)
+// onto server index `to`, preserving the identity it acquired at first
+// admission: actualStart is the start minute its original owner granted,
+// and the adopted placement keeps it — and with it the VM's residency
+// interval and departure minute — where a fresh Commit would re-delay a
+// past start to the current clock. This is the destination half of a
+// cross-shard migration, the primitive the gate's topology rebalancer
+// drains remapped VMs with (adopt on the new owner, then release on the
+// old).
+//
+// This shard hosts — and charges run cost for — only the remainder: the
+// handoff minute is the next minute for a started VM, the actual start
+// for one still in the future, matching what the source refunds when it
+// releases its copy. Unlike Migrate, a sleeping or waking target does
+// not make the move infeasible: the two shards cannot coordinate a wake
+// deadline, so the handoff is pushed to the wake completion instead and
+// the minutes in between simply run on neither shard. Start-delay
+// counters are untouched (the delay was accounted at first admission).
+//
+// On success Adopt returns the handoff minute. Infeasible requests
+// return an *AdoptError and leave the fleet untouched.
+func (fl *Fleet) Adopt(to int, v model.VM, actualStart int) (int, error) {
+	if to < 0 || to >= len(fl.view.units) {
+		return 0, fmt.Errorf("online: server index %d out of range", to)
+	}
+	dst := fl.view.units[to]
+	if _, dup := fl.resident[v.ID]; dup {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID, Reason: "vm already resident"}
+	}
+	if actualStart < v.Start {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID,
+			Reason: fmt.Sprintf("actual start %d before requested start %d", actualStart, v.Start)}
+	}
+	now := fl.view.now
+	p := PlacedVM{VM: v, Server: to, Start: actualStart}
+	end := p.End()
+	if end < actualStart || end == math.MaxInt {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID, Reason: "end overflows the time horizon"}
+	}
+	handoff := maxInt(actualStart, now+1)
+	wake := false
+	switch dst.state {
+	case Waking:
+		handoff = maxInt(handoff, dst.wakeDone)
+	case PowerSaving:
+		handoff = maxInt(handoff, now+int(math.Ceil(dst.srv.TransitionTime)))
+		wake = true
+	}
+	if handoff > end {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID, Reason: "no remaining minutes to host"}
+	}
+	if !v.Demand.Fits(dst.srv.Capacity) {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID, Reason: "vm exceeds server capacity"}
+	}
+	cpu, mem := dst.res.MaxUsage(handoff, end)
+	if cpu+v.Demand.CPU > dst.srv.Capacity.CPU || mem+v.Demand.Mem > dst.srv.Capacity.Mem {
+		return 0, &AdoptError{VM: v.ID, Server: dst.srv.ID, Reason: "target lacks capacity over the remaining interval"}
+	}
+
+	if wake {
+		dst.state = Waking
+		dst.wakeDone = now + int(math.Ceil(dst.srv.TransitionTime))
+		dst.transitions++
+		fl.energy.Transition += dst.srv.TransitionCost()
+		fl.push(event{time: dst.wakeDone, kind: evWakeDone, srv: to})
+	}
+	fl.energy.Run += dst.srv.UnitCPUPower() * v.Demand.CPU * float64(end-handoff+1)
+	dst.res.Add(v.ID, timeline.Reservation{
+		Interval: timeline.Interval{Start: handoff, End: end},
+		CPU:      v.Demand.CPU,
+		Mem:      v.Demand.Mem,
+	})
+	dst.vms++
+	dst.used = true
+	fl.resident[v.ID] = p
+	fl.adopted++
+	fl.push(event{time: end + 1, kind: evDeparture, srv: to, vmID: v.ID})
+	return handoff, nil
+}
+
 // vacate decrements a unit's VM count and, when it empties while active,
 // starts the idle countdown.
 func (fl *Fleet) vacate(i, now int) {
@@ -452,6 +550,7 @@ type FleetSnapshot struct {
 	Admitted   int              `json:"admitted"`
 	Released   int              `json:"released"`
 	Migrated   int              `json:"migrated,omitempty"`
+	Adopted    int              `json:"adopted,omitempty"`
 	Units      []UnitSnapshot   `json:"units"`
 	Residents  []PlacedVM       `json:"residents"`
 }
@@ -477,6 +576,7 @@ func (fl *Fleet) Snapshot() *FleetSnapshot {
 		Admitted:   fl.admitted,
 		Released:   fl.released,
 		Migrated:   fl.migrated,
+		Adopted:    fl.adopted,
 		Units:      make([]UnitSnapshot, len(fl.view.units)),
 		Residents:  fl.Residents(),
 	}
@@ -508,6 +608,7 @@ func RestoreFleet(servers []model.Server, idleTimeout int, snap *FleetSnapshot) 
 	fl.admitted = snap.Admitted
 	fl.released = snap.Released
 	fl.migrated = snap.Migrated
+	fl.adopted = snap.Adopted
 	for i, us := range snap.Units {
 		u := fl.view.units[i]
 		u.state = us.State

@@ -67,14 +67,24 @@ type Config struct {
 // VM IDs all hash to live shards keep succeeding, and requests touching
 // the dead shard fail with a scoped, shard-naming api.ErrorEnvelope.
 type Gate struct {
-	m      *Map
+	// topo is the gate's routing state: the current shard map plus,
+	// during a topology transition window, the superseded one (see
+	// rebalance.go). Handlers load it once per request so one request
+	// never sees two different topologies.
+	topo   atomic.Pointer[topoState]
 	cfg    Config
 	hc     *http.Client
 	prober *Prober
 
-	// proxyErrs counts transport-level proxy failures per shard,
-	// pre-sized at construction so reads need no lock.
+	// proxyErrs counts transport-level proxy failures per shard. The
+	// shard set changes across topology epochs, so the map is guarded
+	// (new shards get counters lazily) while each counter stays a
+	// lock-free atomic for the data path.
+	peMu      sync.Mutex
 	proxyErrs map[string]*atomic.Uint64
+
+	// reb tracks the state of the current (and last) topology drain.
+	reb rebalancer
 }
 
 // NewGate builds a gate over the shard map. Call Run to start health
@@ -91,7 +101,6 @@ func NewGate(m *Map, cfg Config) *Gate {
 		hc = &http.Client{}
 	}
 	g := &Gate{
-		m:   m,
 		cfg: cfg,
 		hc:  hc,
 		prober: NewProber(m, ProberConfig{
@@ -102,10 +111,27 @@ func NewGate(m *Map, cfg Config) *Gate {
 		}),
 		proxyErrs: make(map[string]*atomic.Uint64, m.Len()),
 	}
+	g.topo.Store(&topoState{cur: m})
 	for _, s := range m.Shards() {
 		g.proxyErrs[s.Name] = new(atomic.Uint64)
 	}
 	return g
+}
+
+// Map returns the gate's current shard map (the newest topology epoch).
+func (g *Gate) Map() *Map { return g.topo.Load().cur }
+
+// proxyErr returns the transport-failure counter for a shard, creating
+// it on first use (shards join at topology swaps, after construction).
+func (g *Gate) proxyErr(name string) *atomic.Uint64 {
+	g.peMu.Lock()
+	defer g.peMu.Unlock()
+	c := g.proxyErrs[name]
+	if c == nil {
+		c = new(atomic.Uint64)
+		g.proxyErrs[name] = c
+	}
+	return c
 }
 
 // Prober exposes the gate's health prober (the daemon runs it; tests
@@ -128,6 +154,8 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/consolidate", g.handleConsolidate)
 	mux.HandleFunc("GET /v1/state", g.handleState)
 	mux.HandleFunc("GET /v1/shards", g.handleShards)
+	mux.HandleFunc("GET /v1/topology", g.handleTopology)
+	mux.HandleFunc("POST /v1/topology", g.handleTopologyPost)
 	mux.HandleFunc("GET /v1/debug/traces", g.handleTraces)
 	mux.HandleFunc("GET /v1/debug/energy", g.handleEnergy)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -141,8 +169,34 @@ func (g *Gate) Handler() http.Handler {
 // transport failure marks the shard down on the spot (the data path is
 // the freshest health probe there is).
 func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []byte) (http.Header, []byte, *api.Error) {
+	stamped := int64(0)
+	for attempt := 0; ; attempt++ {
+		hdr, data, perr, sent := g.callOnce(ctx, s, method, path, body)
+		// Self-heal a lost race with our own topology swap: a request can
+		// pick up the old epoch stamp just before the rebalancer's first
+		// contact ratchets the shard's fence, and arrive just after. The
+		// shard refuses it (409 stale_epoch) without executing anything,
+		// so re-sending with the newer stamp is always safe; routing was
+		// already decided by the caller, and any admission this parks on
+		// an ex-owner is picked up by the drain's next pass (the drain
+		// only finishes after a pass that plans no moves).
+		if perr == nil || perr.Envelope.Code != api.CodeStaleEpoch || attempt >= 2 {
+			return hdr, data, perr
+		}
+		if cur := g.topo.Load().cur.Epoch(); cur <= sent || sent <= stamped && attempt > 0 {
+			// The fence is ahead of every epoch this gate has accepted —
+			// a foreign (newer) topology owns the shard now; surface it.
+			return hdr, data, perr
+		}
+		stamped = sent
+	}
+}
+
+// callOnce issues one proxied request; sent is the topology epoch it was
+// stamped with (0 = unversioned).
+func (g *Gate) callOnce(ctx context.Context, s Shard, method, path string, body []byte) (http.Header, []byte, *api.Error, int64) {
 	if !g.prober.Healthy(s.Name) {
-		return nil, nil, g.shardDown(s, errors.New(g.prober.LastError(s.Name)))
+		return nil, nil, g.shardDown(s, errors.New(g.prober.LastError(s.Name))), 0
 	}
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
 	defer cancel()
@@ -153,13 +207,21 @@ func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []by
 	req, err := http.NewRequestWithContext(ctx, method, s.Addr+path, rd)
 	if err != nil {
 		return nil, nil, &api.Error{Status: http.StatusInternalServerError, Envelope: api.ErrorEnvelope{
-			Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: build request: %v", s.Name, err)}}
+			Code: api.CodeInternal, Message: fmt.Sprintf("shard %s: build request: %v", s.Name, err)}}, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	// Stamp the newest topology epoch on every downstream call. The
+	// shards' passive fence ratchets on it, so the first request a newer
+	// topology sends a shard immunises that shard against stale writers
+	// (epoch 0 = unversioned -shard maps, which never stamp).
+	sent := g.topo.Load().cur.Epoch()
+	if sent > 0 {
+		req.Header.Set(api.EpochHeader, strconv.FormatInt(sent, 10))
 	}
 	// Propagate the trace downstream: a fresh fan-out span id under the
 	// request's trace becomes the parent of the shard's edge span, which
@@ -185,17 +247,17 @@ func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []by
 	resp, err := g.hc.Do(req)
 	if err != nil {
 		fanout(err.Error())
-		g.proxyErrs[s.Name].Add(1)
+		g.proxyErr(s.Name).Add(1)
 		g.prober.MarkDown(s.Name, err)
-		return nil, nil, g.shardDown(s, err)
+		return nil, nil, g.shardDown(s, err), sent
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
 	if err != nil {
 		fanout(err.Error())
-		g.proxyErrs[s.Name].Add(1)
+		g.proxyErr(s.Name).Add(1)
 		g.prober.MarkDown(s.Name, err)
-		return nil, nil, g.shardDown(s, err)
+		return nil, nil, g.shardDown(s, err), sent
 	}
 	fanout("")
 	if resp.StatusCode >= 400 {
@@ -203,9 +265,9 @@ func (g *Gate) call(ctx context.Context, s Shard, method, path string, body []by
 		// envelope with the shard named in the message.
 		perr := api.DecodeError(resp.StatusCode, data)
 		perr.Envelope.Message = fmt.Sprintf("shard %s: %s", s.Name, perr.Envelope.Message)
-		return resp.Header, nil, perr
+		return resp.Header, nil, perr, sent
 	}
-	return resp.Header, data, nil
+	return resp.Header, data, nil, sent
 }
 
 func (g *Gate) shardDown(s Shard, cause error) *api.Error {
@@ -233,6 +295,10 @@ func (g *Gate) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, api.CodeBadRequest, err)
 		return
 	}
+	// Admissions always route by the newest map: during a transition
+	// window a brand-new VM belongs on its new owner from minute one, so
+	// the drain never has to move it.
+	m := g.topo.Load().cur
 	groups := make(map[string][]int) // shard name → indices into reqs
 	for i, req := range reqs {
 		if req.ID <= 0 {
@@ -240,7 +306,7 @@ func (g *Gate) handleAdmit(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("request %d has no vm id: the gate routes by id, so every admission must carry an explicit one", i))
 			return
 		}
-		name := g.m.Assign(req.ID).Name
+		name := m.Assign(req.ID).Name
 		groups[name] = append(groups[name], i)
 	}
 
@@ -252,7 +318,7 @@ func (g *Gate) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	results := make([]result, 0, len(groups))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, s := range g.m.Shards() {
+	for _, s := range m.Shards() {
 		idxs := groups[s.Name]
 		if len(idxs) == 0 {
 			continue
@@ -342,7 +408,13 @@ func foldErrors[T any](results []T, get func(T) *api.Error) *api.Error {
 }
 
 // handleRelease proxies the release to the shard owning the VM ID and
-// relays the shard's response verbatim.
+// relays the shard's response verbatim. During a topology transition
+// window a remapped VM may still be resident on its old owner (the
+// drain has not reached it yet), so a not_resident answer from the new
+// owner falls back to the old one — a release is only a 404 when both
+// owners deny residency. The fall-back composes with the drain's own
+// compensation: whichever side releases first wins, and the other call
+// folds into not_resident.
 func (g *Gate) handleRelease(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -350,8 +422,16 @@ func (g *Gate) handleRelease(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("bad vm id %q", r.PathValue("id")))
 		return
 	}
-	s := g.m.Assign(id)
+	ts := g.topo.Load()
+	s := ts.cur.Assign(id)
 	_, data, perr := g.call(r.Context(), s, http.MethodDelete, "/v1/vms/"+strconv.Itoa(id), nil)
+	if perr != nil && ts.prev != nil && perr.Envelope.Code == api.CodeNotResident {
+		if old := ts.prev.Assign(id); old.Name != s.Name {
+			if _, data2, perr2 := g.call(r.Context(), old, http.MethodDelete, "/v1/vms/"+strconv.Itoa(id), nil); perr2 == nil {
+				data, perr = data2, nil
+			}
+		}
+	}
 	if perr != nil {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
@@ -374,13 +454,23 @@ func (g *Gate) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, api.CodeBadRequest, err)
 		return
 	}
-	s := g.m.Assign(req.VM)
+	ts := g.topo.Load()
+	s := ts.cur.Assign(req.VM)
 	body, merr := json.Marshal(req)
 	if merr != nil {
 		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, merr)
 		return
 	}
 	_, data, perr := g.call(r.Context(), s, http.MethodPost, "/v1/migrations", body)
+	if perr != nil && ts.prev != nil && perr.Envelope.Code == api.CodeNotResident {
+		// Transition window: the VM may not have been drained off its
+		// old owner yet, and migrations address servers within a shard.
+		if old := ts.prev.Assign(req.VM); old.Name != s.Name {
+			if _, data2, perr2 := g.call(r.Context(), old, http.MethodPost, "/v1/migrations", body); perr2 == nil {
+				data, perr, s = data2, nil, old
+			}
+		}
+	}
 	if perr != nil {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
@@ -419,7 +509,8 @@ func (g *Gate) handleMigrations(w http.ResponseWriter, r *http.Request) {
 		mr  api.MigrationsResponse
 		err *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	shards := g.topo.Load().active()
+	results := scatter(g, r.Context(), shards, func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodGet, "/v1/migrations"+query, nil)
 		if perr != nil {
 			return result{err: perr}
@@ -435,7 +526,6 @@ func (g *Gate) handleMigrations(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
 	}
-	shards := g.m.Shards()
 	out := api.MigrationsResponse{Migrations: []api.MigrationRecord{}}
 	for i, res := range results {
 		out.Count += res.mr.Count
@@ -465,7 +555,8 @@ func (g *Gate) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		pr  api.PoliciesResponse
 		err *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	shards := g.topo.Load().active()
+	results := scatter(g, r.Context(), shards, func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodGet, "/v1/policies", nil)
 		if perr != nil {
 			return result{err: perr}
@@ -481,7 +572,6 @@ func (g *Gate) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
 	}
-	shards := g.m.Shards()
 	out := api.PoliciesResponse{Now: results[0].pr.Now, Policies: []api.PolicyReport{}}
 	var champions []string
 	for i, res := range results {
@@ -533,7 +623,8 @@ func (g *Gate) handleConsolidate(w http.ResponseWriter, r *http.Request) {
 		cr  api.ConsolidateResponse
 		err *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	shards := g.topo.Load().active()
+	results := scatter(g, r.Context(), shards, func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodPost, "/v1/consolidate", body)
 		if perr != nil {
 			return result{err: perr}
@@ -549,7 +640,6 @@ func (g *Gate) handleConsolidate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
 	}
-	shards := g.m.Shards()
 	out := api.ConsolidateResponse{
 		Clock:  results[0].cr.Clock,
 		Policy: results[0].cr.Policy,
@@ -597,7 +687,7 @@ func (g *Gate) handleClock(w http.ResponseWriter, r *http.Request) {
 		now int
 		err *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	results := scatter(g, r.Context(), g.topo.Load().active(), func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodPost, "/v1/clock", body)
 		if perr != nil {
 			return result{err: perr}
@@ -630,7 +720,8 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 		digest string
 		err    *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	shards := g.topo.Load().active()
+	results := scatter(g, r.Context(), shards, func(ctx context.Context, s Shard) result {
 		hdr, data, perr := g.call(ctx, s, http.MethodGet, "/v1/state", nil)
 		if perr != nil {
 			return result{err: perr}
@@ -652,9 +743,9 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 
 	mergeT0 := time.Now()
-	shards := g.m.Shards()
 	out := api.GateStateResponse{Now: results[0].st.Now}
 	digests := make(map[string]string, len(shards))
+	var placements []Placement
 	for i, res := range results {
 		st := res.st
 		out.Now = min(out.Now, st.Now)
@@ -666,11 +757,22 @@ func (g *Gate) handleState(w http.ResponseWriter, r *http.Request) {
 		out.ServersUsed += st.ServersUsed
 		out.TotalEnergy += st.TotalEnergy
 		digests[shards[i].Name] = res.digest
+		for _, pv := range st.VMs {
+			placements = append(placements, Placement{
+				ID: pv.VM.ID, Shard: shards[i].Name,
+				Start: pv.Start, End: pv.Start + (pv.VM.End - pv.VM.Start),
+				CPU: pv.VM.Demand.CPU, Mem: pv.VM.Demand.Mem,
+			})
+		}
 		out.Shards = append(out.Shards, api.ShardState{
 			Shard: shards[i].Name, Addr: shards[i].Addr, Digest: res.digest, State: st,
 		})
 	}
 	out.Digest = CombineDigests(digests)
+	// The placement digest fingerprints residency alone, so a resized
+	// deployment can be compared byte-for-byte against a never-resized
+	// control whose per-shard counters necessarily differ.
+	out.PlacementDigest = PlacementDigest(placements)
 	g.recordMerge(r.Context(), mergeT0)
 
 	b, err := api.EncodeGateState(&out)
@@ -707,7 +809,7 @@ func (g *Gate) handleTraces(w http.ResponseWriter, r *http.Request) {
 		tr api.TracesResponse
 		ok bool
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	results := scatter(g, r.Context(), g.topo.Load().active(), func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodGet, path, nil)
 		if perr != nil {
 			return result{}
@@ -761,7 +863,8 @@ func (g *Gate) handleEnergy(w http.ResponseWriter, r *http.Request) {
 		er  api.EnergyResponse
 		err *api.Error
 	}
-	results := scatter(g, r.Context(), func(ctx context.Context, s Shard) result {
+	shards := g.topo.Load().active()
+	results := scatter(g, r.Context(), shards, func(ctx context.Context, s Shard) result {
 		_, data, perr := g.call(ctx, s, http.MethodGet, path, nil)
 		if perr != nil {
 			return result{err: perr}
@@ -777,7 +880,6 @@ func (g *Gate) handleEnergy(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, perr.Status, perr.Envelope)
 		return
 	}
-	shards := g.m.Shards()
 	out := api.GateEnergyResponse{Now: results[0].er.Now}
 	for i, res := range results {
 		out.Now = min(out.Now, res.er.Now)
@@ -787,11 +889,12 @@ func (g *Gate) handleEnergy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, http.StatusOK, out)
 }
 
-// scatter runs fn against every shard concurrently and returns the
-// results in configuration order. (A free function because methods
-// cannot be generic.)
-func scatter[T any](g *Gate, ctx context.Context, fn func(context.Context, Shard) T) []T {
-	shards := g.m.Shards()
+// scatter runs fn against every listed shard concurrently and returns
+// the results in list order. Callers capture the shard list from one
+// topoState load and reuse it to label results, so a topology swap
+// mid-request can never misalign results with names. (A free function
+// because methods cannot be generic.)
+func scatter[T any](g *Gate, ctx context.Context, shards []Shard, fn func(context.Context, Shard) T) []T {
 	results := make([]T, len(shards))
 	var wg sync.WaitGroup
 	for i, s := range shards {
@@ -807,7 +910,9 @@ func scatter[T any](g *Gate, ctx context.Context, fn func(context.Context, Shard
 
 func (g *Gate) handleShards(w http.ResponseWriter, r *http.Request) {
 	hs := g.prober.Snapshot()
-	writeJSON(w, r, http.StatusOK, api.ShardsResponse{Count: len(hs), Shards: hs})
+	writeJSON(w, r, http.StatusOK, api.ShardsResponse{
+		Epoch: g.topo.Load().cur.Epoch(), Count: len(hs), Shards: hs,
+	})
 }
 
 // handleHealthz is 200 only when every shard is healthy; a degraded
@@ -834,7 +939,7 @@ func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // skipped rather than failing the scrape — its absence is itself
 // visible as vmalloc_gate_shard_up 0.
 func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	shards := g.m.Shards()
+	shards := g.topo.Load().active()
 	payloads := make([][]byte, len(shards))
 	var wg sync.WaitGroup
 	for i, s := range shards {
@@ -881,9 +986,21 @@ func (g *Gate) writeOwnMetrics(w io.Writer) {
 	}
 	name = "vmalloc_gate_proxy_errors_total"
 	fmt.Fprintf(w, "# HELP %s Transport-level proxy failures per shard.\n# TYPE %s counter\n", name, name)
-	for _, s := range g.m.Shards() {
-		fmt.Fprintf(w, "%s{shard=%q} %d\n", name, s.Name, g.proxyErrs[s.Name].Load())
+	g.peMu.Lock()
+	names := make([]string, 0, len(g.proxyErrs))
+	for n := range g.proxyErrs {
+		names = append(names, n)
 	}
+	counts := make(map[string]uint64, len(names))
+	for _, n := range names {
+		counts[n] = g.proxyErrs[n].Load()
+	}
+	g.peMu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s{shard=%q} %d\n", name, n, counts[n])
+	}
+	g.writeRebalanceMetrics(w)
 	if g.cfg.Metrics != nil {
 		g.cfg.Metrics.WriteNamed(w, "vmalloc_gate_http_requests_total", "vmalloc_gate_http_request_seconds")
 	}

@@ -79,6 +79,34 @@ func NewProber(m *Map, cfg ProberConfig) *Prober {
 	return p
 }
 
+// SetShards replaces the probed shard set — called at a topology swap
+// (once with the union of old and new shards when the transition window
+// opens, once with the new set alone when it closes). Surviving shards
+// keep their health state and backoff schedule; joining shards start
+// healthy-until-proven-otherwise, exactly like at construction.
+func (p *Prober) SetShards(shards []Shard) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	state := make(map[string]*shardHealth, len(shards))
+	for _, s := range shards {
+		if st, ok := p.state[s.Name]; ok {
+			state[s.Name] = st
+		} else {
+			state[s.Name] = &shardHealth{healthy: true}
+		}
+	}
+	p.shards = append([]Shard(nil), shards...)
+	p.state = state
+}
+
+// snapshotShards copies the probed shard list under the lock, so probe
+// loops iterate a stable set even while SetShards swaps it.
+func (p *Prober) snapshotShards() []Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Shard(nil), p.shards...)
+}
+
 // Run probes until ctx is cancelled, starting with an immediate pass.
 func (p *Prober) Run(ctx context.Context) {
 	p.CheckNow(ctx)
@@ -98,7 +126,7 @@ func (p *Prober) Run(ctx context.Context) {
 // startup and by tests that want a deterministic verdict.
 func (p *Prober) CheckNow(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, s := range p.shards {
+	for _, s := range p.snapshotShards() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -113,7 +141,7 @@ func (p *Prober) checkDue(ctx context.Context, now time.Time) {
 	var due []Shard
 	p.mu.Lock()
 	for _, s := range p.shards {
-		if !now.Before(p.state[s.Name].next) {
+		if st := p.state[s.Name]; st != nil && !now.Before(st.next) {
 			due = append(due, s)
 		}
 	}
@@ -228,6 +256,7 @@ func (p *Prober) Snapshot() []api.ShardHealth {
 		out = append(out, api.ShardHealth{
 			Name:    s.Name,
 			Addr:    s.Addr,
+			Weight:  s.Weight,
 			Healthy: st.healthy,
 			Error:   st.lastErr,
 		})

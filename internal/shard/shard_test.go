@@ -20,15 +20,15 @@ func mustMap(t *testing.T, shards ...Shard) *Map {
 // names, id) — stable across Map instances (i.e. across gate restarts)
 // and independent of configuration order.
 func TestAssignDeterministic(t *testing.T) {
-	a := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"})
-	b := mustMap(t, Shard{"c", "http://c"}, Shard{"a", "http://a"}, Shard{"b", "http://b"})
+	a := mustMap(t, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "b", Addr: "http://b"}, Shard{Name: "c", Addr: "http://c"})
+	b := mustMap(t, Shard{Name: "c", Addr: "http://c"}, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "b", Addr: "http://b"})
 	for id := 1; id <= 1000; id++ {
 		if got, want := a.Assign(id), b.Assign(id); got.Name != want.Name {
 			t.Fatalf("id %d: order-dependent assignment %q vs %q", id, got.Name, want.Name)
 		}
 	}
 	// Fresh map, same names: same assignment (restart stability).
-	c := mustMap(t, Shard{"a", "http://other-a"}, Shard{"b", "http://other-b"}, Shard{"c", "http://other-c"})
+	c := mustMap(t, Shard{Name: "a", Addr: "http://other-a"}, Shard{Name: "b", Addr: "http://other-b"}, Shard{Name: "c", Addr: "http://other-c"})
 	for id := 1; id <= 1000; id++ {
 		if a.Assign(id).Name != c.Assign(id).Name {
 			t.Fatalf("id %d: assignment changed across map rebuilds", id)
@@ -39,7 +39,7 @@ func TestAssignDeterministic(t *testing.T) {
 // TestAssignBalance: rendezvous hashing spreads IDs roughly evenly —
 // no shard should own a wildly disproportionate share.
 func TestAssignBalance(t *testing.T) {
-	m := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"}, Shard{"d", "http://d"})
+	m := mustMap(t, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "b", Addr: "http://b"}, Shard{Name: "c", Addr: "http://c"}, Shard{Name: "d", Addr: "http://d"})
 	counts := map[string]int{}
 	const n = 4000
 	for id := 1; id <= n; id++ {
@@ -57,8 +57,8 @@ func TestAssignBalance(t *testing.T) {
 // shard held — every other key keeps its assignment. This is the
 // rendezvous property that makes shard-set changes survivable.
 func TestAssignRemapScope(t *testing.T) {
-	full := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"}, Shard{"c", "http://c"})
-	without := mustMap(t, Shard{"a", "http://a"}, Shard{"c", "http://c"})
+	full := mustMap(t, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "b", Addr: "http://b"}, Shard{Name: "c", Addr: "http://c"})
+	without := mustMap(t, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "c", Addr: "http://c"})
 	for id := 1; id <= 2000; id++ {
 		before := full.Assign(id).Name
 		after := without.Assign(id).Name
@@ -128,7 +128,7 @@ func TestCombineDigests(t *testing.T) {
 // accidental change to the hash function (which would strand every
 // resident VM on a mis-routed shard after a gate upgrade) fails loudly.
 func TestAssignGolden(t *testing.T) {
-	m := mustMap(t, Shard{"a", "http://a"}, Shard{"b", "http://b"})
+	m := mustMap(t, Shard{Name: "a", Addr: "http://a"}, Shard{Name: "b", Addr: "http://b"})
 	got := ""
 	for id := 1; id <= 16; id++ {
 		got += m.Assign(id).Name
